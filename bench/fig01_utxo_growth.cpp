@@ -1,0 +1,92 @@
+// Reproduces Fig 1: number of UTXOs and size of the UTXO set over time
+// (paper: 15-Q1 → 21-Q2, 4.4× count growth, 7.6× size growth, > 4.3 GB).
+//
+// The synthetic chain traverses the same era sequence as mainnet; rows are
+// sampled per real-chain quarter. Absolute bytes are scaled down with the
+// chain; the growth *shape* (monotone rise, late-era steepening, the
+// 500k-550k consolidation dip) is the reproduction target.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace ebv;
+
+int main() {
+    const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 3250));
+
+    workload::GeneratorOptions options;
+    options.seed = bench::env_u64("EBV_SEED", 42);
+    options.signed_mode = false;  // memory experiment: scripts never run
+    options.height_scale = 650'000.0 / blocks;
+    options.intensity = bench::env_double("EBV_INTENSITY", 2.0);
+
+    std::fprintf(stderr, "fig01: generating %u blocks (height scale %.0f)\n", blocks,
+                 options.height_scale);
+
+    workload::ChainGenerator generator(options);
+
+    // Exact per-block UTXO-set payload accounting (outpoint key + coin).
+    std::unordered_map<chain::OutPoint, std::uint64_t, chain::OutPointHasher> entries;
+    std::uint64_t payload = 0;
+
+    std::printf("Fig 1 — UTXO count and UTXO-set size by quarter\n");
+    std::printf("%-8s %12s %14s %14s\n", "quarter", "real-height", "utxo-count",
+                "size-KB");
+    bench::print_rule(52);
+
+    std::uint32_t next_sample_quarter = 0;
+    std::uint64_t first_count = 0;
+    std::uint64_t first_size = 0;
+    std::uint64_t last_count = 0;
+    std::uint64_t last_size = 0;
+
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        const chain::Block block = generator.next_block();
+        for (const auto& tx : block.txs) {
+            if (!tx.is_coinbase()) {
+                for (const auto& in : tx.vin) {
+                    const auto it = entries.find(in.prevout);
+                    if (it != entries.end()) {
+                        payload -= it->second;
+                        entries.erase(it);
+                    }
+                }
+            }
+            for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
+                const chain::Coin coin{tx.vout[o].value, i, tx.is_coinbase(),
+                                       tx.vout[o].lock_script};
+                const std::uint64_t size = 36 + coin.encode().size();
+                entries.emplace(chain::OutPoint{tx.txid(), o}, size);
+                payload += size;
+            }
+        }
+
+        const auto real_height =
+            static_cast<std::uint32_t>((i + 1) * options.height_scale);
+        // Sample once per quarter starting at 2015-Q1, like the figure.
+        const auto q15_1 = workload::real_height_for_quarter(2015, 1);
+        if (real_height >= q15_1) {
+            const auto quarter_index =
+                (real_height - q15_1) / (52'560 / 4);
+            if (quarter_index >= next_sample_quarter) {
+                std::printf("%-8s %12u %14zu %14.1f\n",
+                            workload::quarter_label_for_height(real_height).c_str(),
+                            real_height, entries.size(),
+                            static_cast<double>(payload) / 1024.0);
+                if (first_count == 0) {
+                    first_count = entries.size();
+                    first_size = payload;
+                }
+                next_sample_quarter = static_cast<std::uint32_t>(quarter_index) + 1;
+            }
+        }
+        last_count = entries.size();
+        last_size = payload;
+    }
+
+    bench::print_rule(52);
+    std::printf("growth since 15-Q1: count %.1fx (paper: 4.4x), size %.1fx (paper: 7.6x)\n",
+                static_cast<double>(last_count) / static_cast<double>(first_count ? first_count : 1),
+                static_cast<double>(last_size) / static_cast<double>(first_size ? first_size : 1));
+    return 0;
+}

@@ -1,0 +1,150 @@
+// Shared harness for the figure-reproduction benches: chain building,
+// node construction, IBD driving, and table printing. Every bench accepts
+// environment knobs so the laptop-sized defaults can be scaled up:
+//   EBV_BLOCKS     total generated blocks
+//   EBV_REPS       repetitions for boxplot-style figures
+//   EBV_SEED       workload seed
+//   EBV_MEM_FRACTION  status-DB cache budget as a fraction of the final
+//                     UTXO payload (default mirrors the paper's
+//                     500 MB : 4.3 GB ≈ 0.116)
+//   EBV_DEVICE     hdd | ssd | none  (disk latency model for the baseline)
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chain/coin.hpp"
+#include "chain/node.hpp"
+#include "core/node.hpp"
+#include "intermediary/converter.hpp"
+#include "workload/generator.hpp"
+#include "workload/stats.hpp"
+
+namespace ebv::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    return v ? std::strtod(v, nullptr) : fallback;
+}
+
+inline storage::DeviceProfile env_device() {
+    const char* v = std::getenv("EBV_DEVICE");
+    const std::string device = v ? v : "hdd";
+    if (device == "ssd") return storage::DeviceProfile::ssd();
+    if (device == "none") return storage::DeviceProfile::none();
+    return storage::DeviceProfile::hdd();
+}
+
+class TempDir {
+public:
+    explicit TempDir(const std::string& tag) {
+        path_ = std::filesystem::temp_directory_path() /
+                ("ebv_bench_" + tag + "_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    [[nodiscard]] std::string str() const { return path_.string(); }
+
+private:
+    std::filesystem::path path_;
+};
+
+/// A fully generated chain plus the statistics needed to size node caches.
+struct ChainData {
+    std::vector<chain::Block> blocks;
+    std::uint64_t final_utxo_count = 0;
+    std::uint64_t final_utxo_payload = 0;  ///< bytes of the final UTXO set
+    workload::GeneratorOptions options;
+};
+
+/// Generate `count` blocks and track the exact UTXO-set payload the
+/// baseline node will hold at the end (so cache budgets can be expressed
+/// as a fraction of it, mirroring the paper's 500 MB vs 4.3 GB setup).
+inline ChainData build_chain(const workload::GeneratorOptions& options,
+                             std::uint32_t count) {
+    ChainData data;
+    data.options = options;
+    data.blocks.reserve(count);
+
+    workload::ChainGenerator generator(options);
+    std::unordered_map<chain::OutPoint, std::uint64_t, chain::OutPointHasher> entry_size;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        data.blocks.push_back(generator.next_block());
+        const chain::Block& block = data.blocks.back();
+        for (const auto& tx : block.txs) {
+            if (!tx.is_coinbase()) {
+                for (const auto& in : tx.vin) {
+                    const auto it = entry_size.find(in.prevout);
+                    if (it != entry_size.end()) {
+                        data.final_utxo_payload -= it->second;
+                        entry_size.erase(it);
+                    }
+                }
+            }
+            for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
+                const chain::Coin coin{tx.vout[o].value, i, tx.is_coinbase(),
+                                       tx.vout[o].lock_script};
+                const std::uint64_t size = 36 + coin.encode().size();
+                entry_size.emplace(chain::OutPoint{tx.txid(), o}, size);
+                data.final_utxo_payload += size;
+            }
+        }
+        if ((i + 1) % 500 == 0) {
+            std::fprintf(stderr, "  generated %u/%u blocks (pool %zu)\n", i + 1, count,
+                         generator.utxo_pool_size());
+        }
+    }
+    data.final_utxo_count = entry_size.size();
+    return data;
+}
+
+/// Baseline node sized like the paper's memory-restricted validator.
+inline chain::BitcoinNodeOptions baseline_options(const ChainData& chain,
+                                                  const TempDir& dir,
+                                                  bool verify_scripts) {
+    chain::BitcoinNodeOptions options;
+    options.params = chain.options.params;
+    options.data_dir = dir.str();
+    const double fraction = env_double("EBV_MEM_FRACTION", 500.0 / (4.3 * 1024));
+    options.memory_limit_bytes = static_cast<std::size_t>(
+        std::max<double>(static_cast<double>(chain.final_utxo_payload) * fraction,
+                         32.0 * storage::PagedFile::kPageSize));
+    options.device = env_device();
+    options.validator.verify_scripts = verify_scripts;
+    return options;
+}
+
+/// Convert an entire chain through the intermediary.
+inline std::vector<core::EbvBlock> convert_chain(const ChainData& chain) {
+    intermediary::Converter converter;
+    std::vector<core::EbvBlock> out;
+    out.reserve(chain.blocks.size());
+    for (const auto& block : chain.blocks) {
+        auto converted = converter.convert_block(block);
+        if (!converted) {
+            std::fprintf(stderr, "conversion failed: %s\n", to_string(converted.error()));
+            std::abort();
+        }
+        out.push_back(std::move(*converted));
+    }
+    return out;
+}
+
+inline double ms(util::TimeCost cost) { return util::to_ms(cost.total_ns()); }
+
+inline void print_rule(int width = 100) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+}  // namespace ebv::bench

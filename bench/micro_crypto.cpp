@@ -1,0 +1,100 @@
+// Microbenchmarks for the crypto substrate: the primitives whose costs set
+// the EV (Merkle) and SV (ECDSA) components of block validation.
+#include <benchmark/benchmark.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ebv;
+
+void BM_Sha256(benchmark::State& state) {
+    util::Rng rng(1);
+    util::Bytes data(static_cast<std::size_t>(state.range(0)));
+    rng.fill(data);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_MerkleRoot(benchmark::State& state) {
+    util::Rng rng(2);
+    std::vector<crypto::Hash256> leaves(static_cast<std::size_t>(state.range(0)));
+    for (auto& leaf : leaves) rng.fill({leaf.bytes().data(), 32});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::merkle_root(leaves));
+    }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_MerkleBranchBuild(benchmark::State& state) {
+    util::Rng rng(3);
+    std::vector<crypto::Hash256> leaves(static_cast<std::size_t>(state.range(0)));
+    for (auto& leaf : leaves) rng.fill({leaf.bytes().data(), 32});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::merkle_branch(leaves, static_cast<std::uint32_t>(leaves.size() / 2)));
+    }
+}
+BENCHMARK(BM_MerkleBranchBuild)->Arg(256)->Arg(2048);
+
+// The EV primitive: fold a branch and compare with the root.
+void BM_MerkleBranchVerify(benchmark::State& state) {
+    util::Rng rng(4);
+    std::vector<crypto::Hash256> leaves(static_cast<std::size_t>(state.range(0)));
+    for (auto& leaf : leaves) rng.fill({leaf.bytes().data(), 32});
+    const auto root = crypto::merkle_root(leaves);
+    const auto branch =
+        crypto::merkle_branch(leaves, static_cast<std::uint32_t>(leaves.size() / 2));
+    const auto leaf = leaves[leaves.size() / 2];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::fold_branch(leaf, branch) == root);
+    }
+}
+BENCHMARK(BM_MerkleBranchVerify)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_EcdsaSign(benchmark::State& state) {
+    util::Rng rng(5);
+    const auto key = crypto::PrivateKey::generate(rng);
+    crypto::Hash256 digest;
+    rng.fill({digest.bytes().data(), 32});
+    std::uint8_t counter = 0;
+    for (auto _ : state) {
+        digest.bytes()[0] = counter++;
+        benchmark::DoNotOptimize(key.sign(digest));
+    }
+}
+BENCHMARK(BM_EcdsaSign);
+
+// The SV primitive cost.
+void BM_EcdsaVerify(benchmark::State& state) {
+    util::Rng rng(6);
+    const auto key = crypto::PrivateKey::generate(rng);
+    const auto pub = key.public_key();
+    crypto::Hash256 digest;
+    rng.fill({digest.bytes().data(), 32});
+    const auto sig = key.sign(digest);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pub.verify(digest, sig));
+    }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_PubkeyParse(benchmark::State& state) {
+    util::Rng rng(7);
+    const auto bytes = crypto::PrivateKey::generate(rng).public_key().serialize();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::PublicKey::parse(bytes));
+    }
+}
+BENCHMARK(BM_PubkeyParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

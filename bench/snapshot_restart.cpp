@@ -1,0 +1,74 @@
+// Extension experiment: newcomer startup cost. The paper's intro argues
+// slow IBD discourages running validators. EBV's whole validator state
+// (headers + bit-vector set) is snapshot-sized, so a restarting or
+// bootstrapped-from-snapshot node skips block re-validation entirely.
+// Compares: full IBD (validate everything) vs snapshot load, and reports
+// the snapshot's size — the trust-minimized "assumeutxo" style bootstrap
+// EBV makes cheap.
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "harness.hpp"
+
+using namespace ebv;
+
+int main() {
+    const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 800));
+
+    workload::GeneratorOptions gen_options;
+    gen_options.seed = bench::env_u64("EBV_SEED", 42);
+    gen_options.signed_mode = true;
+    gen_options.height_scale = 600'000.0 / blocks;
+    gen_options.intensity = bench::env_double("EBV_INTENSITY", 0.2);
+
+    std::fprintf(stderr, "snapshot_restart: generating %u signed blocks...\n", blocks);
+    const bench::ChainData chain = bench::build_chain(gen_options, blocks);
+    const auto ebv_chain = bench::convert_chain(chain);
+
+    core::EbvNodeOptions options;
+    options.params = gen_options.params;
+
+    // Full IBD.
+    util::Stopwatch ibd_watch;
+    core::EbvNode node(options);
+    core::EbvTimings total{};
+    for (const auto& block : ebv_chain) {
+        auto r = node.submit_block(block);
+        if (!r) return 1;
+        total += *r;
+    }
+    const double ibd_ms = util::to_ms(ibd_watch.elapsed_ns());
+
+    // Snapshot save + load.
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("ebv_snapbench_" + std::to_string(::getpid()) + ".bin"))
+            .string();
+    util::Stopwatch save_watch;
+    node.save_snapshot(path);
+    const double save_ms = util::to_ms(save_watch.elapsed_ns());
+    const auto snapshot_bytes = std::filesystem::file_size(path);
+
+    util::Stopwatch load_watch;
+    auto restored = core::EbvNode::load_snapshot(path, options);
+    const double load_ms = util::to_ms(load_watch.elapsed_ns());
+    std::filesystem::remove(path);
+    if (!restored || (*restored)->next_height() != blocks) return 1;
+
+    std::printf("EBV newcomer startup: full IBD vs snapshot bootstrap (%u blocks)\n",
+                blocks);
+    bench::print_rule(64);
+    std::printf("full IBD (validate everything):   %10.1f ms (%zu inputs)\n", ibd_ms,
+                total.inputs);
+    std::printf("snapshot save:                    %10.2f ms\n", save_ms);
+    std::printf("snapshot load (restart path):     %10.2f ms\n", load_ms);
+    std::printf("snapshot size:                    %10.1f KB (headers + bit-vectors)\n",
+                static_cast<double>(snapshot_bytes) / 1024.0);
+    bench::print_rule(64);
+    std::printf("speedup: %.0fx — the validator state EBV needs is so small that a\n"
+                "restart (or a snapshot-trusting bootstrap) is effectively free,\n"
+                "addressing the paper's IBD-discourages-validators concern.\n",
+                ibd_ms / std::max(load_ms, 0.01));
+    return 0;
+}

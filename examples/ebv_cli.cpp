@@ -1,0 +1,250 @@
+// ebv_cli — command-line driver for the library: generate synthetic chains
+// to disk, convert them to EBV format, run validation/IBD with timing
+// reports, and inspect state. The workflows a downstream user scripts.
+//
+//   ebv_cli generate  <chain.dat> [blocks] [seed]     write a signed chain
+//   ebv_cli convert   <chain.dat> <ebv.dat>           reconstruct as EBV
+//   ebv_cli validate  <chain.dat>                     baseline IBD + report
+//   ebv_cli validate-ebv <ebv.dat>                    EBV IBD + report
+//   ebv_cli compare   <chain.dat> <ebv.dat>           both, side by side
+//   ebv_cli info      <chain.dat|ebv.dat>             chain statistics
+//   ebv_cli address   <hex-privkey|random>            derive a P2PKH address
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+#include <string>
+
+#include "chain/node.hpp"
+#include "core/node.hpp"
+#include "crypto/base58.hpp"
+#include "intermediary/converter.hpp"
+#include "storage/flat_store.hpp"
+#include "util/hex.hpp"
+#include "workload/generator.hpp"
+
+using namespace ebv;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: ebv_cli <command> [args]\n"
+                 "  generate <chain.dat> [blocks=200] [seed=1]\n"
+                 "  convert <chain.dat> <ebv.dat>\n"
+                 "  validate <chain.dat>\n"
+                 "  validate-ebv <ebv.dat>\n"
+                 "  compare <chain.dat> <ebv.dat>\n"
+                 "  info <chain.dat|ebv.dat>\n"
+                 "  address <hex-privkey|random>\n");
+    return 2;
+}
+
+chain::ChainParams cli_params() {
+    chain::ChainParams params = chain::ChainParams::simnet();
+    params.coinbase_maturity = 5;
+    return params;
+}
+
+workload::GeneratorOptions cli_gen_options(std::uint64_t seed) {
+    workload::GeneratorOptions options;
+    options.seed = seed;
+    options.params = cli_params();
+    options.schedule = workload::EraSchedule::bitcoin_mainnet();
+    options.height_scale = 1000.0;
+    options.intensity = 0.2;
+    return options;
+}
+
+int cmd_generate(const std::string& path, std::uint32_t blocks, std::uint64_t seed) {
+    workload::ChainGenerator generator(cli_gen_options(seed));
+    storage::FlatStore<chain::Block> store(path);
+    if (store.count() != 0) {
+        std::fprintf(stderr, "refusing to append to non-empty %s\n", path.c_str());
+        return 1;
+    }
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        store.append(generator.next_block());
+        if ((i + 1) % 100 == 0) std::fprintf(stderr, "  %u/%u blocks\n", i + 1, blocks);
+    }
+    store.sync();
+    std::printf("wrote %u blocks to %s (utxo pool: %zu)\n", blocks, path.c_str(),
+                generator.utxo_pool_size());
+    return 0;
+}
+
+int cmd_convert(const std::string& in_path, const std::string& out_path) {
+    storage::FlatStore<chain::Block> in(in_path);
+    storage::FlatStore<core::EbvBlock> out(out_path);
+    if (out.count() != 0) {
+        std::fprintf(stderr, "refusing to append to non-empty %s\n", out_path.c_str());
+        return 1;
+    }
+    intermediary::Converter converter;
+    for (std::uint32_t h = 0; h < in.count(); ++h) {
+        const auto block = in.load(h);
+        if (!block) return 1;
+        auto converted = converter.convert_block(*block);
+        if (!converted) {
+            std::fprintf(stderr, "conversion failed at %u: %s\n", h,
+                         to_string(converted.error()));
+            return 1;
+        }
+        out.append(*converted);
+    }
+    out.sync();
+    std::printf("converted %u blocks: %.1f KB bitcoin -> %.1f KB ebv (+%.1f%% proof data)\n",
+                in.count(), converter.stats().bitcoin_bytes / 1024.0,
+                converter.stats().ebv_bytes / 1024.0,
+                100.0 * (static_cast<double>(converter.stats().ebv_bytes) /
+                             static_cast<double>(converter.stats().bitcoin_bytes) -
+                         1.0));
+    return 0;
+}
+
+int cmd_validate(const std::string& path) {
+    storage::FlatStore<chain::Block> store(path);
+    chain::BitcoinNodeOptions options;
+    options.params = cli_params();
+    chain::BitcoinNode node(options);
+
+    chain::BlockTimings total{};
+    for (std::uint32_t h = 0; h < store.count(); ++h) {
+        const auto block = store.load(h);
+        if (!block) return 1;
+        auto r = node.submit_block(*block);
+        if (!r) {
+            std::fprintf(stderr, "block %u rejected: %s\n", h,
+                         r.error().describe().c_str());
+            return 1;
+        }
+        total += *r;
+    }
+    std::printf("baseline IBD of %u blocks OK: %zu inputs\n", store.count(),
+                total.inputs);
+    std::printf("  DBO %.1f ms, SV %.1f ms, others %.1f ms\n",
+                util::to_ms(total.dbo.total_ns()), util::to_ms(total.sv.total_ns()),
+                util::to_ms(total.other.total_ns()));
+    std::printf("  final UTXO set: %llu entries, %llu bytes\n",
+                static_cast<unsigned long long>(node.utxo().size()),
+                static_cast<unsigned long long>(node.status_payload_bytes()));
+    return 0;
+}
+
+int cmd_validate_ebv(const std::string& path) {
+    storage::FlatStore<core::EbvBlock> store(path);
+    core::EbvNodeOptions options;
+    options.params = cli_params();
+    core::EbvNode node(options);
+
+    core::EbvTimings total{};
+    for (std::uint32_t h = 0; h < store.count(); ++h) {
+        const auto block = store.load(h);
+        if (!block) return 1;
+        auto r = node.submit_block(*block);
+        if (!r) {
+            std::fprintf(stderr, "block %u rejected: %s\n", h,
+                         r.error().describe().c_str());
+            return 1;
+        }
+        total += *r;
+    }
+    std::printf("EBV IBD of %u blocks OK: %zu inputs\n", store.count(), total.inputs);
+    std::printf("  EV %.2f ms, UV %.2f ms, SV %.1f ms, others %.2f ms\n",
+                util::to_ms(total.ev.total_ns()), util::to_ms(total.uv.total_ns()),
+                util::to_ms(total.sv.total_ns()),
+                util::to_ms(total.others_combined().total_ns()));
+    std::printf("  status memory: %zu bytes of bit-vectors (%zu vectors)\n",
+                node.status_memory_bytes(), node.status().vector_count());
+    return 0;
+}
+
+int cmd_compare(const std::string& btc_path, const std::string& ebv_path) {
+    std::printf("== baseline ==\n");
+    if (const int rc = cmd_validate(btc_path); rc != 0) return rc;
+    std::printf("\n== EBV ==\n");
+    return cmd_validate_ebv(ebv_path);
+}
+
+int cmd_info(const std::string& path) {
+    // Try Bitcoin format first, then EBV.
+    {
+        storage::FlatStore<chain::Block> store(path);
+        if (store.count() > 0 && store.load(0).has_value()) {
+            std::uint64_t txs = 0, inputs = 0, outputs = 0, bytes = 0;
+            for (std::uint32_t h = 0; h < store.count(); ++h) {
+                const auto block = *store.load(h);
+                txs += block.txs.size();
+                inputs += block.input_count();
+                outputs += block.output_count();
+                bytes += block.serialized_size();
+            }
+            std::printf("bitcoin-format chain: %u blocks, %llu txs, %llu inputs, "
+                        "%llu outputs, %.1f KB\n",
+                        store.count(), static_cast<unsigned long long>(txs),
+                        static_cast<unsigned long long>(inputs),
+                        static_cast<unsigned long long>(outputs), bytes / 1024.0);
+            return 0;
+        }
+    }
+    storage::FlatStore<core::EbvBlock> store(path);
+    std::uint64_t txs = 0, inputs = 0, bytes = 0;
+    for (std::uint32_t h = 0; h < store.count(); ++h) {
+        const auto block = store.load(h);
+        if (!block) break;
+        txs += block->txs.size();
+        inputs += block->input_count();
+        bytes += block->serialized_size();
+    }
+    std::printf("ebv-format chain: %u blocks, %llu txs, %llu inputs, %.1f KB\n",
+                store.count(), static_cast<unsigned long long>(txs),
+                static_cast<unsigned long long>(inputs), bytes / 1024.0);
+    return 0;
+}
+
+int cmd_address(const std::string& arg) {
+    crypto::PrivateKey key;
+    if (arg == "random") {
+        util::Rng rng(static_cast<std::uint64_t>(::getpid()) * 2654435761u);
+        key = crypto::PrivateKey::generate(rng);
+        std::uint8_t secret[32];
+        key.secret().to_be_bytes(secret);
+        std::printf("privkey: %s\n", util::hex_encode({secret, 32}).c_str());
+    } else {
+        const auto bytes = util::hex_decode(arg);
+        if (!bytes || bytes->size() != 32) {
+            std::fprintf(stderr, "expected 64 hex chars or 'random'\n");
+            return 1;
+        }
+        auto parsed = crypto::PrivateKey::from_bytes(*bytes);
+        if (!parsed) {
+            std::fprintf(stderr, "private key out of range\n");
+            return 1;
+        }
+        key = *parsed;
+    }
+    const auto pub = key.public_key();
+    std::printf("pubkey:  %s\n", util::hex_encode(pub.serialize()).c_str());
+    std::printf("address: %s\n",
+                crypto::base58check_encode(crypto::kP2pkhVersion, pub.id().span()).c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+
+    if (command == "generate" && argc >= 3) {
+        const auto blocks = argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 200;
+        const auto seed = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+        return cmd_generate(argv[2], static_cast<std::uint32_t>(blocks), seed);
+    }
+    if (command == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
+    if (command == "validate" && argc >= 3) return cmd_validate(argv[2]);
+    if (command == "validate-ebv" && argc >= 3) return cmd_validate_ebv(argv[2]);
+    if (command == "compare" && argc >= 4) return cmd_compare(argv[2], argv[3]);
+    if (command == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (command == "address" && argc >= 3) return cmd_address(argv[2]);
+    return usage();
+}

@@ -1,0 +1,50 @@
+// Gossip-propagation demo: how per-hop validation latency shapes block
+// propagation across a wide-area gossip network — the mechanism by which
+// slow validation raises fork risk (paper §I and §VI-E).
+//
+//   $ ./examples/propagation_network
+#include <cstdio>
+
+#include "netsim/gossip.hpp"
+#include "util/rng.hpp"
+
+using namespace ebv;
+
+int main() {
+    netsim::GossipOptions options;
+    options.node_count = 20;
+    options.neighbors_per_node = 2;
+    options.block_bytes = 1'200'000;  // ~1.2 MB block
+
+    netsim::GossipNetwork network(options);
+
+    std::printf("topology: %zu nodes across 5 regions, %zu gossip neighbours each\n\n",
+                options.node_count, options.neighbors_per_node);
+    for (std::size_t i = 0; i < options.node_count; ++i) {
+        std::printf("  node %2zu (region %d): neighbours", i,
+                    static_cast<int>(network.region_of(i)));
+        for (std::size_t n : network.neighbors_of(i)) std::printf(" %zu", n);
+        std::printf("\n");
+    }
+
+    std::printf("\npropagation of one block under different per-hop validation delays:\n");
+    std::printf("%-22s %12s %12s %12s\n", "validation-per-hop", "50%-ms", "90%-ms",
+                "100%-ms");
+
+    for (const double validation_s : {0.0, 0.3, 1.0, 5.0, 14.0}) {
+        const auto delay_ns = static_cast<netsim::SimTime>(validation_s * 1e9);
+        const auto result =
+            network.propagate(0, [&](std::size_t) { return delay_ns; });
+        auto ms = [](netsim::SimTime t) { return static_cast<double>(t) / 1e6; };
+        char label[32];
+        std::snprintf(label, sizeof label, "%.1f s", validation_s);
+        std::printf("%-22s %12.0f %12.0f %12.0f\n", label,
+                    ms(result.time_to_fraction(0.5)), ms(result.time_to_fraction(0.9)),
+                    ms(result.time_to_all()));
+    }
+
+    std::printf("\nreading: the paper's worst baseline block took ~14 s to validate;\n"
+                "at that speed propagation is dominated by validation, which is what\n"
+                "EBV removes (sub-second per hop).\n");
+    return 0;
+}

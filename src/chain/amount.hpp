@@ -1,0 +1,19 @@
+// Monetary amounts in the smallest unit (satoshi-like), with the range
+// sanity check every consensus path applies.
+#pragma once
+
+#include <cstdint>
+
+namespace ebv::chain {
+
+using Amount = std::int64_t;
+
+inline constexpr Amount kCoin = 100'000'000;
+/// 21 million coins, the hard supply cap.
+inline constexpr Amount kMaxMoney = 21'000'000 * kCoin;
+
+[[nodiscard]] inline constexpr bool money_range(Amount value) {
+    return value >= 0 && value <= kMaxMoney;
+}
+
+}  // namespace ebv::chain

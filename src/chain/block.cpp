@@ -1,0 +1,103 @@
+#include "chain/block.hpp"
+
+namespace ebv::chain {
+
+void BlockHeader::serialize(util::Writer& w) const {
+    w.u32(version);
+    w.bytes(prev_hash.span());
+    w.bytes(merkle_root.span());
+    w.u32(time);
+    w.u32(bits);
+    w.u32(nonce);
+}
+
+util::Result<BlockHeader, util::DecodeError> BlockHeader::deserialize(util::Reader& r) {
+    BlockHeader h;
+    auto version = r.u32();
+    if (!version) return util::Unexpected{version.error()};
+    h.version = *version;
+
+    auto prev = r.bytes(32);
+    if (!prev) return util::Unexpected{prev.error()};
+    h.prev_hash = crypto::Hash256::from_span(*prev);
+
+    auto root = r.bytes(32);
+    if (!root) return util::Unexpected{root.error()};
+    h.merkle_root = crypto::Hash256::from_span(*root);
+
+    auto time = r.u32();
+    if (!time) return util::Unexpected{time.error()};
+    h.time = *time;
+
+    auto bits = r.u32();
+    if (!bits) return util::Unexpected{bits.error()};
+    h.bits = *bits;
+
+    auto nonce = r.u32();
+    if (!nonce) return util::Unexpected{nonce.error()};
+    h.nonce = *nonce;
+    return h;
+}
+
+crypto::Hash256 BlockHeader::hash() const {
+    util::Writer w(kSerializedSize);
+    serialize(w);
+    return crypto::hash256(w.data());
+}
+
+void Block::serialize(util::Writer& w) const {
+    header.serialize(w);
+    w.compact_size(txs.size());
+    for (const Transaction& tx : txs) tx.serialize(w);
+}
+
+util::Result<Block, util::DecodeError> Block::deserialize(util::Reader& r) {
+    Block block;
+    auto header = BlockHeader::deserialize(r);
+    if (!header) return util::Unexpected{header.error()};
+    block.header = *header;
+
+    auto count = r.compact_size();
+    if (!count) return util::Unexpected{count.error()};
+    if (*count > (1u << 20)) return util::Unexpected{util::DecodeError::kOversizedField};
+    block.txs.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        auto tx = Transaction::deserialize(r);
+        if (!tx) return util::Unexpected{tx.error()};
+        block.txs.push_back(std::move(*tx));
+    }
+    return block;
+}
+
+std::vector<crypto::Hash256> Block::merkle_leaves() const {
+    std::vector<crypto::Hash256> leaves;
+    leaves.reserve(txs.size());
+    for (const Transaction& tx : txs) leaves.push_back(tx.txid());
+    return leaves;
+}
+
+crypto::Hash256 Block::compute_merkle_root() const {
+    return crypto::merkle_root(merkle_leaves());
+}
+
+std::size_t Block::serialized_size() const {
+    util::Writer w;
+    serialize(w);
+    return w.size();
+}
+
+std::size_t Block::input_count() const {
+    std::size_t count = 0;
+    for (const Transaction& tx : txs) {
+        if (!tx.is_coinbase()) count += tx.vin.size();
+    }
+    return count;
+}
+
+std::size_t Block::output_count() const {
+    std::size_t count = 0;
+    for (const Transaction& tx : txs) count += tx.vout.size();
+    return count;
+}
+
+}  // namespace ebv::chain

@@ -1,0 +1,51 @@
+// Block headers and blocks. Headers chain by previous-hash; the Merkle root
+// commits to the transaction set (txids as leaves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "crypto/merkle.hpp"
+
+namespace ebv::chain {
+
+struct BlockHeader {
+    std::uint32_t version = 1;
+    crypto::Hash256 prev_hash;
+    crypto::Hash256 merkle_root;
+    std::uint32_t time = 0;
+    std::uint32_t bits = 0x207fffff;  ///< compact difficulty target
+    std::uint32_t nonce = 0;
+
+    void serialize(util::Writer& w) const;
+    static util::Result<BlockHeader, util::DecodeError> deserialize(util::Reader& r);
+
+    /// double-SHA256 of the 80-byte serialization.
+    [[nodiscard]] crypto::Hash256 hash() const;
+
+    static constexpr std::size_t kSerializedSize = 80;
+
+    friend bool operator==(const BlockHeader&, const BlockHeader&) = default;
+};
+
+struct Block {
+    BlockHeader header;
+    std::vector<Transaction> txs;
+
+    void serialize(util::Writer& w) const;
+    static util::Result<Block, util::DecodeError> deserialize(util::Reader& r);
+
+    /// Merkle root over the txids, in block order.
+    [[nodiscard]] crypto::Hash256 compute_merkle_root() const;
+    /// The leaf list the root is computed over (needed to build branches).
+    [[nodiscard]] std::vector<crypto::Hash256> merkle_leaves() const;
+
+    [[nodiscard]] std::size_t serialized_size() const;
+    /// Number of non-coinbase inputs (the paper's per-block "input count").
+    [[nodiscard]] std::size_t input_count() const;
+    /// Total outputs across all transactions (the EBV bit-vector length).
+    [[nodiscard]] std::size_t output_count() const;
+};
+
+}  // namespace ebv::chain

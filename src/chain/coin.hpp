@@ -1,0 +1,50 @@
+// A Coin is one unspent output as stored in the baseline status database:
+// the value of a UTXO-set entry (the key is the outpoint).
+#pragma once
+
+#include <cstdint>
+
+#include "chain/amount.hpp"
+#include "script/script.hpp"
+#include "util/serialize.hpp"
+
+namespace ebv::chain {
+
+struct Coin {
+    Amount value = 0;
+    std::uint32_t height = 0;   ///< block that created the output
+    bool coinbase = false;      ///< subject to maturity if true
+    script::Script lock_script; ///< Ls, needed for SV
+
+    void serialize(util::Writer& w) const {
+        w.i64(value);
+        // Pack height and the coinbase flag like Bitcoin Core does.
+        w.u32(height << 1 | (coinbase ? 1 : 0));
+        w.var_bytes(lock_script);
+    }
+
+    static util::Result<Coin, util::DecodeError> deserialize(util::Reader& r) {
+        Coin coin;
+        auto value = r.i64();
+        if (!value) return util::Unexpected{value.error()};
+        coin.value = *value;
+        auto packed = r.u32();
+        if (!packed) return util::Unexpected{packed.error()};
+        coin.height = *packed >> 1;
+        coin.coinbase = (*packed & 1) != 0;
+        auto script = r.var_bytes(1 << 16);
+        if (!script) return util::Unexpected{script.error()};
+        coin.lock_script = std::move(*script);
+        return coin;
+    }
+
+    [[nodiscard]] util::Bytes encode() const {
+        util::Writer w(16 + lock_script.size());
+        serialize(w);
+        return w.take();
+    }
+
+    friend bool operator==(const Coin&, const Coin&) = default;
+};
+
+}  // namespace ebv::chain

@@ -1,0 +1,60 @@
+#include "chain/miner.hpp"
+
+#include "script/script.hpp"
+
+namespace ebv::chain {
+
+bool check_pow(const BlockHeader& header, unsigned leading_zero_bits) {
+    if (leading_zero_bits == 0) return true;
+    const crypto::Hash256 hash = header.hash();
+    unsigned zeros = 0;
+    // Count from the display-order top (last bytes of the little-endian
+    // internal representation).
+    for (int i = 31; i >= 0 && zeros < leading_zero_bits; --i) {
+        const std::uint8_t b = hash.bytes()[static_cast<std::size_t>(i)];
+        if (b == 0) {
+            zeros += 8;
+            continue;
+        }
+        for (int bit = 7; bit >= 0; --bit) {
+            if (b & (1 << bit)) return zeros >= leading_zero_bits;
+            ++zeros;
+        }
+    }
+    return zeros >= leading_zero_bits;
+}
+
+Transaction make_coinbase(std::uint32_t height, Amount reward,
+                          const script::Script& lock_script, std::uint32_t extra_nonce) {
+    Transaction tx;
+    tx.vin.push_back(TxIn{OutPoint::null(),
+                          script::ScriptBuilder()
+                              .push_int(static_cast<std::int64_t>(height))
+                              .push_int(static_cast<std::int64_t>(extra_nonce))
+                              .take(),
+                          0xffffffff});
+    tx.vout.push_back(TxOut{reward, lock_script});
+    return tx;
+}
+
+Block assemble_block(const crypto::Hash256& prev_hash, Transaction coinbase,
+                     std::vector<Transaction> txs, std::uint32_t time,
+                     const MinerOptions& options) {
+    Block block;
+    block.txs.reserve(1 + txs.size());
+    block.txs.push_back(std::move(coinbase));
+    for (auto& tx : txs) block.txs.push_back(std::move(tx));
+
+    block.header.prev_hash = prev_hash;
+    block.header.merkle_root = block.compute_merkle_root();
+    block.header.time = time;
+
+    if (options.pow_leading_zero_bits > 0) {
+        while (!check_pow(block.header, options.pow_leading_zero_bits)) {
+            ++block.header.nonce;
+        }
+    }
+    return block;
+}
+
+}  // namespace ebv::chain

@@ -1,0 +1,52 @@
+// An outpoint names one output of one transaction: (txid, output index).
+// Its 36-byte serialization is the key of the baseline UTXO set.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "crypto/hash_types.hpp"
+#include "util/serialize.hpp"
+
+namespace ebv::chain {
+
+struct OutPoint {
+    crypto::Hash256 txid;
+    std::uint32_t index = 0;
+
+    static constexpr std::uint32_t kNullIndex = 0xffffffff;
+
+    /// The coinbase input's placeholder prevout.
+    [[nodiscard]] bool is_null() const { return txid.is_zero() && index == kNullIndex; }
+    static OutPoint null() { return OutPoint{crypto::Hash256{}, kNullIndex}; }
+
+    void serialize(util::Writer& w) const {
+        w.bytes(txid.span());
+        w.u32(index);
+    }
+
+    static util::Result<OutPoint, util::DecodeError> deserialize(util::Reader& r) {
+        auto hash_bytes = r.bytes(32);
+        if (!hash_bytes) return util::Unexpected{hash_bytes.error()};
+        auto idx = r.u32();
+        if (!idx) return util::Unexpected{idx.error()};
+        return OutPoint{crypto::Hash256::from_span(*hash_bytes), *idx};
+    }
+
+    /// The database key for this outpoint.
+    [[nodiscard]] util::Bytes key() const {
+        util::Writer w(36);
+        serialize(w);
+        return w.take();
+    }
+
+    friend auto operator<=>(const OutPoint&, const OutPoint&) = default;
+};
+
+struct OutPointHasher {
+    std::size_t operator()(const OutPoint& o) const {
+        return crypto::Hash256Hasher{}(o.txid) ^ (static_cast<std::size_t>(o.index) << 1);
+    }
+};
+
+}  // namespace ebv::chain

@@ -1,0 +1,109 @@
+#include "chain/pow.hpp"
+
+namespace ebv::chain {
+
+std::optional<crypto::U256> expand_compact_target(std::uint32_t bits) {
+    const std::uint32_t exponent = bits >> 24;
+    std::uint32_t mantissa = bits & 0x007fffff;
+    if (bits & 0x00800000) return std::nullopt;  // negative
+    if (mantissa == 0) return crypto::U256::zero();
+
+    crypto::U256 target;
+    if (exponent <= 3) {
+        mantissa >>= 8 * (3 - exponent);
+        target.limbs[0] = mantissa;
+        return target;
+    }
+
+    // target = mantissa * 256^(exponent - 3); reject overflow past 256 bits.
+    const std::uint32_t shift_bytes = exponent - 3;
+    if (shift_bytes > 29) return std::nullopt;
+    const std::uint32_t shift_bits = shift_bytes * 8;
+    const std::uint32_t limb = shift_bits / 64;
+    const std::uint32_t offset = shift_bits % 64;
+    target.limbs[limb] = static_cast<std::uint64_t>(mantissa) << offset;
+    if (offset > 40 && limb + 1 < 4) {
+        target.limbs[limb + 1] = static_cast<std::uint64_t>(mantissa) >> (64 - offset);
+    }
+    // Overflow check: mantissa bits spilling past limb 3.
+    if (offset > 40 && limb == 3 &&
+        (static_cast<std::uint64_t>(mantissa) >> (64 - offset)) != 0) {
+        return std::nullopt;
+    }
+    return target;
+}
+
+std::uint32_t compact_from_target(const crypto::U256& target) {
+    // Size = number of significant bytes.
+    int size = 32;
+    while (size > 0) {
+        const int byte_index = size - 1;
+        const std::uint64_t limb = target.limbs[byte_index / 8];
+        if ((limb >> ((byte_index % 8) * 8)) & 0xff) break;
+        --size;
+    }
+    if (size == 0) return 0;
+
+    auto byte_at = [&](int index) -> std::uint32_t {
+        if (index < 0 || index >= 32) return 0;
+        return static_cast<std::uint32_t>(
+            (target.limbs[index / 8] >> ((index % 8) * 8)) & 0xff);
+    };
+
+    std::uint32_t mantissa =
+        byte_at(size - 1) << 16 | byte_at(size - 2) << 8 | byte_at(size - 3);
+    // If the top bit would read as a sign, shift the mantissa down a byte.
+    if (mantissa & 0x00800000) {
+        mantissa >>= 8;
+        ++size;
+    }
+    return (static_cast<std::uint32_t>(size) << 24) | mantissa;
+}
+
+bool check_proof_of_work(const BlockHeader& header) {
+    const auto target = expand_compact_target(header.bits);
+    if (!target || target->is_zero()) return false;
+
+    // The header hash interpreted as a little-endian 256-bit integer uses
+    // the display (reversed) byte order for comparison.
+    const crypto::Hash256 hash = header.hash();
+    crypto::U256 value;
+    for (int i = 0; i < 32; ++i) {
+        value.limbs[i / 8] |= static_cast<std::uint64_t>(hash.bytes()[i]) << ((i % 8) * 8);
+    }
+    return crypto::u256_less_equal(value, *target);
+}
+
+crypto::U256 retarget(const crypto::U256& previous_target,
+                      std::uint32_t actual_timespan_seconds,
+                      std::uint32_t expected_timespan_seconds) {
+    // Clamp to [expected/4, expected*4], like Bitcoin.
+    std::uint32_t timespan = actual_timespan_seconds;
+    if (timespan < expected_timespan_seconds / 4) timespan = expected_timespan_seconds / 4;
+    if (timespan > expected_timespan_seconds * 4) timespan = expected_timespan_seconds * 4;
+
+    // new = previous * timespan / expected, in 512-bit intermediate space.
+    std::uint64_t wide[8];
+    crypto::u256_mul_wide(previous_target, crypto::U256::from_u64(timespan), wide);
+
+    // Long division of the 512-bit value by `expected` (64-bit divisor).
+    crypto::U256 result;
+    unsigned __int128 remainder = 0;
+    for (int limb = 7; limb >= 0; --limb) {
+        const unsigned __int128 cur = (remainder << 64) | wide[limb];
+        const std::uint64_t q = static_cast<std::uint64_t>(cur / expected_timespan_seconds);
+        remainder = cur % expected_timespan_seconds;
+        if (limb < 4) {
+            result.limbs[limb] = q;
+        }
+        // Quotient bits above 256 are clamped to max target by the caller's
+        // consensus rules; here we saturate.
+        else if (q != 0) {
+            for (auto& l : result.limbs) l = ~0ULL;
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace ebv::chain

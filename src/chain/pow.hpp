@@ -1,0 +1,32 @@
+// Proof-of-work target handling: Bitcoin's compact "nBits" encoding, target
+// comparison, and difficulty retargeting. The experiments never grind real
+// work (the threat model's PoW assumptions are orthogonal to validation
+// speed), but the consensus rules are implemented so headers carry honest
+// difficulty semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/block.hpp"
+#include "crypto/u256.hpp"
+
+namespace ebv::chain {
+
+/// Expand compact nBits into a 256-bit target. Returns nullopt for
+/// negative/overflowing encodings (consensus-invalid).
+std::optional<crypto::U256> expand_compact_target(std::uint32_t bits);
+
+/// Compress a target into compact form (inverse of expand, canonical).
+std::uint32_t compact_from_target(const crypto::U256& target);
+
+/// Does the header hash meet its own declared target?
+[[nodiscard]] bool check_proof_of_work(const BlockHeader& header);
+
+/// Next-period target from the previous target and the actual timespan of
+/// the closing period (Bitcoin's clamp-to-[expected/4, expected*4] rule).
+crypto::U256 retarget(const crypto::U256& previous_target,
+                      std::uint32_t actual_timespan_seconds,
+                      std::uint32_t expected_timespan_seconds);
+
+}  // namespace ebv::chain

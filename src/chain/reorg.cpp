@@ -1,0 +1,82 @@
+#include "chain/reorg.hpp"
+
+#include "util/assert.hpp"
+
+namespace ebv::chain {
+
+const char* to_string(ReorgError e) {
+    switch (e) {
+        case ReorgError::kNeedsBlockStore: return "node has no block/undo store";
+        case ReorgError::kUnknownForkPoint: return "branch does not attach to the chain";
+        case ReorgError::kBranchNotLonger: return "branch is not longer than the chain";
+        case ReorgError::kRollbackFailed: return "rollback failed";
+    }
+    return "unknown reorg error";
+}
+
+util::Result<ReorgOutcome, ReorgError> reorg_to(BitcoinNode& node,
+                                                const std::vector<Block>& branch) {
+    if (node.block_store() == nullptr) return util::Unexpected{ReorgError::kNeedsBlockStore};
+    if (branch.empty()) return util::Unexpected{ReorgError::kBranchNotLonger};
+
+    // Locate the fork point. A zero prev-hash attaches before genesis.
+    const crypto::Hash256& attach = branch[0].header.prev_hash;
+    std::uint32_t fork_height_plus_1 = 0;  // first height to be replaced
+    if (!attach.is_zero()) {
+        const auto found = node.headers().find(attach);
+        if (!found) return util::Unexpected{ReorgError::kUnknownForkPoint};
+        fork_height_plus_1 = *found + 1;
+    }
+
+    const std::uint32_t current_height = node.next_height();
+    const std::uint32_t branch_tip = fork_height_plus_1 +
+                                     static_cast<std::uint32_t>(branch.size());
+    if (branch_tip <= current_height) return util::Unexpected{ReorgError::kBranchNotLonger};
+
+    // Save the suffix being replaced so a bad branch can be rolled back.
+    std::vector<Block> original;
+    original.reserve(current_height - fork_height_plus_1);
+    for (std::uint32_t h = fork_height_plus_1; h < current_height; ++h) {
+        auto block = node.block_store()->load(h);
+        EBV_ASSERT(block.has_value());
+        original.push_back(std::move(*block));
+    }
+
+    ReorgOutcome outcome;
+    outcome.fork_height = fork_height_plus_1 == 0 ? 0 : fork_height_plus_1 - 1;
+
+    // Disconnect down to the fork point.
+    while (node.next_height() > fork_height_plus_1) {
+        const bool ok = node.disconnect_tip();
+        EBV_ASSERT(ok);
+        ++outcome.blocks_disconnected;
+    }
+
+    // Connect the branch; on failure, unwind and restore the original.
+    for (const Block& block : branch) {
+        auto result = node.submit_block(block);
+        if (result) {
+            ++outcome.blocks_connected;
+            continue;
+        }
+        outcome.branch_failure = result.error();
+
+        while (node.next_height() > fork_height_plus_1) {
+            if (!node.disconnect_tip()) return util::Unexpected{ReorgError::kRollbackFailed};
+        }
+        for (const Block& old_block : original) {
+            if (!node.submit_block(old_block)) {
+                return util::Unexpected{ReorgError::kRollbackFailed};
+            }
+        }
+        outcome.blocks_disconnected = 0;
+        outcome.blocks_connected = 0;
+        outcome.switched = false;
+        return outcome;
+    }
+
+    outcome.switched = true;
+    return outcome;
+}
+
+}  // namespace ebv::chain

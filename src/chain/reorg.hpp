@@ -1,0 +1,42 @@
+// Branch switching for the baseline node: atomically replace the chain's
+// suffix with a longer competing branch, rolling back to the original
+// branch if any block of the replacement fails validation. Builds on the
+// undo/disconnect machinery; fork choice is longest-chain (all simulated
+// blocks carry equal difficulty).
+#pragma once
+
+#include <vector>
+
+#include "chain/node.hpp"
+#include "util/result.hpp"
+
+namespace ebv::chain {
+
+enum class ReorgError {
+    kNeedsBlockStore,   ///< node wasn't configured with keep_blocks
+    kUnknownForkPoint,  ///< branch[0] doesn't attach to any known header
+    kBranchNotLonger,   ///< replacement must strictly exceed the current tip
+    kRollbackFailed,    ///< invariant failure while restoring (should not happen)
+};
+
+[[nodiscard]] const char* to_string(ReorgError e);
+
+struct ReorgOutcome {
+    /// Height of the last common block (the fork point).
+    std::uint32_t fork_height = 0;
+    std::uint32_t blocks_disconnected = 0;
+    std::uint32_t blocks_connected = 0;
+    /// False if the branch was invalid and the original chain was restored.
+    bool switched = false;
+    /// The rejection that stopped the branch (valid when !switched).
+    ValidationFailure branch_failure{};
+};
+
+/// Attempt to switch to `branch`, whose first block must link to a header
+/// currently in the chain. On a validation failure inside the branch the
+/// original suffix is restored and `switched == false` is returned (the
+/// call is then a no-op overall).
+util::Result<ReorgOutcome, ReorgError> reorg_to(BitcoinNode& node,
+                                                const std::vector<Block>& branch);
+
+}  // namespace ebv::chain

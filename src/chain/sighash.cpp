@@ -1,0 +1,62 @@
+#include "chain/sighash.hpp"
+
+#include "crypto/ecdsa.hpp"
+#include "util/assert.hpp"
+
+namespace ebv::chain {
+
+crypto::Hash256 signature_hash(const Transaction& tx, std::size_t input_index,
+                               util::ByteSpan script_code, SigHashType type) {
+    EBV_EXPECTS(input_index < tx.vin.size());
+
+    util::Writer w;
+    w.u32(tx.version);
+    w.compact_size(tx.vin.size());
+    for (std::size_t i = 0; i < tx.vin.size(); ++i) {
+        tx.vin[i].prevout.serialize(w);
+        if (i == input_index) {
+            w.var_bytes(script_code);
+        } else {
+            w.compact_size(0);  // blanked script
+        }
+        w.u32(tx.vin[i].sequence);
+    }
+    w.compact_size(tx.vout.size());
+    for (const TxOut& out : tx.vout) {
+        w.i64(out.value);
+        w.var_bytes(out.lock_script);
+    }
+    w.u32(tx.locktime);
+    w.u32(type);
+
+    return crypto::hash256(w.data());
+}
+
+util::Bytes sign_input(const Transaction& tx, std::size_t input_index,
+                       util::ByteSpan script_code, const crypto::PrivateKey& key,
+                       SigHashType type) {
+    const crypto::Hash256 digest = signature_hash(tx, input_index, script_code, type);
+    util::Bytes sig = key.sign(digest).to_der();
+    sig.push_back(static_cast<std::uint8_t>(type));
+    return sig;
+}
+
+bool TransactionSignatureChecker::check_signature(util::ByteSpan signature,
+                                                  util::ByteSpan pubkey,
+                                                  util::ByteSpan script_code) const {
+    if (signature.empty()) return false;
+
+    const auto hash_type = static_cast<SigHashType>(signature.back());
+    if (hash_type != kSigHashAll) return false;
+
+    const auto sig = crypto::Signature::from_der(signature.first(signature.size() - 1));
+    if (!sig) return false;
+
+    const auto key = crypto::PublicKey::parse(pubkey);
+    if (!key) return false;
+
+    const crypto::Hash256 digest = signature_hash(tx_, input_index_, script_code, hash_type);
+    return key->verify(digest, *sig);
+}
+
+}  // namespace ebv::chain

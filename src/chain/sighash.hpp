@@ -1,0 +1,41 @@
+// Legacy signature-hash computation and the SignatureChecker the script VM
+// uses when validating Bitcoin-style transactions.
+#pragma once
+
+#include "chain/transaction.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/hash_types.hpp"
+#include "script/interpreter.hpp"
+
+namespace ebv::chain {
+
+enum SigHashType : std::uint8_t {
+    kSigHashAll = 0x01,
+};
+
+/// The digest a signature over input `input_index` commits to: the
+/// transaction with every input script blanked except this one, which
+/// carries `script_code`, plus the 4-byte hash type.
+crypto::Hash256 signature_hash(const Transaction& tx, std::size_t input_index,
+                               util::ByteSpan script_code, SigHashType type);
+
+/// Convenience: sign an input and return DER || hashtype byte, ready to be
+/// pushed by an unlocking script.
+util::Bytes sign_input(const Transaction& tx, std::size_t input_index,
+                       util::ByteSpan script_code, const crypto::PrivateKey& key,
+                       SigHashType type = kSigHashAll);
+
+class TransactionSignatureChecker final : public script::SignatureChecker {
+public:
+    TransactionSignatureChecker(const Transaction& tx, std::size_t input_index)
+        : tx_(tx), input_index_(input_index) {}
+
+    [[nodiscard]] bool check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
+                                       util::ByteSpan script_code) const override;
+
+private:
+    const Transaction& tx_;
+    std::size_t input_index_;
+};
+
+}  // namespace ebv::chain

@@ -1,0 +1,99 @@
+#include "chain/transaction.hpp"
+
+namespace ebv::chain {
+
+namespace {
+
+// Sanity caps for deserialization of hostile inputs.
+constexpr std::size_t kMaxInputsPerTx = 1 << 16;
+constexpr std::size_t kMaxOutputsPerTx = 1 << 16;
+constexpr std::size_t kMaxScriptBytes = 1 << 16;
+
+}  // namespace
+
+void Transaction::serialize(util::Writer& w) const {
+    w.u32(version);
+    w.compact_size(vin.size());
+    for (const TxIn& in : vin) {
+        in.prevout.serialize(w);
+        w.var_bytes(in.unlock_script);
+        w.u32(in.sequence);
+    }
+    w.compact_size(vout.size());
+    for (const TxOut& out : vout) {
+        w.i64(out.value);
+        w.var_bytes(out.lock_script);
+    }
+    w.u32(locktime);
+}
+
+util::Result<Transaction, util::DecodeError> Transaction::deserialize(util::Reader& r) {
+    Transaction tx;
+
+    auto version = r.u32();
+    if (!version) return util::Unexpected{version.error()};
+    tx.version = *version;
+
+    auto in_count = r.compact_size();
+    if (!in_count) return util::Unexpected{in_count.error()};
+    if (*in_count > kMaxInputsPerTx) return util::Unexpected{util::DecodeError::kOversizedField};
+    tx.vin.reserve(static_cast<std::size_t>(*in_count));
+    for (std::uint64_t i = 0; i < *in_count; ++i) {
+        TxIn in;
+        auto prevout = OutPoint::deserialize(r);
+        if (!prevout) return util::Unexpected{prevout.error()};
+        in.prevout = *prevout;
+        auto script = r.var_bytes(kMaxScriptBytes);
+        if (!script) return util::Unexpected{script.error()};
+        in.unlock_script = std::move(*script);
+        auto sequence = r.u32();
+        if (!sequence) return util::Unexpected{sequence.error()};
+        in.sequence = *sequence;
+        tx.vin.push_back(std::move(in));
+    }
+
+    auto out_count = r.compact_size();
+    if (!out_count) return util::Unexpected{out_count.error()};
+    if (*out_count > kMaxOutputsPerTx)
+        return util::Unexpected{util::DecodeError::kOversizedField};
+    tx.vout.reserve(static_cast<std::size_t>(*out_count));
+    for (std::uint64_t i = 0; i < *out_count; ++i) {
+        TxOut out;
+        auto value = r.i64();
+        if (!value) return util::Unexpected{value.error()};
+        out.value = *value;
+        auto script = r.var_bytes(kMaxScriptBytes);
+        if (!script) return util::Unexpected{script.error()};
+        out.lock_script = std::move(*script);
+        tx.vout.push_back(std::move(out));
+    }
+
+    auto locktime = r.u32();
+    if (!locktime) return util::Unexpected{locktime.error()};
+    tx.locktime = *locktime;
+
+    return tx;
+}
+
+const crypto::Hash256& Transaction::txid() const {
+    if (!txid_cache_) {
+        util::Writer w(serialized_size());
+        serialize(w);
+        txid_cache_ = crypto::hash256(w.data());
+    }
+    return *txid_cache_;
+}
+
+std::size_t Transaction::serialized_size() const {
+    util::Writer w;
+    serialize(w);
+    return w.size();
+}
+
+Amount Transaction::total_output_value() const {
+    Amount total = 0;
+    for (const TxOut& out : vout) total += out.value;
+    return total;
+}
+
+}  // namespace ebv::chain

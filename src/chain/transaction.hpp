@@ -1,0 +1,63 @@
+// Bitcoin-style transactions: inputs spend prior outputs via unlocking
+// scripts; outputs carry values guarded by locking scripts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/amount.hpp"
+#include "chain/outpoint.hpp"
+#include "script/script.hpp"
+#include "util/serialize.hpp"
+
+namespace ebv::chain {
+
+struct TxIn {
+    OutPoint prevout;
+    script::Script unlock_script;  ///< Us in the paper
+    std::uint32_t sequence = 0xffffffff;
+
+    friend bool operator==(const TxIn&, const TxIn&) = default;
+};
+
+struct TxOut {
+    Amount value = 0;
+    script::Script lock_script;  ///< Ls in the paper
+
+    friend bool operator==(const TxOut&, const TxOut&) = default;
+};
+
+class Transaction {
+public:
+    std::uint32_t version = 1;
+    std::vector<TxIn> vin;
+    std::vector<TxOut> vout;
+    std::uint32_t locktime = 0;
+
+    /// A coinbase mints new coins: a single input with a null prevout.
+    [[nodiscard]] bool is_coinbase() const {
+        return vin.size() == 1 && vin[0].prevout.is_null();
+    }
+
+    void serialize(util::Writer& w) const;
+    static util::Result<Transaction, util::DecodeError> deserialize(util::Reader& r);
+
+    /// double-SHA256 of the serialization; cached after first computation.
+    [[nodiscard]] const crypto::Hash256& txid() const;
+    /// Drop the cached txid after mutating the transaction.
+    void invalidate_cache() { txid_cache_.reset(); }
+
+    [[nodiscard]] std::size_t serialized_size() const;
+    [[nodiscard]] Amount total_output_value() const;
+
+    friend bool operator==(const Transaction& a, const Transaction& b) {
+        return a.version == b.version && a.vin == b.vin && a.vout == b.vout &&
+               a.locktime == b.locktime;
+    }
+
+private:
+    mutable std::optional<crypto::Hash256> txid_cache_;
+};
+
+}  // namespace ebv::chain

@@ -1,0 +1,65 @@
+// Undo data: everything needed to disconnect a connected block — the coins
+// its inputs consumed (Bitcoin Core's rev*.dat equivalent). Disconnection
+// restores those coins and deletes the block's own outputs.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/coin.hpp"
+
+namespace ebv::chain {
+
+struct TxUndo {
+    /// Spent coins in input order.
+    std::vector<Coin> spent_coins;
+
+    void serialize(util::Writer& w) const {
+        w.compact_size(spent_coins.size());
+        for (const Coin& coin : spent_coins) coin.serialize(w);
+    }
+
+    static util::Result<TxUndo, util::DecodeError> deserialize(util::Reader& r) {
+        auto count = r.compact_size();
+        if (!count) return util::Unexpected{count.error()};
+        if (*count > (1u << 16)) return util::Unexpected{util::DecodeError::kOversizedField};
+        TxUndo undo;
+        undo.spent_coins.reserve(static_cast<std::size_t>(*count));
+        for (std::uint64_t i = 0; i < *count; ++i) {
+            auto coin = Coin::deserialize(r);
+            if (!coin) return util::Unexpected{coin.error()};
+            undo.spent_coins.push_back(std::move(*coin));
+        }
+        return undo;
+    }
+
+    friend bool operator==(const TxUndo&, const TxUndo&) = default;
+};
+
+struct BlockUndo {
+    /// One entry per non-coinbase transaction, in block order.
+    std::vector<TxUndo> txs;
+
+    void serialize(util::Writer& w) const {
+        w.compact_size(txs.size());
+        for (const TxUndo& tx : txs) tx.serialize(w);
+    }
+
+    static util::Result<BlockUndo, util::DecodeError> deserialize(util::Reader& r) {
+        auto count = r.compact_size();
+        if (!count) return util::Unexpected{count.error()};
+        if (*count > (1u << 20)) return util::Unexpected{util::DecodeError::kOversizedField};
+        BlockUndo undo;
+        undo.txs.reserve(static_cast<std::size_t>(*count));
+        for (std::uint64_t i = 0; i < *count; ++i) {
+            auto tx = TxUndo::deserialize(r);
+            if (!tx) return util::Unexpected{tx.error()};
+            undo.txs.push_back(std::move(*tx));
+        }
+        return undo;
+    }
+
+    friend bool operator==(const BlockUndo&, const BlockUndo&) = default;
+};
+
+}  // namespace ebv::chain

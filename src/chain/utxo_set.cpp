@@ -1,0 +1,20 @@
+#include "chain/utxo_set.hpp"
+
+namespace ebv::chain {
+
+std::optional<Coin> UtxoSet::fetch(const OutPoint& outpoint) {
+    const auto value = db_.fetch(outpoint.key());
+    if (!value) return std::nullopt;
+    util::Reader r(*value);
+    auto coin = Coin::deserialize(r);
+    if (!coin) return std::nullopt;  // corrupt entry reads as absent
+    return *coin;
+}
+
+bool UtxoSet::spend(const OutPoint& outpoint) { return db_.erase(outpoint.key()); }
+
+void UtxoSet::add(const OutPoint& outpoint, const Coin& coin) {
+    db_.insert(outpoint.key(), coin.encode());
+}
+
+}  // namespace ebv::chain

@@ -1,0 +1,41 @@
+// The baseline node's UTXO set over an instrumented status database. The
+// three database-related operations the paper times — Fetch (❶, performing
+// EV+UV together), Delete (❸), Insert (❹) — map 1:1 onto these methods.
+#pragma once
+
+#include <optional>
+
+#include "chain/coin.hpp"
+#include "chain/outpoint.hpp"
+#include "storage/status_db.hpp"
+
+namespace ebv::chain {
+
+class UtxoSet {
+public:
+    explicit UtxoSet(storage::StatusDb& db) : db_(db) {}
+
+    /// ❶ Fetch: nullopt means the outpoint does not exist *or* was already
+    /// spent — Bitcoin cannot distinguish the two (EV+UV are fused).
+    std::optional<Coin> fetch(const OutPoint& outpoint);
+
+    /// ❸ Delete a spent entry; returns whether it existed.
+    bool spend(const OutPoint& outpoint);
+
+    /// ❹ Insert a fresh output.
+    void add(const OutPoint& outpoint, const Coin& coin);
+
+    [[nodiscard]] std::uint64_t size() const { return db_.store().size(); }
+    /// Size of the dataset a node must hold to answer fetches from memory —
+    /// the paper's Fig 1 / Fig 14 "size of the UTXO set".
+    [[nodiscard]] std::uint64_t payload_bytes() const {
+        return db_.store().payload_bytes();
+    }
+
+    [[nodiscard]] storage::StatusDb& db() { return db_; }
+
+private:
+    storage::StatusDb& db_;
+};
+
+}  // namespace ebv::chain

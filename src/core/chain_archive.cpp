@@ -1,0 +1,44 @@
+#include "core/chain_archive.hpp"
+
+#include "util/assert.hpp"
+
+namespace ebv::core {
+
+void ChainArchive::add_block(const EbvBlock& block) {
+    BlockEntry entry;
+    entry.tidies.reserve(block.txs.size());
+    entry.leaves.reserve(block.txs.size());
+    for (const auto& tx : block.txs) {
+        entry.tidies.push_back(tx.tidy());
+        entry.leaves.push_back(entry.tidies.back().leaf_hash());
+        memory_bytes_ += entry.tidies.back().serialized_size() + 32;
+    }
+    blocks_.push_back(std::move(entry));
+}
+
+const TidyTransaction& ChainArchive::tidy(std::uint32_t height,
+                                          std::uint32_t tx_index) const {
+    EBV_EXPECTS(height < blocks_.size());
+    EBV_EXPECTS(tx_index < blocks_[height].tidies.size());
+    return blocks_[height].tidies[tx_index];
+}
+
+crypto::MerkleBranch ChainArchive::branch(std::uint32_t height,
+                                          std::uint32_t tx_index) const {
+    EBV_EXPECTS(height < blocks_.size());
+    EBV_EXPECTS(tx_index < blocks_[height].leaves.size());
+    return crypto::merkle_branch(blocks_[height].leaves, tx_index);
+}
+
+EbvInput ChainArchive::make_input(std::uint32_t height, std::uint32_t tx_index,
+                                  std::uint16_t out_index) const {
+    EbvInput in;
+    in.height = height;
+    in.out_index = out_index;
+    in.els = tidy(height, tx_index);
+    EBV_EXPECTS(out_index < in.els.outputs.size());
+    in.mbr = branch(height, tx_index);
+    return in;
+}
+
+}  // namespace ebv::core

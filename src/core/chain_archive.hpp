@@ -1,0 +1,51 @@
+// Proof-source archive: the per-block tidy transactions and Merkle leaves
+// needed to *build* EBV input proofs (MBr + ELs). Validators never need
+// this — only proof producers do: the intermediary node of §VI-A and
+// wallet-style transaction proposers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ebv_transaction.hpp"
+
+namespace ebv::core {
+
+class ChainArchive {
+public:
+    /// Record a connected block (height must be sequential from 0).
+    void add_block(const EbvBlock& block);
+
+    [[nodiscard]] std::uint32_t height_count() const {
+        return static_cast<std::uint32_t>(blocks_.size());
+    }
+    [[nodiscard]] std::size_t tx_count(std::uint32_t height) const {
+        return blocks_[height].tidies.size();
+    }
+
+    [[nodiscard]] const TidyTransaction& tidy(std::uint32_t height,
+                                              std::uint32_t tx_index) const;
+
+    /// Build the Merkle branch proving tx `tx_index` of block `height`.
+    [[nodiscard]] crypto::MerkleBranch branch(std::uint32_t height,
+                                              std::uint32_t tx_index) const;
+
+    /// Assemble a complete input body spending output `out_index` of tx
+    /// `tx_index` in block `height`. The unlocking script starts empty; the
+    /// caller signs and fills it in.
+    [[nodiscard]] EbvInput make_input(std::uint32_t height, std::uint32_t tx_index,
+                                      std::uint16_t out_index) const;
+
+    /// Approximate resident size (proof producers pay this, not validators).
+    [[nodiscard]] std::size_t memory_bytes() const { return memory_bytes_; }
+
+private:
+    struct BlockEntry {
+        std::vector<TidyTransaction> tidies;
+        std::vector<crypto::Hash256> leaves;
+    };
+    std::vector<BlockEntry> blocks_;
+    std::size_t memory_bytes_ = 0;
+};
+
+}  // namespace ebv::core

@@ -1,0 +1,270 @@
+#include "core/ebv_validator.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+
+#include "chain/amount.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace ebv::core {
+
+const char* to_string(EbvError e) {
+    switch (e) {
+        case EbvError::kEmptyBlock: return "empty block";
+        case EbvError::kFirstTxNotCoinbase: return "first tx not coinbase";
+        case EbvError::kUnexpectedCoinbase: return "unexpected coinbase";
+        case EbvError::kMissingInputs: return "transaction has no inputs";
+        case EbvError::kMerkleRootMismatch: return "merkle root mismatch";
+        case EbvError::kBadStakePosition: return "bad stake position";
+        case EbvError::kTooManyOutputs: return "too many outputs";
+        case EbvError::kUnknownHeight: return "input height beyond chain";
+        case EbvError::kExistenceFailed: return "existence validation failed";
+        case EbvError::kBadOutIndex: return "output index not in ELs";
+        case EbvError::kUnspentFailed: return "unspent validation failed";
+        case EbvError::kDoubleSpendInBlock: return "double spend within block";
+        case EbvError::kImmatureCoinbaseSpend: return "immature coinbase spend";
+        case EbvError::kValueOutOfRange: return "value out of range";
+        case EbvError::kNegativeFee: return "negative fee";
+        case EbvError::kCoinbaseValueTooHigh: return "coinbase value too high";
+        case EbvError::kScriptFailure: return "script validation failed";
+    }
+    return "unknown EBV error";
+}
+
+std::string EbvValidationFailure::describe() const {
+    std::string out = to_string(error);
+    out += " (tx " + std::to_string(tx_index) + ", input " + std::to_string(input_index);
+    if (error == EbvError::kScriptFailure) {
+        out += ", script: ";
+        out += script::to_string(script_error);
+    }
+    out += ")";
+    return out;
+}
+
+bool EbvSignatureChecker::check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
+                                          util::ByteSpan script_code) const {
+    if (signature.empty()) return false;
+    const std::uint8_t hash_type = signature.back();
+    if (hash_type != 0x01) return false;  // SIGHASH_ALL only
+
+    const auto sig = crypto::Signature::from_der(signature.first(signature.size() - 1));
+    if (!sig) return false;
+    const auto key = crypto::PublicKey::parse(pubkey);
+    if (!key) return false;
+
+    const crypto::Hash256 digest =
+        ebv_signature_hash(tx_, input_index_, script_code, hash_type);
+    return key->verify(digest, *sig);
+}
+
+namespace {
+
+class PhaseTimer {
+public:
+    explicit PhaseTimer(util::TimeCost& target) : target_(target) {}
+    ~PhaseTimer() { target_.wall_ns += watch_.elapsed_ns(); }
+
+private:
+    util::TimeCost& target_;
+    util::Stopwatch watch_;
+};
+
+struct SpentKey {
+    std::uint64_t packed;
+    friend bool operator==(const SpentKey&, const SpentKey&) = default;
+};
+struct SpentKeyHasher {
+    std::size_t operator()(const SpentKey& k) const {
+        return std::hash<std::uint64_t>{}(k.packed);
+    }
+};
+
+SpentKey spent_key(std::uint32_t height, std::uint32_t position) {
+    return SpentKey{static_cast<std::uint64_t>(height) << 32 | position};
+}
+
+}  // namespace
+
+util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block(
+    const EbvBlock& block, std::uint32_t height) {
+    EbvTimings timings;
+    timings.inputs = block.input_count();
+    timings.outputs = block.output_count();
+
+    // ---- Structural checks ("others") ------------------------------------
+    {
+        PhaseTimer timer(timings.other);
+        if (block.txs.empty())
+            return util::Unexpected{EbvValidationFailure{EbvError::kEmptyBlock}};
+        if (!block.txs[0].is_coinbase())
+            return util::Unexpected{EbvValidationFailure{EbvError::kFirstTxNotCoinbase}};
+        for (std::size_t i = 1; i < block.txs.size(); ++i) {
+            if (block.txs[i].is_coinbase())
+                return util::Unexpected{
+                    EbvValidationFailure{EbvError::kUnexpectedCoinbase, i}};
+            if (block.txs[i].inputs.empty())
+                return util::Unexpected{EbvValidationFailure{EbvError::kMissingInputs, i}};
+        }
+        if (block.output_count() > params_.max_outputs_per_block)
+            return util::Unexpected{EbvValidationFailure{EbvError::kTooManyOutputs}};
+
+        // Stake positions must be the running output count (§IV-D2); a
+        // wrong assignment would let absolute positions be forged.
+        std::uint32_t running = 0;
+        for (std::size_t i = 0; i < block.txs.size(); ++i) {
+            if (block.txs[i].stake_position != running)
+                return util::Unexpected{
+                    EbvValidationFailure{EbvError::kBadStakePosition, i}};
+            running += static_cast<std::uint32_t>(block.txs[i].outputs.size());
+        }
+
+        if (block.compute_merkle_root() != block.header.merkle_root)
+            return util::Unexpected{EbvValidationFailure{EbvError::kMerkleRootMismatch}};
+
+        for (std::size_t t = 0; t < block.txs.size(); ++t) {
+            for (const auto& out : block.txs[t].outputs) {
+                if (!chain::money_range(out.value))
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kValueOutOfRange, t}};
+            }
+        }
+    }
+
+    // ---- Input checking: EV, UV, value rules ------------------------------
+    std::unordered_set<SpentKey, SpentKeyHasher> spent_in_block;
+    chain::Amount total_fees = 0;
+
+    for (std::size_t t = 1; t < block.txs.size(); ++t) {
+        const EbvTransaction& tx = block.txs[t];
+        chain::Amount value_in = 0;
+
+        for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+            const EbvInput& in = tx.inputs[i];
+
+            // EV: the referenced output must exist in a stored block.
+            {
+                PhaseTimer timer(timings.ev);
+                const chain::BlockHeader* header = headers_.at(in.height);
+                if (header == nullptr || in.height >= height) {
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kUnknownHeight, t, i}};
+                }
+                if (in.out_index >= in.els.outputs.size()) {
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kBadOutIndex, t, i}};
+                }
+                const crypto::Hash256 folded =
+                    crypto::fold_branch(in.els.leaf_hash(), in.mbr);
+                if (folded != header->merkle_root) {
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kExistenceFailed, t, i}};
+                }
+            }
+
+            // UV: the bit at the (authenticated) absolute position must be 1.
+            {
+                PhaseTimer timer(timings.uv);
+                const std::uint32_t position = in.absolute_position();
+                if (!spent_in_block.insert(spent_key(in.height, position)).second) {
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kDoubleSpendInBlock, t, i}};
+                }
+                if (auto status = status_.check_unspent(in.height, position); !status) {
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kUnspentFailed, t, i}};
+                }
+            }
+
+            // Value and maturity rules ("others").
+            {
+                PhaseTimer timer(timings.other);
+                if (in.els.is_coinbase() &&
+                    height < in.height + params_.coinbase_maturity) {
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kImmatureCoinbaseSpend, t, i}};
+                }
+                value_in += in.els.outputs[in.out_index].value;
+            }
+        }
+
+        {
+            PhaseTimer timer(timings.other);
+            const chain::Amount value_out = tx.total_output_value();
+            if (value_in < value_out)
+                return util::Unexpected{EbvValidationFailure{EbvError::kNegativeFee, t}};
+            total_fees += value_in - value_out;
+        }
+    }
+
+    {
+        PhaseTimer timer(timings.other);
+        const chain::Amount allowed = params_.subsidy_at(height) + total_fees;
+        if (block.txs[0].total_output_value() > allowed)
+            return util::Unexpected{
+                EbvValidationFailure{EbvError::kCoinbaseValueTooHigh, 0}};
+    }
+
+    // ---- SV ----------------------------------------------------------------
+    if (options_.verify_scripts) {
+        PhaseTimer timer(timings.sv);
+
+        struct Job {
+            std::size_t tx_index;
+            std::size_t input_index;
+        };
+        std::vector<Job> jobs;
+        jobs.reserve(timings.inputs);
+        for (std::size_t t = 1; t < block.txs.size(); ++t) {
+            for (std::size_t i = 0; i < block.txs[t].inputs.size(); ++i)
+                jobs.push_back(Job{t, i});
+        }
+
+        std::atomic<bool> failed{false};
+        std::optional<EbvValidationFailure> failure;
+        std::mutex failure_mutex;
+
+        auto check_one = [&](std::size_t j) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            const Job& job = jobs[j];
+            const EbvTransaction& tx = block.txs[job.tx_index];
+            const EbvInput& in = tx.inputs[job.input_index];
+            EbvSignatureChecker checker(tx, job.input_index);
+            const script::ScriptError err = script::verify_script(
+                in.unlock_script, in.els.outputs[in.out_index].lock_script, checker);
+            if (err != script::ScriptError::kOk) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard lock(failure_mutex);
+                if (!failure) {
+                    failure = EbvValidationFailure{EbvError::kScriptFailure, job.tx_index,
+                                                   job.input_index, err};
+                }
+            }
+        };
+
+        if (options_.script_pool != nullptr) {
+            options_.script_pool->parallel_for(jobs.size(), check_one);
+        } else {
+            for (std::size_t j = 0; j < jobs.size(); ++j) check_one(j);
+        }
+        if (failure) return util::Unexpected{*failure};
+    }
+
+    // ---- Block storage: update the bit-vector set (§IV-E1) -----------------
+    {
+        PhaseTimer timer(timings.update);
+        status_.insert_block(height, static_cast<std::uint32_t>(block.output_count()));
+        for (std::size_t t = 1; t < block.txs.size(); ++t) {
+            for (const EbvInput& in : block.txs[t].inputs) {
+                const auto spent = status_.spend(in.height, in.absolute_position());
+                EBV_ASSERT(spent.has_value());  // UV above guarantees this
+            }
+        }
+    }
+
+    return timings;
+}
+
+}  // namespace ebv::core

@@ -1,0 +1,120 @@
+// The EBV block-validation pipeline (paper §IV-D): per input,
+//   EV — fold the Merkle branch from the ELs leaf and compare against the
+//        stored header's root at the claimed height;
+//   UV — test the bit at the input's absolute position in the bit-vector
+//        set (absolute = authenticated stake position + relative index);
+//   SV — run Us against the locking script inside ELs.
+// No step touches the disk: headers and bit-vectors are memory-resident and
+// the proof data arrives with the transaction. Block storage then updates
+// the bit-vector set (§IV-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/header_index.hpp"
+#include "chain/params.hpp"
+#include "core/bitvector_set.hpp"
+#include "core/ebv_transaction.hpp"
+#include "script/interpreter.hpp"
+#include "util/result.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ebv::core {
+
+enum class EbvError {
+    kEmptyBlock,
+    kFirstTxNotCoinbase,
+    kUnexpectedCoinbase,
+    kMissingInputs,
+    kMerkleRootMismatch,
+    kBadStakePosition,   ///< miner-assigned stake positions inconsistent
+    kTooManyOutputs,
+    kUnknownHeight,      ///< EV: input references a height beyond the chain
+    kExistenceFailed,    ///< EV: Merkle branch does not reach the stored root
+    kBadOutIndex,        ///< claimed output index not present in ELs
+    kUnspentFailed,      ///< UV: bit already 0 (or vector gone)
+    kDoubleSpendInBlock,
+    kImmatureCoinbaseSpend,
+    kValueOutOfRange,
+    kNegativeFee,
+    kCoinbaseValueTooHigh,
+    kScriptFailure,      ///< SV failed
+};
+
+[[nodiscard]] const char* to_string(EbvError e);
+
+struct EbvValidationFailure {
+    EbvError error;
+    std::size_t tx_index = 0;
+    std::size_t input_index = 0;
+    script::ScriptError script_error = script::ScriptError::kOk;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Per-block timing breakdown, the unit of Figs 15/16b/17b. `update` is the
+/// bit-vector maintenance of block storage; figures fold it into "others".
+struct EbvTimings {
+    util::TimeCost ev;
+    util::TimeCost uv;
+    util::TimeCost sv;
+    util::TimeCost update;
+    util::TimeCost other;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+
+    [[nodiscard]] util::TimeCost total() const { return ev + uv + sv + update + other; }
+    [[nodiscard]] util::TimeCost others_combined() const { return update + other; }
+
+    EbvTimings& operator+=(const EbvTimings& o) {
+        ev += o.ev;
+        uv += o.uv;
+        sv += o.sv;
+        update += o.update;
+        other += o.other;
+        inputs += o.inputs;
+        outputs += o.outputs;
+        return *this;
+    }
+};
+
+struct EbvValidatorOptions {
+    bool verify_scripts = true;
+    util::ThreadPool* script_pool = nullptr;
+};
+
+/// SignatureChecker binding the script VM to EBV's signature-hash rules.
+class EbvSignatureChecker final : public script::SignatureChecker {
+public:
+    EbvSignatureChecker(const EbvTransaction& tx, std::size_t input_index)
+        : tx_(tx), input_index_(input_index) {}
+
+    [[nodiscard]] bool check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
+                                       util::ByteSpan script_code) const override;
+
+private:
+    const EbvTransaction& tx_;
+    std::size_t input_index_;
+};
+
+class EbvValidator {
+public:
+    EbvValidator(const chain::ChainParams& params, const chain::HeaderIndex& headers,
+                 BitVectorSet& status, EbvValidatorOptions options = {})
+        : params_(params), headers_(headers), status_(status), options_(options) {}
+
+    /// Validate the block at `height` and, on success, apply it to the
+    /// bit-vector set. The set is untouched on failure.
+    util::Result<EbvTimings, EbvValidationFailure> connect_block(const EbvBlock& block,
+                                                                 std::uint32_t height);
+
+private:
+    const chain::ChainParams& params_;
+    const chain::HeaderIndex& headers_;
+    BitVectorSet& status_;
+    EbvValidatorOptions options_;
+};
+
+}  // namespace ebv::core

@@ -1,0 +1,99 @@
+#include "core/node.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ebv::core {
+
+EbvNode::EbvNode(const EbvNodeOptions& options) : options_(options) {
+    if (!options.data_dir.empty()) {
+        block_store_ = std::make_unique<storage::FlatStore<EbvBlock>>(options.data_dir +
+                                                                      "/ebv_blocks.dat");
+    }
+}
+
+util::Result<EbvTimings, EbvValidationFailure> EbvNode::submit_block(
+    const EbvBlock& block) {
+    const std::uint32_t height = next_height();
+    EbvValidator validator(options_.params, headers_, status_, options_.validator);
+    auto result = validator.connect_block(block, height);
+    if (!result) return result;
+
+    const bool linked = headers_.append(block.header);
+    EBV_ENSURES(linked);
+    output_counts_.push_back(static_cast<std::uint32_t>(block.output_count()));
+    if (block_store_) block_store_->append(block);
+    return result;
+}
+
+void EbvNode::save_snapshot(const std::string& path) const {
+    util::Writer w;
+    w.u32(static_cast<std::uint32_t>(headers_.size()));
+    for (std::uint32_t h = 0; h < headers_.size(); ++h) {
+        headers_.at(h)->serialize(w);
+        w.u32(output_counts_[h]);
+    }
+    status_.serialize(w);
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EBV_ENSURES(f != nullptr);
+    EBV_ASSERT(std::fwrite(w.data().data(), 1, w.size(), f) == w.size());
+    std::fclose(f);
+}
+
+util::Result<std::unique_ptr<EbvNode>, util::DecodeError> EbvNode::load_snapshot(
+    const std::string& path, const EbvNodeOptions& options) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return util::Unexpected{util::DecodeError::kTruncated};
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    util::Bytes data(static_cast<std::size_t>(size));
+    const bool read_ok = std::fread(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!read_ok) return util::Unexpected{util::DecodeError::kTruncated};
+
+    util::Reader r(data);
+    auto count = r.u32();
+    if (!count) return util::Unexpected{count.error()};
+
+    auto node = std::make_unique<EbvNode>(options);
+    for (std::uint32_t h = 0; h < *count; ++h) {
+        auto header = chain::BlockHeader::deserialize(r);
+        if (!header) return util::Unexpected{header.error()};
+        auto outputs = r.u32();
+        if (!outputs) return util::Unexpected{outputs.error()};
+        if (!node->headers_.append(*header))
+            return util::Unexpected{util::DecodeError::kMalformed};
+        node->output_counts_.push_back(*outputs);
+    }
+
+    auto status = BitVectorSet::deserialize(r);
+    if (!status) return util::Unexpected{status.error()};
+    node->status_ = std::move(*status);
+    return node;
+}
+
+bool EbvNode::disconnect_tip(const EbvBlock& block) {
+    if (headers_.empty()) return false;
+    const std::uint32_t tip_height = headers_.height();
+    if (block.header.hash() != headers_.tip_hash()) return false;
+
+    // Un-spend every input (skip the coinbase at index 0).
+    for (std::size_t t = 1; t < block.txs.size(); ++t) {
+        for (const EbvInput& in : block.txs[t].inputs) {
+            const bool restored = status_.unspend(in.height, in.absolute_position(),
+                                                  output_counts_[in.height]);
+            EBV_ASSERT(restored);
+        }
+    }
+    status_.remove_block(tip_height);
+
+    headers_.pop_tip();
+    output_counts_.pop_back();
+    if (block_store_) block_store_->truncate(tip_height);
+    return true;
+}
+
+}  // namespace ebv::core

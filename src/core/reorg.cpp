@@ -1,0 +1,85 @@
+#include "core/reorg.hpp"
+
+#include "util/assert.hpp"
+
+namespace ebv::core {
+
+const char* to_string(EbvReorgError e) {
+    switch (e) {
+        case EbvReorgError::kNeedsBlockStore: return "node has no block store";
+        case EbvReorgError::kUnknownForkPoint: return "branch does not attach to the chain";
+        case EbvReorgError::kBranchNotLonger: return "branch is not longer than the chain";
+        case EbvReorgError::kRollbackFailed: return "rollback failed";
+    }
+    return "unknown EBV reorg error";
+}
+
+util::Result<EbvReorgOutcome, EbvReorgError> reorg_to(
+    EbvNode& node, const std::vector<EbvBlock>& branch) {
+    if (node.block_store() == nullptr)
+        return util::Unexpected{EbvReorgError::kNeedsBlockStore};
+    if (branch.empty()) return util::Unexpected{EbvReorgError::kBranchNotLonger};
+
+    const crypto::Hash256& attach = branch[0].header.prev_hash;
+    std::uint32_t fork_height_plus_1 = 0;
+    if (!attach.is_zero()) {
+        const auto found = node.headers().find(attach);
+        if (!found) return util::Unexpected{EbvReorgError::kUnknownForkPoint};
+        fork_height_plus_1 = *found + 1;
+    }
+
+    const std::uint32_t current_height = node.next_height();
+    const std::uint32_t branch_tip =
+        fork_height_plus_1 + static_cast<std::uint32_t>(branch.size());
+    if (branch_tip <= current_height)
+        return util::Unexpected{EbvReorgError::kBranchNotLonger};
+
+    std::vector<EbvBlock> original;
+    original.reserve(current_height - fork_height_plus_1);
+    for (std::uint32_t h = fork_height_plus_1; h < current_height; ++h) {
+        auto block = node.block_store()->load(h);
+        EBV_ASSERT(block.has_value());
+        original.push_back(std::move(*block));
+    }
+
+    EbvReorgOutcome outcome;
+    outcome.fork_height = fork_height_plus_1 == 0 ? 0 : fork_height_plus_1 - 1;
+
+    // Disconnect the suffix, newest first, using the saved bodies.
+    for (auto it = original.rbegin(); it != original.rend(); ++it) {
+        const bool ok = node.disconnect_tip(*it);
+        EBV_ASSERT(ok);
+        ++outcome.blocks_disconnected;
+    }
+
+    for (const EbvBlock& block : branch) {
+        auto result = node.submit_block(block);
+        if (result) {
+            ++outcome.blocks_connected;
+            continue;
+        }
+        outcome.branch_failure = result.error();
+
+        // Unwind whatever connected, then restore the original branch.
+        for (std::uint32_t h = node.next_height(); h > fork_height_plus_1; --h) {
+            auto connected = node.block_store()->load(h - 1);
+            if (!connected || !node.disconnect_tip(*connected)) {
+                return util::Unexpected{EbvReorgError::kRollbackFailed};
+            }
+        }
+        for (const EbvBlock& old_block : original) {
+            if (!node.submit_block(old_block)) {
+                return util::Unexpected{EbvReorgError::kRollbackFailed};
+            }
+        }
+        outcome.blocks_disconnected = 0;
+        outcome.blocks_connected = 0;
+        outcome.switched = false;
+        return outcome;
+    }
+
+    outcome.switched = true;
+    return outcome;
+}
+
+}  // namespace ebv::core

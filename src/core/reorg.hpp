@@ -1,0 +1,33 @@
+// Branch switching for the EBV node, mirroring chain/reorg.hpp: disconnect
+// the suffix above the fork point (un-spending bits via the stored block
+// bodies), connect the competing branch, and roll back on failure.
+#pragma once
+
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/result.hpp"
+
+namespace ebv::core {
+
+enum class EbvReorgError {
+    kNeedsBlockStore,
+    kUnknownForkPoint,
+    kBranchNotLonger,
+    kRollbackFailed,
+};
+
+[[nodiscard]] const char* to_string(EbvReorgError e);
+
+struct EbvReorgOutcome {
+    std::uint32_t fork_height = 0;
+    std::uint32_t blocks_disconnected = 0;
+    std::uint32_t blocks_connected = 0;
+    bool switched = false;
+    EbvValidationFailure branch_failure{};
+};
+
+util::Result<EbvReorgOutcome, EbvReorgError> reorg_to(
+    EbvNode& node, const std::vector<EbvBlock>& branch);
+
+}  // namespace ebv::core

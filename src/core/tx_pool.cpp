@@ -1,0 +1,147 @@
+#include "core/tx_pool.hpp"
+
+#include <algorithm>
+
+#include "script/interpreter.hpp"
+
+namespace ebv::core {
+
+const char* to_string(TxAdmission a) {
+    switch (a) {
+        case TxAdmission::kAccepted: return "accepted";
+        case TxAdmission::kDuplicate: return "duplicate";
+        case TxAdmission::kConflict: return "conflicts with pooled spend";
+        case TxAdmission::kExistenceFailed: return "existence validation failed";
+        case TxAdmission::kUnspentFailed: return "unspent validation failed";
+        case TxAdmission::kImmatureCoinbase: return "immature coinbase spend";
+        case TxAdmission::kBadValue: return "bad value";
+        case TxAdmission::kScriptFailed: return "script validation failed";
+        case TxAdmission::kNotStandalone: return "coinbase cannot be relayed";
+    }
+    return "unknown admission result";
+}
+
+TxAdmission validate_transaction(const EbvTransaction& tx,
+                                 const chain::ChainParams& params,
+                                 const chain::HeaderIndex& headers,
+                                 const BitVectorSet& status,
+                                 std::uint32_t next_height, bool verify_scripts) {
+    if (tx.is_coinbase() || tx.inputs.empty()) return TxAdmission::kNotStandalone;
+
+    chain::Amount value_in = 0;
+    for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+        const EbvInput& in = tx.inputs[i];
+
+        // EV — exactly as in block validation.
+        const chain::BlockHeader* header = headers.at(in.height);
+        if (header == nullptr || in.height >= next_height)
+            return TxAdmission::kExistenceFailed;
+        if (in.out_index >= in.els.outputs.size()) return TxAdmission::kExistenceFailed;
+        if (crypto::fold_branch(in.els.leaf_hash(), in.mbr) != header->merkle_root)
+            return TxAdmission::kExistenceFailed;
+
+        // UV against the chain state.
+        if (!status.check_unspent(in.height, in.absolute_position()))
+            return TxAdmission::kUnspentFailed;
+
+        if (in.els.is_coinbase() &&
+            next_height < in.height + params.coinbase_maturity) {
+            return TxAdmission::kImmatureCoinbase;
+        }
+        value_in += in.els.outputs[in.out_index].value;
+    }
+
+    for (const auto& out : tx.outputs) {
+        if (!chain::money_range(out.value)) return TxAdmission::kBadValue;
+    }
+    if (tx.total_output_value() > value_in) return TxAdmission::kBadValue;
+
+    if (verify_scripts) {
+        for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+            const EbvInput& in = tx.inputs[i];
+            EbvSignatureChecker checker(tx, i);
+            if (script::verify_script(in.unlock_script,
+                                      in.els.outputs[in.out_index].lock_script,
+                                      checker) != script::ScriptError::kOk) {
+                return TxAdmission::kScriptFailed;
+            }
+        }
+    }
+    return TxAdmission::kAccepted;
+}
+
+TxAdmission TxPool::submit(const EbvTransaction& tx) {
+    const crypto::Hash256 leaf = tx.leaf_hash();
+    if (pool_.count(leaf)) return TxAdmission::kDuplicate;
+
+    // Pool-internal conflicts first (cheap), then full validation.
+    for (const EbvInput& in : tx.inputs) {
+        if (pending_spends_.count(spend_key(in.height, in.absolute_position())))
+            return TxAdmission::kConflict;
+    }
+
+    const std::uint32_t next_height =
+        headers_.empty() ? 0 : headers_.height() + 1;
+    const TxAdmission verdict =
+        validate_transaction(tx, params_, headers_, status_, next_height);
+    if (verdict != TxAdmission::kAccepted) return verdict;
+
+    chain::Amount value_in = 0;
+    for (const EbvInput& in : tx.inputs)
+        value_in += in.els.outputs[in.out_index].value;
+
+    Entry entry;
+    entry.tx = tx;
+    entry.fee = value_in - tx.total_output_value();
+    entry.bytes = tx.serialized_size();
+    for (const EbvInput& in : tx.inputs) {
+        pending_spends_.insert(spend_key(in.height, in.absolute_position()));
+    }
+    pool_.emplace(leaf, std::move(entry));
+    return TxAdmission::kAccepted;
+}
+
+std::vector<EbvTransaction> TxPool::take_for_block(std::size_t max_txs) {
+    std::vector<const Entry*> ranked;
+    ranked.reserve(pool_.size());
+    for (const auto& [leaf, entry] : pool_) ranked.push_back(&entry);
+    std::sort(ranked.begin(), ranked.end(), [](const Entry* a, const Entry* b) {
+        const double fa = static_cast<double>(a->fee) / static_cast<double>(a->bytes);
+        const double fb = static_cast<double>(b->fee) / static_cast<double>(b->bytes);
+        return fa > fb;
+    });
+    if (ranked.size() > max_txs) ranked.resize(max_txs);
+
+    std::vector<EbvTransaction> out;
+    out.reserve(ranked.size());
+    for (const Entry* entry : ranked) out.push_back(entry->tx);
+    for (const auto& tx : out) {
+        for (const EbvInput& in : tx.inputs) {
+            pending_spends_.erase(spend_key(in.height, in.absolute_position()));
+        }
+        pool_.erase(tx.leaf_hash());
+    }
+    return out;
+}
+
+std::size_t TxPool::evict_confirmed_spends() {
+    std::vector<crypto::Hash256> doomed;
+    for (const auto& [leaf, entry] : pool_) {
+        for (const EbvInput& in : entry.tx.inputs) {
+            if (!status_.check_unspent(in.height, in.absolute_position())) {
+                doomed.push_back(leaf);
+                break;
+            }
+        }
+    }
+    for (const auto& leaf : doomed) {
+        const auto it = pool_.find(leaf);
+        for (const EbvInput& in : it->second.tx.inputs) {
+            pending_spends_.erase(spend_key(in.height, in.absolute_position()));
+        }
+        pool_.erase(it);
+    }
+    return doomed.size();
+}
+
+}  // namespace ebv::core

@@ -1,0 +1,98 @@
+// Standalone EBV transaction validation and a mempool (paper §IV-D: "After
+// receiving a transaction, a node has to validate the legitimacy of this
+// transaction"). Admission runs the same EV/UV/SV pipeline as block
+// validation — against the *current* chain state plus the pool's own
+// pending spends, so conflicting transactions are rejected at the door.
+//
+// One EBV-specific caveat handled here: a transaction in the pool proves
+// existence against a block that is already final, so proofs never go stale
+// when new blocks arrive — only UV can change (the output being spent by a
+// confirmed block), which eviction re-checks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/header_index.hpp"
+#include "chain/params.hpp"
+#include "core/bitvector_set.hpp"
+#include "core/ebv_transaction.hpp"
+#include "core/ebv_validator.hpp"
+
+namespace ebv::core {
+
+enum class TxAdmission {
+    kAccepted,
+    kDuplicate,           ///< same leaf hash already pooled
+    kConflict,            ///< spends an output a pooled transaction spends
+    kExistenceFailed,     ///< EV failed (incl. unknown height / bad index)
+    kUnspentFailed,       ///< UV failed against the chain state
+    kImmatureCoinbase,
+    kBadValue,            ///< outputs exceed inputs or out of range
+    kScriptFailed,        ///< SV failed
+    kNotStandalone,       ///< coinbase transactions are never pooled
+};
+
+[[nodiscard]] const char* to_string(TxAdmission a);
+
+/// Validate one transaction against the chain state (headers + bit-vector
+/// set), without touching the state. Exposed standalone so relays can
+/// check transactions they do not intend to pool.
+TxAdmission validate_transaction(const EbvTransaction& tx,
+                                 const chain::ChainParams& params,
+                                 const chain::HeaderIndex& headers,
+                                 const BitVectorSet& status,
+                                 std::uint32_t next_height,
+                                 bool verify_scripts = true);
+
+class TxPool {
+public:
+    TxPool(const chain::ChainParams& params, const chain::HeaderIndex& headers,
+           const BitVectorSet& status)
+        : params_(params), headers_(headers), status_(status) {}
+
+    /// Validate and admit a transaction.
+    TxAdmission submit(const EbvTransaction& tx);
+
+    /// Drain up to max_txs transactions for block packaging, highest
+    /// fee-per-byte first. Drained transactions leave the pool.
+    std::vector<EbvTransaction> take_for_block(std::size_t max_txs);
+
+    /// Drop every pooled transaction whose inputs were consumed by the
+    /// newly connected chain state (call after each block). Returns the
+    /// number evicted.
+    std::size_t evict_confirmed_spends();
+
+    [[nodiscard]] std::size_t size() const { return pool_.size(); }
+    [[nodiscard]] bool contains(const crypto::Hash256& leaf_hash) const {
+        return pool_.count(leaf_hash) != 0;
+    }
+
+private:
+    struct SpentKeyHasher {
+        std::size_t operator()(const std::uint64_t& k) const {
+            return std::hash<std::uint64_t>{}(k);
+        }
+    };
+    static std::uint64_t spend_key(std::uint32_t height, std::uint32_t position) {
+        return static_cast<std::uint64_t>(height) << 32 | position;
+    }
+
+    struct Entry {
+        EbvTransaction tx;
+        chain::Amount fee = 0;
+        std::size_t bytes = 0;
+    };
+
+    const chain::ChainParams& params_;
+    const chain::HeaderIndex& headers_;
+    const BitVectorSet& status_;
+
+    std::unordered_map<crypto::Hash256, Entry, crypto::Hash256Hasher> pool_;
+    std::unordered_set<std::uint64_t, SpentKeyHasher> pending_spends_;
+};
+
+}  // namespace ebv::core

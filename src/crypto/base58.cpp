@@ -1,0 +1,96 @@
+#include "crypto/base58.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace ebv::crypto {
+
+namespace {
+
+constexpr char kAlphabet[] = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+int digit_value(char c) {
+    const char* pos = std::strchr(kAlphabet, c);
+    if (pos == nullptr || c == '\0') return -1;
+    return static_cast<int>(pos - kAlphabet);
+}
+
+}  // namespace
+
+std::string base58_encode(util::ByteSpan data) {
+    // Count leading zeros (each encodes as '1').
+    std::size_t zeros = 0;
+    while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+    // Big-integer base conversion, digits little-endian in `digits`.
+    std::vector<std::uint8_t> digits;
+    for (std::size_t i = zeros; i < data.size(); ++i) {
+        int carry = data[i];
+        for (auto& d : digits) {
+            const int value = d * 256 + carry;
+            d = static_cast<std::uint8_t>(value % 58);
+            carry = value / 58;
+        }
+        while (carry > 0) {
+            digits.push_back(static_cast<std::uint8_t>(carry % 58));
+            carry /= 58;
+        }
+    }
+
+    std::string out(zeros, '1');
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) out.push_back(kAlphabet[*it]);
+    return out;
+}
+
+std::optional<util::Bytes> base58_decode(std::string_view text) {
+    std::size_t ones = 0;
+    while (ones < text.size() && text[ones] == '1') ++ones;
+
+    std::vector<std::uint8_t> bytes;  // little-endian
+    for (std::size_t i = ones; i < text.size(); ++i) {
+        const int value = digit_value(text[i]);
+        if (value < 0) return std::nullopt;
+        int carry = value;
+        for (auto& b : bytes) {
+            const int v = b * 58 + carry;
+            b = static_cast<std::uint8_t>(v & 0xff);
+            carry = v >> 8;
+        }
+        while (carry > 0) {
+            bytes.push_back(static_cast<std::uint8_t>(carry & 0xff));
+            carry >>= 8;
+        }
+    }
+
+    util::Bytes out(ones, 0);
+    out.insert(out.end(), bytes.rbegin(), bytes.rend());
+    return out;
+}
+
+std::string base58check_encode(std::uint8_t version, util::ByteSpan payload) {
+    util::Bytes data;
+    data.reserve(1 + payload.size() + 4);
+    data.push_back(version);
+    data.insert(data.end(), payload.begin(), payload.end());
+    const auto digest = double_sha256(data);
+    data.insert(data.end(), digest.begin(), digest.begin() + 4);
+    return base58_encode(data);
+}
+
+std::optional<std::pair<std::uint8_t, util::Bytes>> base58check_decode(
+    std::string_view text) {
+    const auto decoded = base58_decode(text);
+    if (!decoded || decoded->size() < 5) return std::nullopt;
+
+    const util::ByteSpan body(decoded->data(), decoded->size() - 4);
+    const auto digest = double_sha256(body);
+    if (std::memcmp(digest.data(), decoded->data() + decoded->size() - 4, 4) != 0)
+        return std::nullopt;
+
+    return std::make_pair((*decoded)[0],
+                          util::Bytes(decoded->begin() + 1, decoded->end() - 4));
+}
+
+}  // namespace ebv::crypto

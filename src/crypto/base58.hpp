@@ -1,0 +1,26 @@
+// Base58 and Base58Check codecs (Bitcoin address encoding): base-58 big-
+// integer digits with a 4-byte double-SHA256 checksum and a version byte.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/span.hpp"
+
+namespace ebv::crypto {
+
+/// Raw base-58 encoding (leading zero bytes become leading '1's).
+std::string base58_encode(util::ByteSpan data);
+std::optional<util::Bytes> base58_decode(std::string_view text);
+
+/// Base58Check: version byte + payload + first 4 bytes of dSHA256.
+std::string base58check_encode(std::uint8_t version, util::ByteSpan payload);
+/// Returns (version, payload) or nullopt on bad checksum / malformed text.
+std::optional<std::pair<std::uint8_t, util::Bytes>> base58check_decode(
+    std::string_view text);
+
+/// Address version bytes (Bitcoin mainnet values, reused by the simnet).
+inline constexpr std::uint8_t kP2pkhVersion = 0x00;
+inline constexpr std::uint8_t kP2shVersion = 0x05;
+
+}  // namespace ebv::crypto

@@ -1,0 +1,40 @@
+#include "crypto/hash_types.hpp"
+
+#include <algorithm>
+
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+
+namespace ebv::crypto {
+
+template <std::size_t N>
+std::string HashValue<N>::to_hex() const {
+    std::array<std::uint8_t, N> reversed = bytes_;
+    std::reverse(reversed.begin(), reversed.end());
+    return util::hex_encode({reversed.data(), reversed.size()});
+}
+
+template <std::size_t N>
+std::optional<HashValue<N>> HashValue<N>::from_hex(std::string_view hex) {
+    auto decoded = util::hex_decode(hex);
+    if (!decoded || decoded->size() != N) return std::nullopt;
+    std::reverse(decoded->begin(), decoded->end());
+    return HashValue<N>::from_span(*decoded);
+}
+
+template class HashValue<32>;
+template class HashValue<20>;
+
+Hash256 hash256(util::ByteSpan data) {
+    const auto d = double_sha256(data);
+    return Hash256::from_span({d.data(), d.size()});
+}
+
+Hash160 hash160(util::ByteSpan data) {
+    const auto sha = Sha256::hash(data);
+    const auto rip = Ripemd160::hash({sha.data(), sha.size()});
+    return Hash160::from_span({rip.data(), rip.size()});
+}
+
+}  // namespace ebv::crypto

@@ -1,0 +1,67 @@
+// Strongly-typed hash values. Hash256 identifies transactions, blocks, and
+// Merkle nodes; Hash160 identifies pay-to-pubkey-hash destinations.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/span.hpp"
+
+namespace ebv::crypto {
+
+template <std::size_t N>
+class HashValue {
+public:
+    static constexpr std::size_t kSize = N;
+
+    constexpr HashValue() : bytes_{} {}
+    explicit HashValue(const std::array<std::uint8_t, N>& bytes) : bytes_(bytes) {}
+
+    static HashValue from_span(util::ByteSpan data) {
+        HashValue h;
+        if (data.size() == N) std::memcpy(h.bytes_.data(), data.data(), N);
+        return h;
+    }
+
+    [[nodiscard]] const std::array<std::uint8_t, N>& bytes() const { return bytes_; }
+    [[nodiscard]] std::array<std::uint8_t, N>& bytes() { return bytes_; }
+    [[nodiscard]] util::ByteSpan span() const { return {bytes_.data(), bytes_.size()}; }
+    [[nodiscard]] bool is_zero() const {
+        for (auto b : bytes_)
+            if (b != 0) return false;
+        return true;
+    }
+
+    friend auto operator<=>(const HashValue&, const HashValue&) = default;
+
+    /// Display convention (like Bitcoin txids): byte-reversed hex.
+    [[nodiscard]] std::string to_hex() const;
+    static std::optional<HashValue> from_hex(std::string_view hex);
+
+private:
+    std::array<std::uint8_t, N> bytes_;
+};
+
+using Hash256 = HashValue<32>;
+using Hash160 = HashValue<20>;
+
+/// double-SHA256 as a Hash256.
+Hash256 hash256(util::ByteSpan data);
+
+/// RIPEMD160(SHA256(x)).
+Hash160 hash160(util::ByteSpan data);
+
+/// Cheap non-cryptographic mix of a Hash256 for hash-table use.
+struct Hash256Hasher {
+    std::size_t operator()(const Hash256& h) const {
+        std::size_t v;
+        std::memcpy(&v, h.bytes().data(), sizeof(v));
+        return v;
+    }
+};
+
+}  // namespace ebv::crypto

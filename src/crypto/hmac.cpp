@@ -1,0 +1,43 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace ebv::crypto {
+
+HmacSha256::HmacSha256(util::ByteSpan key) {
+    std::uint8_t key_block[64] = {};
+    if (key.size() > 64) {
+        const auto digest = Sha256::hash(key);
+        std::memcpy(key_block, digest.data(), digest.size());
+    } else {
+        std::memcpy(key_block, key.data(), key.size());
+    }
+
+    std::uint8_t ipad_key[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad_key[i] = key_block[i] ^ 0x36;
+        opad_key_[i] = key_block[i] ^ 0x5c;
+    }
+    inner_.update({ipad_key, 64});
+}
+
+HmacSha256& HmacSha256::update(util::ByteSpan data) {
+    inner_.update(data);
+    return *this;
+}
+
+Sha256::Digest HmacSha256::finalize() {
+    const auto inner_digest = inner_.finalize();
+    Sha256 outer;
+    outer.update({opad_key_, 64});
+    outer.update({inner_digest.data(), inner_digest.size()});
+    return outer.finalize();
+}
+
+Sha256::Digest HmacSha256::mac(util::ByteSpan key, util::ByteSpan data) {
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finalize();
+}
+
+}  // namespace ebv::crypto

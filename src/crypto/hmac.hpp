@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104), needed for RFC 6979 deterministic ECDSA nonces.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/span.hpp"
+
+namespace ebv::crypto {
+
+class HmacSha256 {
+public:
+    explicit HmacSha256(util::ByteSpan key);
+
+    HmacSha256& update(util::ByteSpan data);
+    Sha256::Digest finalize();
+
+    static Sha256::Digest mac(util::ByteSpan key, util::ByteSpan data);
+
+private:
+    Sha256 inner_;
+    std::uint8_t opad_key_[64];
+};
+
+}  // namespace ebv::crypto

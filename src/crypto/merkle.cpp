@@ -1,0 +1,92 @@
+#include "crypto/merkle.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/assert.hpp"
+
+namespace ebv::crypto {
+
+namespace {
+
+Hash256 hash_pair(const Hash256& left, const Hash256& right) {
+    Sha256 h;
+    h.update(left.span());
+    h.update(right.span());
+    const auto first = h.finalize();
+    return Hash256::from_span(
+        util::ByteSpan{Sha256::hash({first.data(), first.size()}).data(), 32});
+}
+
+/// One level up: pairs hashed together, odd tail duplicated.
+std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+    std::vector<Hash256> up;
+    up.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+        const Hash256& left = level[i];
+        const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+        up.push_back(hash_pair(left, right));
+    }
+    return up;
+}
+
+}  // namespace
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+    if (leaves.empty()) return Hash256{};
+    std::vector<Hash256> level = leaves;
+    while (level.size() > 1) level = next_level(level);
+    return level[0];
+}
+
+MerkleBranch merkle_branch(const std::vector<Hash256>& leaves, std::uint32_t index) {
+    EBV_EXPECTS(index < leaves.size());
+    MerkleBranch branch;
+    branch.index = index;
+
+    std::vector<Hash256> level = leaves;
+    std::uint32_t pos = index;
+    while (level.size() > 1) {
+        const std::uint32_t sibling = pos ^ 1;
+        // A duplicated odd tail is its own sibling.
+        branch.siblings.push_back(sibling < level.size() ? level[sibling] : level[pos]);
+        level = next_level(level);
+        pos >>= 1;
+    }
+    return branch;
+}
+
+Hash256 fold_branch(const Hash256& leaf, const MerkleBranch& branch) {
+    Hash256 node = leaf;
+    std::uint32_t pos = branch.index;
+    for (const Hash256& sibling : branch.siblings) {
+        node = (pos & 1) ? hash_pair(sibling, node) : hash_pair(node, sibling);
+        pos >>= 1;
+    }
+    return node;
+}
+
+void MerkleBranch::serialize(util::Writer& w) const {
+    w.compact_size(siblings.size());
+    for (const auto& s : siblings) w.bytes(s.span());
+    w.u32(index);
+}
+
+util::Result<MerkleBranch, util::DecodeError> MerkleBranch::deserialize(util::Reader& r) {
+    auto count = r.compact_size();
+    if (!count) return util::Unexpected{count.error()};
+    // A branch deeper than 48 levels would describe a tree with more leaves
+    // than any block can hold.
+    if (*count > 48) return util::Unexpected{util::DecodeError::kOversizedField};
+    MerkleBranch branch;
+    branch.siblings.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        auto bytes = r.bytes(32);
+        if (!bytes) return util::Unexpected{bytes.error()};
+        branch.siblings.push_back(Hash256::from_span(*bytes));
+    }
+    auto idx = r.u32();
+    if (!idx) return util::Unexpected{idx.error()};
+    branch.index = *idx;
+    return branch;
+}
+
+}  // namespace ebv::crypto

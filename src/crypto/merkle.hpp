@@ -1,0 +1,40 @@
+// Merkle tree construction and branch (inclusion proof) handling, Bitcoin
+// style: interior nodes are double-SHA256(left || right) and an odd level is
+// padded by duplicating its last node. Merkle branches (MBr in the paper)
+// are the proof EBV inputs carry for Existence Validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash_types.hpp"
+#include "util/serialize.hpp"
+
+namespace ebv::crypto {
+
+/// Root of the tree over the given leaves. An empty leaf set yields the
+/// zero hash (such blocks never occur: every block has a coinbase).
+Hash256 merkle_root(const std::vector<Hash256>& leaves);
+
+/// The sibling hashes along the path from leaf `index` to the root — the
+/// paper's MBr. The leaf itself is not included.
+struct MerkleBranch {
+    std::vector<Hash256> siblings;
+    std::uint32_t index = 0;  ///< position of the proven leaf
+
+    void serialize(util::Writer& w) const;
+    static util::Result<MerkleBranch, util::DecodeError> deserialize(util::Reader& r);
+
+    [[nodiscard]] std::size_t byte_size() const { return 1 + 4 + siblings.size() * 32; }
+
+    friend bool operator==(const MerkleBranch&, const MerkleBranch&) = default;
+};
+
+/// Build the branch for the leaf at `index`; index must be < leaves.size().
+MerkleBranch merkle_branch(const std::vector<Hash256>& leaves, std::uint32_t index);
+
+/// Fold a leaf up through the branch; equals the root iff the leaf is a
+/// member at the branch's index. This is the EV check.
+Hash256 fold_branch(const Hash256& leaf, const MerkleBranch& branch);
+
+}  // namespace ebv::crypto

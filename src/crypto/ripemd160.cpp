@@ -1,0 +1,151 @@
+#include "crypto/ripemd160.hpp"
+
+#include <cstring>
+
+#include "util/endian.hpp"
+
+namespace ebv::crypto {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+constexpr std::uint32_t f1(std::uint32_t x, std::uint32_t y, std::uint32_t z) { return x ^ y ^ z; }
+constexpr std::uint32_t f2(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (x & y) | (~x & z);
+}
+constexpr std::uint32_t f3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (x | ~y) ^ z;
+}
+constexpr std::uint32_t f4(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (x & z) | (y & ~z);
+}
+constexpr std::uint32_t f5(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return x ^ (y | ~z);
+}
+
+// Message word selection and rotation amounts (left and right lines).
+constexpr int kRL[80] = {0,  1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+                         7,  4, 13, 1,  10, 6,  15, 3,  12, 0,  9,  5,  2,  14, 11, 8,
+                         3,  10, 14, 4,  9,  15, 8,  1,  2,  7,  0,  6,  13, 11, 5,  12,
+                         1,  9, 11, 10, 0,  8,  12, 4,  13, 3,  7,  15, 14, 5,  6,  2,
+                         4,  0, 5,  9,  7,  12, 2,  10, 14, 1,  3,  8,  11, 6,  15, 13};
+constexpr int kRR[80] = {5,  14, 7,  0,  9,  2,  11, 4,  13, 6,  15, 8,  1,  10, 3,  12,
+                         6,  11, 3,  7,  0,  13, 5,  10, 14, 15, 8,  12, 4,  9,  1,  2,
+                         15, 5,  1,  3,  7,  14, 6,  9,  11, 8,  12, 2,  10, 0,  4,  13,
+                         8,  6,  4,  1,  3,  11, 15, 0,  5,  12, 2,  13, 9,  7,  10, 14,
+                         12, 15, 10, 4,  1,  5,  8,  7,  6,  2,  13, 14, 0,  3,  9,  11};
+constexpr int kSL[80] = {11, 14, 15, 12, 5,  8,  7,  9,  11, 13, 14, 15, 6,  7,  9,  8,
+                         7,  6,  8,  13, 11, 9,  7,  15, 7,  12, 15, 9,  11, 7,  13, 12,
+                         11, 13, 6,  7,  14, 9,  13, 15, 14, 8,  13, 6,  5,  12, 7,  5,
+                         11, 12, 14, 15, 14, 15, 9,  8,  9,  14, 5,  6,  8,  6,  5,  12,
+                         9,  15, 5,  11, 6,  8,  13, 12, 5,  12, 13, 14, 11, 8,  5,  6};
+constexpr int kSR[80] = {8,  9,  9,  11, 13, 15, 15, 5,  7,  7,  8,  11, 14, 14, 12, 6,
+                         9,  13, 15, 7,  12, 8,  9,  11, 7,  7,  12, 7,  6,  15, 13, 11,
+                         9,  7,  15, 11, 8,  6,  6,  14, 12, 13, 5,  14, 13, 13, 7,  5,
+                         15, 5,  8,  11, 14, 14, 6,  14, 6,  9,  12, 9,  12, 5,  15, 8,
+                         8,  5,  12, 9,  12, 5,  14, 6,  8,  13, 6,  5,  15, 13, 11, 11};
+
+}  // namespace
+
+void Ripemd160::reset() {
+    state_[0] = 0x67452301;
+    state_[1] = 0xefcdab89;
+    state_[2] = 0x98badcfe;
+    state_[3] = 0x10325476;
+    state_[4] = 0xc3d2e1f0;
+    total_len_ = 0;
+    buffer_len_ = 0;
+}
+
+void Ripemd160::compress(const std::uint8_t* block) {
+    std::uint32_t x[16];
+    for (int i = 0; i < 16; ++i) x[i] = util::load_le32(block + 4 * i);
+
+    std::uint32_t al = state_[0], bl = state_[1], cl = state_[2], dl = state_[3], el = state_[4];
+    std::uint32_t ar = al, br = bl, cr = cl, dr = dl, er = el;
+
+    for (int j = 0; j < 80; ++j) {
+        std::uint32_t fl, kl, fr, kr;
+        switch (j / 16) {
+            case 0: fl = f1(bl, cl, dl); kl = 0x00000000; fr = f5(br, cr, dr); kr = 0x50a28be6; break;
+            case 1: fl = f2(bl, cl, dl); kl = 0x5a827999; fr = f4(br, cr, dr); kr = 0x5c4dd124; break;
+            case 2: fl = f3(bl, cl, dl); kl = 0x6ed9eba1; fr = f3(br, cr, dr); kr = 0x6d703ef3; break;
+            case 3: fl = f4(bl, cl, dl); kl = 0x8f1bbcdc; fr = f2(br, cr, dr); kr = 0x7a6d76e9; break;
+            default: fl = f5(bl, cl, dl); kl = 0xa953fd4e; fr = f1(br, cr, dr); kr = 0x00000000; break;
+        }
+        std::uint32_t t = rotl(al + fl + x[kRL[j]] + kl, kSL[j]) + el;
+        al = el;
+        el = dl;
+        dl = rotl(cl, 10);
+        cl = bl;
+        bl = t;
+
+        t = rotl(ar + fr + x[kRR[j]] + kr, kSR[j]) + er;
+        ar = er;
+        er = dr;
+        dr = rotl(cr, 10);
+        cr = br;
+        br = t;
+    }
+
+    const std::uint32_t t = state_[1] + cl + dr;
+    state_[1] = state_[2] + dl + er;
+    state_[2] = state_[3] + el + ar;
+    state_[3] = state_[4] + al + br;
+    state_[4] = state_[0] + bl + cr;
+    state_[0] = t;
+}
+
+Ripemd160& Ripemd160::update(util::ByteSpan data) {
+    total_len_ += data.size();
+    std::size_t offset = 0;
+
+    if (buffer_len_ > 0) {
+        const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+        std::memcpy(buffer_ + buffer_len_, data.data(), take);
+        buffer_len_ += take;
+        offset += take;
+        if (buffer_len_ == 64) {
+            compress(buffer_);
+            buffer_len_ = 0;
+        }
+    }
+
+    while (offset + 64 <= data.size()) {
+        compress(data.data() + offset);
+        offset += 64;
+    }
+
+    if (offset < data.size()) {
+        buffer_len_ = data.size() - offset;
+        std::memcpy(buffer_, data.data() + offset, buffer_len_);
+    }
+    return *this;
+}
+
+Ripemd160::Digest Ripemd160::finalize() {
+    const std::uint64_t bit_len = total_len_ * 8;
+
+    const std::uint8_t pad_byte = 0x80;
+    update({&pad_byte, 1});
+    const std::uint8_t zero = 0x00;
+    while (buffer_len_ != 56) update({&zero, 1});
+
+    // Little-endian 64-bit message length.
+    util::store_le64(buffer_ + 56, bit_len);
+    compress(buffer_);
+    buffer_len_ = 0;
+
+    Digest out;
+    for (int i = 0; i < 5; ++i) util::store_le32(out.data() + 4 * i, state_[i]);
+    return out;
+}
+
+Ripemd160::Digest Ripemd160::hash(util::ByteSpan data) {
+    Ripemd160 h;
+    h.update(data);
+    return h.finalize();
+}
+
+}  // namespace ebv::crypto

@@ -1,0 +1,34 @@
+// RIPEMD-160, used (as in Bitcoin) to derive 20-byte script addresses:
+// hash160(x) = RIPEMD160(SHA256(x)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/span.hpp"
+
+namespace ebv::crypto {
+
+class Ripemd160 {
+public:
+    static constexpr std::size_t kDigestSize = 20;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Ripemd160() { reset(); }
+
+    void reset();
+    Ripemd160& update(util::ByteSpan data);
+    Digest finalize();
+
+    static Digest hash(util::ByteSpan data);
+
+private:
+    void compress(const std::uint8_t* block);
+
+    std::uint32_t state_[5];
+    std::uint64_t total_len_ = 0;
+    std::uint8_t buffer_[64];
+    std::size_t buffer_len_ = 0;
+};
+
+}  // namespace ebv::crypto

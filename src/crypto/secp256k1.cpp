@@ -1,0 +1,236 @@
+#include "crypto/secp256k1.hpp"
+
+#include <array>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ebv::crypto::secp256k1 {
+
+namespace {
+
+const U256 kP =
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kN =
+    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+
+const U256 kGx =
+    U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGy =
+    U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+/// Jacobian coordinates: (X, Y, Z) represents (X/Z², Y/Z³); Z == 0 is the
+/// point at infinity.
+struct Jacobian {
+    U256 x{};
+    U256 y{};
+    U256 z{};  // zero => infinity
+
+    [[nodiscard]] bool infinity() const { return z.is_zero(); }
+    static Jacobian at_infinity() { return {}; }
+};
+
+Jacobian to_jacobian(const Point& p) {
+    if (p.infinity) return Jacobian::at_infinity();
+    return Jacobian{p.x, p.y, U256::one()};
+}
+
+Point to_affine(const Jacobian& j) {
+    if (j.infinity()) return Point::at_infinity();
+    const ModArith& f = field();
+    const U256 zinv = f.inverse(j.z);
+    const U256 zinv2 = f.sqr(zinv);
+    const U256 zinv3 = f.mul(zinv2, zinv);
+    return Point{f.mul(j.x, zinv2), f.mul(j.y, zinv3), false};
+}
+
+Jacobian jdouble(const Jacobian& a) {
+    if (a.infinity()) return a;
+    const ModArith& f = field();
+    if (a.y.is_zero()) return Jacobian::at_infinity();
+
+    const U256 y2 = f.sqr(a.y);
+    const U256 s = f.mul(f.mul(U256::from_u64(4), a.x), y2);       // 4·X·Y²
+    const U256 m = f.mul(U256::from_u64(3), f.sqr(a.x));           // 3·X² (a = 0)
+    const U256 x3 = f.sub(f.sqr(m), f.mul(U256::from_u64(2), s));  // M² − 2S
+    const U256 y4 = f.sqr(y2);
+    const U256 y3 = f.sub(f.mul(m, f.sub(s, x3)), f.mul(U256::from_u64(8), y4));
+    const U256 z3 = f.mul(f.mul(U256::from_u64(2), a.y), a.z);
+    return Jacobian{x3, y3, z3};
+}
+
+Jacobian jadd(const Jacobian& a, const Jacobian& b) {
+    if (a.infinity()) return b;
+    if (b.infinity()) return a;
+    const ModArith& f = field();
+
+    const U256 z1z1 = f.sqr(a.z);
+    const U256 z2z2 = f.sqr(b.z);
+    const U256 u1 = f.mul(a.x, z2z2);
+    const U256 u2 = f.mul(b.x, z1z1);
+    const U256 s1 = f.mul(a.y, f.mul(z2z2, b.z));
+    const U256 s2 = f.mul(b.y, f.mul(z1z1, a.z));
+
+    if (u1 == u2) {
+        if (s1 == s2) return jdouble(a);
+        return Jacobian::at_infinity();  // P + (−P)
+    }
+
+    const U256 h = f.sub(u2, u1);
+    const U256 r = f.sub(s2, s1);
+    const U256 h2 = f.sqr(h);
+    const U256 h3 = f.mul(h2, h);
+    const U256 u1h2 = f.mul(u1, h2);
+
+    const U256 x3 = f.sub(f.sub(f.sqr(r), h3), f.mul(U256::from_u64(2), u1h2));
+    const U256 y3 = f.sub(f.mul(r, f.sub(u1h2, x3)), f.mul(s1, h3));
+    const U256 z3 = f.mul(h, f.mul(a.z, b.z));
+    return Jacobian{x3, y3, z3};
+}
+
+/// 4-bit windowed multiply for an arbitrary base point.
+Jacobian jmultiply(const Jacobian& p, const U256& k) {
+    // table[i] = i·P for i in [1, 15].
+    std::array<Jacobian, 16> table;
+    table[0] = Jacobian::at_infinity();
+    table[1] = p;
+    for (int i = 2; i < 16; ++i) table[i] = jadd(table[i - 1], p);
+
+    Jacobian acc = Jacobian::at_infinity();
+    for (int nibble = 63; nibble >= 0; --nibble) {
+        if (!acc.infinity()) {
+            acc = jdouble(acc);
+            acc = jdouble(acc);
+            acc = jdouble(acc);
+            acc = jdouble(acc);
+        }
+        const unsigned limb = static_cast<unsigned>(nibble / 16);
+        const unsigned shift = static_cast<unsigned>(nibble % 16) * 4;
+        const unsigned digit = static_cast<unsigned>(k.limbs[limb] >> shift) & 0xf;
+        if (digit != 0) acc = jadd(acc, table[digit]);
+    }
+    return acc;
+}
+
+/// Fixed-base table for G: kGenTable[j][i-1] = i · 16^j · G, so k·G is a
+/// sum of one table entry per nibble of k — no doublings at all.
+class GeneratorTable {
+public:
+    GeneratorTable() {
+        Jacobian base{kGx, kGy, U256::one()};  // 16^j · G
+        for (int j = 0; j < 64; ++j) {
+            Jacobian cur = base;
+            for (int i = 0; i < 15; ++i) {
+                entries_[j][i] = cur;
+                cur = jadd(cur, base);
+            }
+            base = cur;  // after 15 additions cur == 16 · base
+        }
+    }
+
+    [[nodiscard]] Jacobian multiply(const U256& k) const {
+        Jacobian acc = Jacobian::at_infinity();
+        for (int nibble = 0; nibble < 64; ++nibble) {
+            const unsigned limb = static_cast<unsigned>(nibble / 16);
+            const unsigned shift = static_cast<unsigned>(nibble % 16) * 4;
+            const unsigned digit = static_cast<unsigned>(k.limbs[limb] >> shift) & 0xf;
+            if (digit != 0) acc = jadd(acc, entries_[nibble][digit - 1]);
+        }
+        return acc;
+    }
+
+private:
+    Jacobian entries_[64][15];
+};
+
+const GeneratorTable& generator_table() {
+    static const GeneratorTable table;
+    return table;
+}
+
+}  // namespace
+
+const ModArith& field() {
+    static const ModArith f(kP);
+    return f;
+}
+
+const ModArith& order() {
+    static const ModArith n(kN);
+    return n;
+}
+
+const Point& generator() {
+    static const Point g{kGx, kGy, false};
+    return g;
+}
+
+bool Point::on_curve() const {
+    if (infinity) return false;
+    const ModArith& f = field();
+    const U256 lhs = f.sqr(y);
+    const U256 rhs = f.add(f.mul(f.sqr(x), x), U256::from_u64(7));
+    return lhs == rhs;
+}
+
+Point add(const Point& a, const Point& b) {
+    return to_affine(jadd(to_jacobian(a), to_jacobian(b)));
+}
+
+Point negate(const Point& a) {
+    if (a.infinity) return a;
+    return Point{a.x, field().neg(a.y), false};
+}
+
+Point multiply(const Point& p, const U256& k) {
+    const U256 k_reduced = order().reduce(k);
+    if (p.infinity || k_reduced.is_zero()) return Point::at_infinity();
+    return to_affine(jmultiply(to_jacobian(p), k_reduced));
+}
+
+Point multiply_generator(const U256& k) {
+    const U256 k_reduced = order().reduce(k);
+    if (k_reduced.is_zero()) return Point::at_infinity();
+    return to_affine(generator_table().multiply(k_reduced));
+}
+
+void serialize_compressed(const Point& p, util::MutableByteSpan out33) {
+    EBV_EXPECTS(out33.size() == 33);
+    EBV_EXPECTS(!p.infinity);
+    out33[0] = p.y.is_odd() ? 0x03 : 0x02;
+    p.x.to_be_bytes(out33.subspan(1));
+}
+
+std::optional<Point> parse_compressed(util::ByteSpan in33) {
+    if (in33.size() != 33) return std::nullopt;
+    if (in33[0] != 0x02 && in33[0] != 0x03) return std::nullopt;
+
+    const U256 x = U256::from_be_bytes(in33.subspan(1));
+    if (!u256_less(x, kP)) return std::nullopt;
+
+    const ModArith& f = field();
+    const U256 rhs = f.add(f.mul(f.sqr(x), x), U256::from_u64(7));
+
+    // p ≡ 3 (mod 4), so sqrt(a) = a^((p+1)/4) when a is a square.
+    U256 exp = kP;
+    U256 carry_dummy;
+    u256_add(exp, U256::one(), carry_dummy);
+    exp = carry_dummy;
+    // Shift right by 2 bits.
+    for (int i = 0; i < 4; ++i) {
+        exp.limbs[i] >>= 2;
+        if (i + 1 < 4) exp.limbs[i] |= exp.limbs[i + 1] << 62;
+    }
+
+    U256 y = f.pow(rhs, exp);
+    if (f.sqr(y) != rhs) return std::nullopt;  // not a quadratic residue
+
+    const bool want_odd = in33[0] == 0x03;
+    if (y.is_odd() != want_odd) y = f.neg(y);
+
+    Point p{x, y, false};
+    EBV_ENSURES(p.on_curve());
+    return p;
+}
+
+}  // namespace ebv::crypto::secp256k1

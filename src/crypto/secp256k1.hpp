@@ -1,0 +1,51 @@
+// The secp256k1 curve: y² = x³ + 7 over F_p, the curve Bitcoin signs with.
+// Points use Jacobian coordinates internally; scalar multiplication uses a
+// 4-bit window, with a precomputed table for the generator.
+//
+// This implementation is *not* constant-time. It exists so Script
+// Validation in the reproduction costs real, representative CPU work; it is
+// not hardened for production key handling.
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+#include "util/span.hpp"
+
+namespace ebv::crypto::secp256k1 {
+
+/// Field arithmetic mod p = 2^256 - 2^32 - 977.
+const ModArith& field();
+/// Scalar arithmetic mod the group order n.
+const ModArith& order();
+
+/// Affine point; infinity is modelled explicitly.
+struct Point {
+    U256 x{};
+    U256 y{};
+    bool infinity = true;
+
+    static Point at_infinity() { return {}; }
+
+    [[nodiscard]] bool on_curve() const;
+
+    friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// The generator G.
+const Point& generator();
+
+Point add(const Point& a, const Point& b);
+Point negate(const Point& a);
+
+/// k * P for arbitrary P.
+Point multiply(const Point& p, const U256& k);
+/// k * G using the fixed-base table (much faster; used by signing).
+Point multiply_generator(const U256& k);
+
+/// 33-byte compressed SEC1 encoding (02/03 prefix + big-endian x).
+void serialize_compressed(const Point& p, util::MutableByteSpan out33);
+/// Decompress; rejects off-curve and malformed encodings.
+std::optional<Point> parse_compressed(util::ByteSpan in33);
+
+}  // namespace ebv::crypto::secp256k1

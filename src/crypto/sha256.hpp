@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus
+// one-shot helpers; the chain layer builds double-SHA256 on top.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/span.hpp"
+
+namespace ebv::crypto {
+
+class Sha256 {
+public:
+    static constexpr std::size_t kDigestSize = 32;
+    using Digest = std::array<std::uint8_t, kDigestSize>;
+
+    Sha256() { reset(); }
+
+    void reset();
+    Sha256& update(util::ByteSpan data);
+    /// Finalizes into out; the object must be reset() before reuse.
+    void finalize(util::MutableByteSpan out);
+    Digest finalize();
+
+    /// One-shot convenience.
+    static Digest hash(util::ByteSpan data);
+
+private:
+    void compress(const std::uint8_t* block);
+
+    std::uint32_t state_[8];
+    std::uint64_t total_len_ = 0;
+    std::uint8_t buffer_[64];
+    std::size_t buffer_len_ = 0;
+};
+
+/// SHA-256(SHA-256(data)) — the chain's canonical hash.
+Sha256::Digest double_sha256(util::ByteSpan data);
+
+}  // namespace ebv::crypto

@@ -1,0 +1,78 @@
+// 256-bit unsigned integers (4×64-bit little-endian limbs) and modular
+// arithmetic over an arbitrary 256-bit modulus whose complement
+// C = 2^256 - m is small (true for both the secp256k1 field prime p and the
+// group order n). Reduction uses repeated folding: hi*2^256 + lo ≡ hi*C + lo.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/span.hpp"
+
+namespace ebv::crypto {
+
+struct U256 {
+    // limbs[0] is the least significant 64 bits.
+    std::array<std::uint64_t, 4> limbs{};
+
+    static constexpr U256 zero() { return {}; }
+    static constexpr U256 one() { return U256{{1, 0, 0, 0}}; }
+    static U256 from_u64(std::uint64_t v) { return U256{{v, 0, 0, 0}}; }
+
+    /// Big-endian 32-byte decoding (the natural byte order of hashes/keys).
+    static U256 from_be_bytes(util::ByteSpan bytes32);
+    void to_be_bytes(util::MutableByteSpan out32) const;
+
+    /// Parse exactly 64 hex characters (big-endian). Aborts on bad input;
+    /// intended for compile-time-known constants.
+    static U256 from_hex(std::string_view hex64);
+
+    [[nodiscard]] bool is_zero() const {
+        return (limbs[0] | limbs[1] | limbs[2] | limbs[3]) == 0;
+    }
+    [[nodiscard]] bool is_odd() const { return limbs[0] & 1; }
+    [[nodiscard]] bool bit(unsigned i) const { return (limbs[i / 64] >> (i % 64)) & 1; }
+
+    friend bool operator==(const U256&, const U256&) = default;
+};
+
+/// a < b, a <= b as unsigned 256-bit integers.
+bool u256_less(const U256& a, const U256& b);
+inline bool u256_less_equal(const U256& a, const U256& b) { return !u256_less(b, a); }
+
+/// a + b, returning the carry-out bit.
+std::uint64_t u256_add(const U256& a, const U256& b, U256& out);
+/// a - b, returning the borrow-out bit.
+std::uint64_t u256_sub(const U256& a, const U256& b, U256& out);
+/// Full 512-bit product as 8 limbs (little-endian).
+void u256_mul_wide(const U256& a, const U256& b, std::uint64_t out[8]);
+
+/// Fixed-modulus arithmetic. The modulus must satisfy 2^255 < m < 2^256 so
+/// that its complement C = 2^256 - m is < 2^255 (both secp256k1 moduli do).
+class ModArith {
+public:
+    explicit ModArith(const U256& modulus);
+
+    [[nodiscard]] const U256& modulus() const { return m_; }
+
+    [[nodiscard]] U256 add(const U256& a, const U256& b) const;
+    [[nodiscard]] U256 sub(const U256& a, const U256& b) const;
+    [[nodiscard]] U256 neg(const U256& a) const;
+    [[nodiscard]] U256 mul(const U256& a, const U256& b) const;
+    [[nodiscard]] U256 sqr(const U256& a) const { return mul(a, a); }
+    [[nodiscard]] U256 pow(const U256& base, const U256& exponent) const;
+    /// Inverse via Fermat's little theorem (modulus must be prime);
+    /// input must be nonzero.
+    [[nodiscard]] U256 inverse(const U256& a) const;
+    /// Reduce an arbitrary 256-bit value into [0, m).
+    [[nodiscard]] U256 reduce(const U256& a) const;
+    /// Reduce a 512-bit value (8 limbs) into [0, m).
+    [[nodiscard]] U256 reduce_wide(const std::uint64_t limbs[8]) const;
+
+private:
+    U256 m_;
+    U256 complement_;  // 2^256 - m, fits well below 2^255
+};
+
+}  // namespace ebv::crypto

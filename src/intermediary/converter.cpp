@@ -1,0 +1,89 @@
+#include "intermediary/converter.hpp"
+
+namespace ebv::intermediary {
+
+const char* to_string(ConvertError e) {
+    switch (e) {
+        case ConvertError::kUnknownPrevout: return "unknown prevout";
+        case ConvertError::kIntraBlockSpend: return "intra-block spend not representable";
+        case ConvertError::kCoinbaseShape: return "unexpected coinbase shape";
+    }
+    return "unknown convert error";
+}
+
+util::Result<core::EbvBlock, ConvertError> Converter::convert_block(
+    const chain::Block& block) {
+    const std::uint32_t height = next_height();
+
+    core::EbvBlock ebv_block;
+    ebv_block.header = block.header;  // merkle root is reassigned below
+    // Stake positions change the Merkle root, so EBV block hashes differ
+    // from the source chain's: the converted chain links via its own tips.
+    ebv_block.header.prev_hash = prev_ebv_hash_;
+    ebv_block.txs.reserve(block.txs.size());
+
+    for (std::size_t t = 0; t < block.txs.size(); ++t) {
+        const chain::Transaction& tx = block.txs[t];
+        core::EbvTransaction ebv_tx;
+        ebv_tx.version = tx.version;
+        ebv_tx.locktime = tx.locktime;
+        ebv_tx.outputs = tx.vout;
+
+        if (t == 0) {
+            if (!tx.is_coinbase())
+                return util::Unexpected{ConvertError::kCoinbaseShape};
+            // The coinbase's height-tagged script becomes the coinbase data.
+            ebv_tx.coinbase_data = tx.vin[0].unlock_script;
+            if (ebv_tx.coinbase_data.empty()) ebv_tx.coinbase_data.push_back(0x00);
+        } else {
+            ebv_tx.inputs.reserve(tx.vin.size());
+            for (const chain::TxIn& in : tx.vin) {
+                const auto it = index_.find(in.prevout);
+                if (it == index_.end()) {
+                    // Either truly unknown or created earlier in this very
+                    // block; EBV cannot prove membership of an unpackaged
+                    // block, so both cases are conversion failures.
+                    for (const auto& prior : block.txs) {
+                        if (prior.txid() == in.prevout.txid)
+                            return util::Unexpected{ConvertError::kIntraBlockSpend};
+                    }
+                    return util::Unexpected{ConvertError::kUnknownPrevout};
+                }
+                const Location& loc = it->second;
+                core::EbvInput ebv_in =
+                    archive_.make_input(loc.height, loc.tx_index, loc.out_index);
+                ebv_in.prevout = in.prevout;
+                ebv_in.sequence = in.sequence;
+                ebv_in.unlock_script = in.unlock_script;  // signatures carry over
+                ebv_tx.inputs.push_back(std::move(ebv_in));
+            }
+        }
+        ebv_block.txs.push_back(std::move(ebv_tx));
+    }
+
+    ebv_block.assign_stake_positions();
+
+    // Commit: index the new outputs, drop the spent ones, archive the block.
+    for (std::size_t t = 0; t < block.txs.size(); ++t) {
+        const chain::Transaction& tx = block.txs[t];
+        if (!tx.is_coinbase()) {
+            for (const chain::TxIn& in : tx.vin) index_.erase(in.prevout);
+        }
+        for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
+            index_.emplace(chain::OutPoint{tx.txid(), o},
+                           Location{height, static_cast<std::uint32_t>(t),
+                                    static_cast<std::uint16_t>(o)});
+        }
+    }
+    archive_.add_block(ebv_block);
+    prev_ebv_hash_ = ebv_block.header.hash();
+
+    ++stats_.blocks;
+    stats_.inputs_reconstructed += ebv_block.input_count();
+    stats_.bitcoin_bytes += block.serialized_size();
+    stats_.ebv_bytes += ebv_block.serialized_size();
+
+    return ebv_block;
+}
+
+}  // namespace ebv::intermediary

@@ -1,0 +1,127 @@
+// ChainBackend implementations binding the protocol engine to the two node
+// types, plus the intermediary bridge (paper §VI-A): a Bitcoin-format
+// downloader whose accepted blocks are converted and served to EBV-format
+// peers through a second endpoint.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "chain/node.hpp"
+#include "core/node.hpp"
+#include "intermediary/converter.hpp"
+#include "net/protocol_node.hpp"
+
+namespace ebv::net {
+
+/// Backend over a baseline (Bitcoin-format) validator node.
+class BitcoinChainBackend final : public ChainBackend {
+public:
+    explicit BitcoinChainBackend(chain::BitcoinNode& node) : node_(node) {}
+
+    [[nodiscard]] ChainFormat format() const override { return ChainFormat::kBitcoin; }
+    [[nodiscard]] std::uint32_t block_count() const override { return node_.next_height(); }
+    std::optional<crypto::Hash256> block_hash_at(std::uint32_t height) const override;
+    std::optional<util::Bytes> header_at(std::uint32_t height) const override;
+    std::optional<util::Bytes> block_by_hash(const crypto::Hash256& hash) const override;
+    std::optional<crypto::Hash256> peek_prev_hash(const util::Bytes& payload) const override;
+    std::optional<crypto::Hash256> peek_hash(const util::Bytes& payload) const override;
+    std::optional<util::Nanoseconds> accept_block(const util::Bytes& payload) override;
+
+    /// Pre-load a locally produced block (e.g. the origin node's chain).
+    void seed_block(const chain::Block& block);
+
+    /// Total validation cost accumulated by accept_block.
+    [[nodiscard]] util::Nanoseconds validation_ns() const { return validation_ns_; }
+
+private:
+    chain::BitcoinNode& node_;
+    std::unordered_map<crypto::Hash256, util::Bytes, crypto::Hash256Hasher> by_hash_;
+    util::Nanoseconds validation_ns_ = 0;
+};
+
+/// Backend over an EBV validator node.
+class EbvChainBackend final : public ChainBackend {
+public:
+    explicit EbvChainBackend(core::EbvNode& node) : node_(node) {}
+
+    [[nodiscard]] ChainFormat format() const override { return ChainFormat::kEbv; }
+    [[nodiscard]] std::uint32_t block_count() const override { return node_.next_height(); }
+    std::optional<crypto::Hash256> block_hash_at(std::uint32_t height) const override;
+    std::optional<util::Bytes> header_at(std::uint32_t height) const override;
+    std::optional<util::Bytes> block_by_hash(const crypto::Hash256& hash) const override;
+    std::optional<crypto::Hash256> peek_prev_hash(const util::Bytes& payload) const override;
+    std::optional<crypto::Hash256> peek_hash(const util::Bytes& payload) const override;
+    std::optional<util::Nanoseconds> accept_block(const util::Bytes& payload) override;
+
+    void seed_block(const core::EbvBlock& block);
+    [[nodiscard]] util::Nanoseconds validation_ns() const { return validation_ns_; }
+
+private:
+    core::EbvNode& node_;
+    std::unordered_map<crypto::Hash256, util::Bytes, crypto::Hash256Hasher> by_hash_;
+    util::Nanoseconds validation_ns_ = 0;
+};
+
+/// The intermediary: its upstream backend accepts Bitcoin-format blocks
+/// (validating them like any baseline node); every accepted block is
+/// converted and exposed through the downstream EBV backend, whose
+/// protocol endpoint serves EBV peers.
+class IntermediaryBridge {
+public:
+    IntermediaryBridge(SimNetwork& network, netsim::Region region,
+                       const chain::ChainParams& params);
+
+    /// Upstream (Bitcoin-format) protocol endpoint — connect it to sources.
+    [[nodiscard]] ProtocolNode& upstream() { return *upstream_node_; }
+    /// Downstream (EBV-format) protocol endpoint — EBV nodes connect here.
+    [[nodiscard]] ProtocolNode& downstream() { return *downstream_node_; }
+
+    [[nodiscard]] std::uint32_t converted_blocks() const {
+        return downstream_backend_->block_count();
+    }
+
+private:
+    /// Upstream backend that also converts + seeds downstream on accept.
+    class ConvertingBackend final : public ChainBackend {
+    public:
+        ConvertingBackend(IntermediaryBridge& owner) : owner_(owner) {}
+        [[nodiscard]] ChainFormat format() const override { return ChainFormat::kBitcoin; }
+        [[nodiscard]] std::uint32_t block_count() const override {
+            return owner_.btc_backend_->block_count();
+        }
+        std::optional<crypto::Hash256> block_hash_at(std::uint32_t h) const override {
+            return owner_.btc_backend_->block_hash_at(h);
+        }
+        std::optional<util::Bytes> header_at(std::uint32_t h) const override {
+            return owner_.btc_backend_->header_at(h);
+        }
+        std::optional<util::Bytes> block_by_hash(const crypto::Hash256& h) const override {
+            return owner_.btc_backend_->block_by_hash(h);
+        }
+        std::optional<crypto::Hash256> peek_prev_hash(const util::Bytes& p) const override {
+            return owner_.btc_backend_->peek_prev_hash(p);
+        }
+        std::optional<crypto::Hash256> peek_hash(const util::Bytes& p) const override {
+            return owner_.btc_backend_->peek_hash(p);
+        }
+        std::optional<util::Nanoseconds> accept_block(const util::Bytes& payload) override;
+
+    private:
+        IntermediaryBridge& owner_;
+    };
+
+    chain::BitcoinNodeOptions btc_options_;
+    std::unique_ptr<chain::BitcoinNode> btc_node_;
+    std::unique_ptr<BitcoinChainBackend> btc_backend_;
+    std::unique_ptr<ConvertingBackend> upstream_backend_;
+    std::unique_ptr<ProtocolNode> upstream_node_;
+
+    intermediary::Converter converter_;
+    core::EbvNodeOptions ebv_options_;
+    std::unique_ptr<core::EbvNode> ebv_node_;
+    std::unique_ptr<EbvChainBackend> downstream_backend_;
+    std::unique_ptr<ProtocolNode> downstream_node_;
+};
+
+}  // namespace ebv::net

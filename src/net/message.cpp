@@ -1,0 +1,275 @@
+#include "net/message.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "util/endian.hpp"
+
+namespace ebv::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xEB5F00D5;
+constexpr std::size_t kFrameHeader = 4 + 1 + 4 + 4;
+constexpr std::size_t kMaxPayload = 8u << 20;
+
+std::uint32_t checksum_of(util::ByteSpan payload) {
+    const auto digest = crypto::double_sha256(payload);
+    return util::load_le32(digest.data());
+}
+
+// ---- payload encoders ------------------------------------------------------
+
+void encode_payload(util::Writer& w, const VersionMsg& m) {
+    w.u32(m.protocol);
+    w.u8(static_cast<std::uint8_t>(m.format));
+    w.u32(m.best_height);
+    w.u64(m.nonce);
+}
+
+void encode_payload(util::Writer&, const VerAckMsg&) {}
+
+void encode_payload(util::Writer& w, const GetHeadersMsg& m) {
+    w.u32(m.from_height);
+    w.u32(m.max_count);
+}
+
+void encode_payload(util::Writer& w, const HeadersMsg& m) {
+    w.u32(m.start_height);
+    w.compact_size(m.headers.size());
+    for (const auto& h : m.headers) w.var_bytes(h);
+}
+
+void encode_inv_items(util::Writer& w, const std::vector<InvItem>& items) {
+    w.compact_size(items.size());
+    for (const auto& item : items) {
+        w.u8(static_cast<std::uint8_t>(item.type));
+        w.bytes(item.hash.span());
+    }
+}
+
+void encode_payload(util::Writer& w, const InvMsg& m) { encode_inv_items(w, m.items); }
+void encode_payload(util::Writer& w, const GetDataMsg& m) { encode_inv_items(w, m.items); }
+
+void encode_payload(util::Writer& w, const BlockMsg& m) {
+    w.u8(static_cast<std::uint8_t>(m.format));
+    w.u32(m.height);
+    w.var_bytes(m.payload);
+}
+
+void encode_payload(util::Writer& w, const TxMsg& m) {
+    w.u8(static_cast<std::uint8_t>(m.format));
+    w.var_bytes(m.payload);
+}
+
+void encode_payload(util::Writer& w, const PingMsg& m) { w.u64(m.nonce); }
+void encode_payload(util::Writer& w, const PongMsg& m) { w.u64(m.nonce); }
+
+// ---- payload decoders ------------------------------------------------------
+
+using DecodeResult = util::Result<Message, WireError>;
+
+DecodeResult malformed() { return util::Unexpected{WireError::kMalformedPayload}; }
+
+DecodeResult decode_version(util::Reader& r) {
+    VersionMsg m;
+    auto protocol = r.u32();
+    if (!protocol) return malformed();
+    m.protocol = *protocol;
+    auto format = r.u8();
+    if (!format || *format > 1) return malformed();
+    m.format = static_cast<ChainFormat>(*format);
+    auto height = r.u32();
+    if (!height) return malformed();
+    m.best_height = *height;
+    auto nonce = r.u64();
+    if (!nonce) return malformed();
+    m.nonce = *nonce;
+    return Message{m};
+}
+
+DecodeResult decode_get_headers(util::Reader& r) {
+    GetHeadersMsg m;
+    auto from = r.u32();
+    if (!from) return malformed();
+    m.from_height = *from;
+    auto max = r.u32();
+    if (!max) return malformed();
+    m.max_count = *max;
+    return Message{m};
+}
+
+DecodeResult decode_headers(util::Reader& r) {
+    HeadersMsg m;
+    auto start = r.u32();
+    if (!start) return malformed();
+    m.start_height = *start;
+    auto count = r.compact_size();
+    if (!count || *count > 100'000) return malformed();
+    m.headers.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        auto bytes = r.var_bytes(1024);
+        if (!bytes) return malformed();
+        m.headers.push_back(std::move(*bytes));
+    }
+    return Message{std::move(m)};
+}
+
+util::Result<std::vector<InvItem>, WireError> decode_inv_items(util::Reader& r) {
+    auto count = r.compact_size();
+    if (!count || *count > 50'000) return util::Unexpected{WireError::kMalformedPayload};
+    std::vector<InvItem> items;
+    items.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        auto type = r.u8();
+        if (!type || *type > 1) return util::Unexpected{WireError::kMalformedPayload};
+        auto hash = r.bytes(32);
+        if (!hash) return util::Unexpected{WireError::kMalformedPayload};
+        items.push_back(InvItem{static_cast<InvType>(*type),
+                                crypto::Hash256::from_span(*hash)});
+    }
+    return items;
+}
+
+DecodeResult decode_block(util::Reader& r) {
+    BlockMsg m;
+    auto format = r.u8();
+    if (!format || *format > 1) return malformed();
+    m.format = static_cast<ChainFormat>(*format);
+    auto height = r.u32();
+    if (!height) return malformed();
+    m.height = *height;
+    auto payload = r.var_bytes(kMaxPayload);
+    if (!payload) return malformed();
+    m.payload = std::move(*payload);
+    return Message{std::move(m)};
+}
+
+DecodeResult decode_tx(util::Reader& r) {
+    TxMsg m;
+    auto format = r.u8();
+    if (!format || *format > 1) return malformed();
+    m.format = static_cast<ChainFormat>(*format);
+    auto payload = r.var_bytes(kMaxPayload);
+    if (!payload) return malformed();
+    m.payload = std::move(*payload);
+    return Message{std::move(m)};
+}
+
+template <typename M>
+DecodeResult decode_nonce_msg(util::Reader& r) {
+    M m;
+    auto nonce = r.u64();
+    if (!nonce) return malformed();
+    m.nonce = *nonce;
+    return Message{m};
+}
+
+}  // namespace
+
+const char* to_string(Command c) {
+    switch (c) {
+        case Command::kVersion: return "version";
+        case Command::kVerAck: return "verack";
+        case Command::kGetHeaders: return "getheaders";
+        case Command::kHeaders: return "headers";
+        case Command::kInv: return "inv";
+        case Command::kGetData: return "getdata";
+        case Command::kBlock: return "block";
+        case Command::kTx: return "tx";
+        case Command::kPing: return "ping";
+        case Command::kPong: return "pong";
+    }
+    return "unknown";
+}
+
+const char* to_string(WireError e) {
+    switch (e) {
+        case WireError::kBadMagic: return "bad magic";
+        case WireError::kTruncated: return "truncated frame";
+        case WireError::kBadChecksum: return "bad checksum";
+        case WireError::kUnknownCommand: return "unknown command";
+        case WireError::kMalformedPayload: return "malformed payload";
+        case WireError::kOversized: return "oversized payload";
+    }
+    return "unknown wire error";
+}
+
+Command command_of(const Message& m) {
+    struct Visitor {
+        Command operator()(const VersionMsg&) const { return Command::kVersion; }
+        Command operator()(const VerAckMsg&) const { return Command::kVerAck; }
+        Command operator()(const GetHeadersMsg&) const { return Command::kGetHeaders; }
+        Command operator()(const HeadersMsg&) const { return Command::kHeaders; }
+        Command operator()(const InvMsg&) const { return Command::kInv; }
+        Command operator()(const GetDataMsg&) const { return Command::kGetData; }
+        Command operator()(const BlockMsg&) const { return Command::kBlock; }
+        Command operator()(const TxMsg&) const { return Command::kTx; }
+        Command operator()(const PingMsg&) const { return Command::kPing; }
+        Command operator()(const PongMsg&) const { return Command::kPong; }
+    };
+    return std::visit(Visitor{}, m);
+}
+
+util::Bytes encode_message(const Message& m) {
+    util::Writer payload_writer;
+    std::visit([&](const auto& msg) { encode_payload(payload_writer, msg); }, m);
+    const util::Bytes& payload = payload_writer.data();
+
+    util::Writer w(kFrameHeader + payload.size());
+    w.u32(kMagic);
+    w.u8(static_cast<std::uint8_t>(command_of(m)));
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.u32(checksum_of(payload));
+    w.bytes(payload);
+    return w.take();
+}
+
+util::Result<std::pair<Message, std::size_t>, WireError> decode_message(
+    util::ByteSpan wire) {
+    if (wire.size() < kFrameHeader) return util::Unexpected{WireError::kTruncated};
+
+    util::Reader r(wire);
+    if (*r.u32() != kMagic) return util::Unexpected{WireError::kBadMagic};
+    const std::uint8_t command = *r.u8();
+    const std::uint32_t length = *r.u32();
+    const std::uint32_t checksum = *r.u32();
+
+    if (length > kMaxPayload) return util::Unexpected{WireError::kOversized};
+    if (wire.size() < kFrameHeader + length) return util::Unexpected{WireError::kTruncated};
+
+    const util::ByteSpan payload = wire.subspan(kFrameHeader, length);
+    if (checksum_of(payload) != checksum) return util::Unexpected{WireError::kBadChecksum};
+
+    util::Reader pr(payload);
+    DecodeResult decoded = [&]() -> DecodeResult {
+        switch (static_cast<Command>(command)) {
+            case Command::kVersion: return decode_version(pr);
+            case Command::kVerAck: return Message{VerAckMsg{}};
+            case Command::kGetHeaders: return decode_get_headers(pr);
+            case Command::kHeaders: return decode_headers(pr);
+            case Command::kInv: {
+                auto items = decode_inv_items(pr);
+                if (!items) return util::Unexpected{items.error()};
+                return Message{InvMsg{std::move(*items)}};
+            }
+            case Command::kGetData: {
+                auto items = decode_inv_items(pr);
+                if (!items) return util::Unexpected{items.error()};
+                return Message{GetDataMsg{std::move(*items)}};
+            }
+            case Command::kBlock: return decode_block(pr);
+            case Command::kTx: return decode_tx(pr);
+            case Command::kPing: return decode_nonce_msg<PingMsg>(pr);
+            case Command::kPong: return decode_nonce_msg<PongMsg>(pr);
+            default: return util::Unexpected{WireError::kUnknownCommand};
+        }
+    }();
+    if (!decoded) return util::Unexpected{decoded.error()};
+    // Trailing bytes inside the declared payload are a protocol violation.
+    if (!pr.empty()) return util::Unexpected{WireError::kMalformedPayload};
+
+    return std::make_pair(std::move(*decoded), kFrameHeader + length);
+}
+
+}  // namespace ebv::net

@@ -1,0 +1,253 @@
+#include "net/protocol_node.hpp"
+
+#include "util/log.hpp"
+
+namespace ebv::net {
+
+ProtocolNode::ProtocolNode(SimNetwork& network, netsim::Region region,
+                           ChainBackend& backend, std::string name)
+    : network_(network), backend_(backend), name_(std::move(name)) {
+    id_ = network_.add_endpoint(
+        region, [this](EndpointId from, const util::Bytes& wire) { on_wire(from, wire); });
+    nonce_ = 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(id_) << 32);
+    // Every already-connected block is known.
+    for (std::uint32_t h = 0; h < backend_.block_count(); ++h) {
+        if (auto hash = backend_.block_hash_at(h)) known_.insert(*hash);
+    }
+}
+
+void ProtocolNode::connect_to(EndpointId peer) {
+    peers_.try_emplace(peer);
+    send(peer, VersionMsg{1, backend_.format(), backend_.block_count(), nonce_});
+}
+
+void ProtocolNode::notify_local_block(const crypto::Hash256& hash) {
+    known_.insert(hash);
+    announce_block(hash, id_);
+}
+
+void ProtocolNode::send(EndpointId to, const Message& m) {
+    util::Bytes wire = encode_message(m);
+    ++stats_.messages_out;
+    stats_.bytes_out += wire.size();
+    network_.send(id_, to, std::move(wire));
+}
+
+void ProtocolNode::on_wire(EndpointId from, const util::Bytes& wire) {
+    ++stats_.messages_in;
+    stats_.bytes_in += wire.size();
+
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+        auto decoded = decode_message(util::ByteSpan(wire).subspan(offset));
+        if (!decoded) {
+            EBV_LOG_WARN("%s: dropping frame from %u: %s", name_.c_str(), from,
+                         to_string(decoded.error()));
+            return;
+        }
+        dispatch(from, decoded->first);
+        offset += decoded->second;
+    }
+}
+
+void ProtocolNode::dispatch(EndpointId from, const Message& m) {
+    std::visit([&](const auto& msg) { handle(from, msg); }, m);
+}
+
+// ---- handshake -------------------------------------------------------------
+
+void ProtocolNode::handle(EndpointId from, const VersionMsg& m) {
+    if (m.nonce == nonce_) return;  // self connection
+    if (m.format != backend_.format()) {
+        EBV_LOG_WARN("%s: peer %u speaks a different chain format", name_.c_str(), from);
+        return;
+    }
+
+    auto [it, inserted] = peers_.try_emplace(from);
+    PeerState& peer = it->second;
+    peer.best_height = m.best_height;
+    const bool knew_version = peer.version_received;
+    peer.version_received = true;
+
+    if (inserted || !knew_version) {
+        // Respond with our version exactly once (responder path), then ack.
+        if (inserted) {
+            send(from, VersionMsg{1, backend_.format(), backend_.block_count(), nonce_});
+        }
+        send(from, VerAckMsg{});
+    }
+}
+
+void ProtocolNode::handle(EndpointId from, const VerAckMsg&) {
+    const auto it = peers_.find(from);
+    if (it == peers_.end() || !it->second.version_received) return;
+    if (it->second.handshaken) return;
+    it->second.handshaken = true;
+    maybe_start_sync(from);
+
+    // Tell the new peer about our tip: combined with the orphan-triggered
+    // header re-sync this guarantees convergence even when block
+    // announcements raced the handshake.
+    const std::uint32_t count = backend_.block_count();
+    if (count > 0) {
+        if (const auto tip = backend_.block_hash_at(count - 1); tip) {
+            send(from, InvMsg{{InvItem{InvType::kBlock, *tip}}});
+        }
+    }
+}
+
+void ProtocolNode::maybe_start_sync(EndpointId peer_id) {
+    const PeerState& peer = peers_.at(peer_id);
+    if (peer.best_height > backend_.block_count()) {
+        send(peer_id, GetHeadersMsg{backend_.block_count(), kHeaderBatch});
+    }
+}
+
+// ---- header sync ------------------------------------------------------------
+
+void ProtocolNode::handle(EndpointId from, const GetHeadersMsg& m) {
+    HeadersMsg reply;
+    reply.start_height = m.from_height;
+    const std::uint32_t max = std::min(m.max_count, kHeaderBatch);
+    for (std::uint32_t h = m.from_height;
+         h < backend_.block_count() && reply.headers.size() < max; ++h) {
+        if (auto header = backend_.header_at(h)) reply.headers.push_back(std::move(*header));
+    }
+    send(from, reply);
+}
+
+void ProtocolNode::handle(EndpointId from, const HeadersMsg& m) {
+    const auto it = peers_.find(from);
+    if (it == peers_.end() || !it->second.handshaken) return;
+    PeerState& peer = it->second;
+
+    std::uint32_t height = m.start_height;
+    for (const auto& header_bytes : m.headers) {
+        const crypto::Hash256 hash = crypto::hash256(header_bytes);
+        if (height >= backend_.block_count() && !known_.count(hash)) {
+            peer.pending_blocks.push_back(hash);
+        }
+        ++height;
+    }
+    request_more_blocks(from);
+
+    // More headers may exist beyond this batch.
+    if (m.headers.size() == kHeaderBatch && height < peer.best_height + 1) {
+        send(from, GetHeadersMsg{height, kHeaderBatch});
+    }
+}
+
+void ProtocolNode::request_more_blocks(EndpointId peer_id) {
+    PeerState& peer = peers_.at(peer_id);
+    GetDataMsg request;
+    while (peer.inflight < kMaxInflight && !peer.pending_blocks.empty()) {
+        const crypto::Hash256 hash = peer.pending_blocks.front();
+        peer.pending_blocks.pop_front();
+        if (known_.count(hash)) continue;
+        known_.insert(hash);  // inflight
+        request.items.push_back(InvItem{InvType::kBlock, hash});
+        ++peer.inflight;
+    }
+    if (!request.items.empty()) send(peer_id, request);
+}
+
+// ---- inventory / data ------------------------------------------------------
+
+void ProtocolNode::handle(EndpointId from, const InvMsg& m) {
+    const auto it = peers_.find(from);
+    if (it == peers_.end() || !it->second.handshaken) return;
+
+    GetDataMsg request;
+    for (const InvItem& item : m.items) {
+        if (item.type != InvType::kBlock) continue;
+        if (known_.count(item.hash)) continue;
+        known_.insert(item.hash);
+        request.items.push_back(item);
+        ++it->second.inflight;
+    }
+    if (!request.items.empty()) send(from, request);
+}
+
+void ProtocolNode::handle(EndpointId from, const GetDataMsg& m) {
+    for (const InvItem& item : m.items) {
+        if (item.type != InvType::kBlock) continue;
+        if (auto payload = backend_.block_by_hash(item.hash)) {
+            send(from, BlockMsg{backend_.format(), 0, std::move(*payload)});
+        }
+    }
+}
+
+void ProtocolNode::handle(EndpointId from, const BlockMsg& m) {
+    const auto it = peers_.find(from);
+    if (it != peers_.end() && it->second.inflight > 0) --it->second.inflight;
+    if (m.format != backend_.format()) return;
+
+    const auto hash = backend_.peek_hash(m.payload);
+    const auto prev = backend_.peek_prev_hash(m.payload);
+    if (!hash || !prev) return;
+    known_.insert(*hash);
+
+    // Stash; try_connect_pending connects everything that now links up.
+    orphans_[*prev] = m.payload;
+    try_connect_pending();
+
+    if (it != peers_.end()) {
+        request_more_blocks(from);
+        // Orphans left with nothing inflight mean we missed announcements
+        // (e.g. they raced our handshake): re-sync headers to fill the gap.
+        if (!orphans_.empty() && it->second.inflight == 0 &&
+            it->second.pending_blocks.empty()) {
+            send(from, GetHeadersMsg{backend_.block_count(), kHeaderBatch});
+        }
+    }
+}
+
+void ProtocolNode::try_connect_pending() {
+    for (;;) {
+        const std::uint32_t next = backend_.block_count();
+        crypto::Hash256 tip;  // zero for genesis
+        if (next > 0) {
+            const auto tip_hash = backend_.block_hash_at(next - 1);
+            if (!tip_hash) return;
+            tip = *tip_hash;
+        }
+        const auto it = orphans_.find(tip);
+        if (it == orphans_.end()) return;
+
+        const util::Bytes payload = std::move(it->second);
+        orphans_.erase(it);
+
+        const auto cost = backend_.accept_block(payload);
+        if (!cost) {
+            ++stats_.blocks_rejected;
+            continue;  // a later orphan may still fit
+        }
+        ++stats_.blocks_connected;
+        stats_.connect_times.push_back(network_.now());
+
+        const auto hash = backend_.peek_hash(payload);
+        // Validation costs simulated time: relay only after it elapses.
+        network_.defer(*cost, [this, hash] {
+            if (hash) announce_block(*hash, id_ /*no exception*/);
+        });
+    }
+}
+
+void ProtocolNode::announce_block(const crypto::Hash256& hash, EndpointId except) {
+    for (const auto& [peer_id, peer] : peers_) {
+        if (peer_id == except || !peer.handshaken) continue;
+        send(peer_id, InvMsg{{InvItem{InvType::kBlock, hash}}});
+    }
+}
+
+void ProtocolNode::handle(EndpointId, const TxMsg&) {
+    // Transaction relay is not exercised by the reproduction's experiments.
+}
+
+void ProtocolNode::handle(EndpointId from, const PingMsg& m) {
+    send(from, PongMsg{m.nonce});
+}
+
+void ProtocolNode::handle(EndpointId, const PongMsg&) {}
+
+}  // namespace ebv::net

@@ -1,0 +1,74 @@
+// In-process simulated transport: endpoints exchange wire bytes over a
+// discrete-event network with region-based latency and bandwidth. Nodes
+// also charge their own processing (validation) time to the simulated
+// clock, which is exactly how slow validation turns into slow propagation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/latency.hpp"
+#include "util/span.hpp"
+
+namespace ebv::net {
+
+using EndpointId = std::uint32_t;
+
+class SimNetwork {
+public:
+    using Handler = std::function<void(EndpointId from, const util::Bytes& wire)>;
+
+    explicit SimNetwork(std::uint64_t latency_seed = 11) : latency_(latency_seed) {}
+
+    /// Register an endpoint in a region; its handler runs when bytes arrive.
+    EndpointId add_endpoint(netsim::Region region, Handler handler) {
+        const auto id = static_cast<EndpointId>(endpoints_.size());
+        endpoints_.push_back(Endpoint{region, std::move(handler)});
+        return id;
+    }
+
+    /// Queue bytes for delivery (latency = region RTT/2 + transfer time).
+    /// Like TCP, each (from, to) link is an ordered stream: a message never
+    /// overtakes an earlier one on the same link.
+    void send(EndpointId from, EndpointId to, util::Bytes wire) {
+        const netsim::SimTime delay =
+            latency_.sample(endpoints_[from].region, endpoints_[to].region, wire.size());
+        netsim::SimTime& last = last_delivery_[link_key(from, to)];
+        const netsim::SimTime at = std::max(queue_.now() + delay, last);
+        last = at;
+        queue_.schedule(at, [this, from, to, wire = std::move(wire)]() mutable {
+            endpoints_[to].handler(from, wire);
+        });
+    }
+
+    /// Run fn after `delay` of simulated time (models processing cost).
+    void defer(netsim::SimTime delay, std::function<void()> fn) {
+        queue_.schedule(queue_.now() + delay, std::move(fn));
+    }
+
+    void run() { queue_.run(); }
+    [[nodiscard]] netsim::SimTime now() const { return queue_.now(); }
+    [[nodiscard]] netsim::Region region_of(EndpointId id) const {
+        return endpoints_[id].region;
+    }
+
+private:
+    struct Endpoint {
+        netsim::Region region;
+        Handler handler;
+    };
+
+    static std::uint64_t link_key(EndpointId from, EndpointId to) {
+        return static_cast<std::uint64_t>(from) << 32 | to;
+    }
+
+    netsim::EventQueue queue_;
+    netsim::LatencySampler latency_;
+    std::vector<Endpoint> endpoints_;
+    std::unordered_map<std::uint64_t, netsim::SimTime> last_delivery_;
+};
+
+}  // namespace ebv::net

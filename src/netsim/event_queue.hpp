@@ -1,0 +1,52 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ebv::netsim {
+
+using SimTime = std::int64_t;  // nanoseconds of simulated time
+
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    void schedule(SimTime at, Callback fn) {
+        events_.push(Event{at, next_sequence_++, std::move(fn)});
+    }
+
+    /// Run until the queue drains or `until` is reached.
+    void run(SimTime until = INT64_MAX) {
+        while (!events_.empty() && events_.top().at <= until) {
+            // pop before invoking: the callback may schedule more events.
+            Event event = events_.top();
+            events_.pop();
+            now_ = event.at;
+            event.fn();
+        }
+    }
+
+    [[nodiscard]] SimTime now() const { return now_; }
+    [[nodiscard]] bool empty() const { return events_.empty(); }
+
+private:
+    struct Event {
+        SimTime at;
+        std::uint64_t sequence;  // FIFO tie-break for simultaneous events
+        Callback fn;
+
+        bool operator>(const Event& o) const {
+            if (at != o.at) return at > o.at;
+            return sequence > o.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    SimTime now_ = 0;
+    std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace ebv::netsim

@@ -1,0 +1,91 @@
+#include "netsim/gossip.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::netsim {
+
+SimTime PropagationResult::time_to_fraction(double fraction) const {
+    std::vector<SimTime> reached;
+    reached.reserve(receive_time.size());
+    for (SimTime t : receive_time) {
+        if (t != kUnreached) reached.push_back(t);
+    }
+    std::sort(reached.begin(), reached.end());
+    const auto need = static_cast<std::size_t>(
+        fraction * static_cast<double>(receive_time.size()) + 0.5);
+    if (need == 0) return 0;
+    if (need > reached.size()) return kUnreached;
+    return reached[need - 1];
+}
+
+GossipNetwork::GossipNetwork(const GossipOptions& options) : options_(options) {
+    EBV_EXPECTS(options.node_count >= 2);
+    util::Rng rng(options.topology_seed);
+
+    // Nodes are spread round-robin across the five regions ("dispersed in
+    // five regions").
+    regions_.resize(options.node_count);
+    for (std::size_t i = 0; i < options.node_count; ++i) {
+        regions_[i] = static_cast<Region>(i % kRegionCount);
+    }
+
+    // Topology: a ring (guarantees connectivity) plus random extra edges
+    // until every node has at least `neighbors_per_node` neighbours.
+    adjacency_.assign(options.node_count, {});
+    auto connect = [&](std::size_t a, std::size_t b) {
+        if (a == b) return false;
+        auto& na = adjacency_[a];
+        if (std::find(na.begin(), na.end(), b) != na.end()) return false;
+        na.push_back(b);
+        adjacency_[b].push_back(a);
+        return true;
+    };
+
+    for (std::size_t i = 0; i < options.node_count; ++i) {
+        connect(i, (i + 1) % options.node_count);
+    }
+    for (std::size_t i = 0; i < options.node_count; ++i) {
+        int guard = 0;
+        while (adjacency_[i].size() < options.neighbors_per_node && guard++ < 100) {
+            connect(i, rng.below(options.node_count));
+        }
+    }
+}
+
+PropagationResult GossipNetwork::propagate(std::size_t origin,
+                                           const ValidationDelayFn& delay) {
+    EBV_EXPECTS(origin < options_.node_count);
+
+    EventQueue queue;
+    LatencySampler latency(options_.latency_seed);
+    PropagationResult result;
+    result.receive_time.assign(options_.node_count, PropagationResult::kUnreached);
+
+    // deliver(node, t): the block arrives at `node` at time t. If it is the
+    // first copy, the node validates it and relays to all neighbours.
+    std::function<void(std::size_t)> relay = [&](std::size_t node) {
+        for (std::size_t neighbor : adjacency_[node]) {
+            if (result.receive_time[neighbor] != PropagationResult::kUnreached) continue;
+            const SimTime network = latency.sample(regions_[node], regions_[neighbor],
+                                                   options_.block_bytes);
+            const std::size_t target = neighbor;
+            queue.schedule(queue.now() + network, [&, target] {
+                if (result.receive_time[target] != PropagationResult::kUnreached) return;
+                result.receive_time[target] = queue.now();
+                const SimTime validation = delay(target);
+                queue.schedule(queue.now() + validation, [&, target] { relay(target); });
+            });
+        }
+    };
+
+    // The origin already has (and has validated) the block; it relays at t=0.
+    result.receive_time[origin] = 0;
+    queue.schedule(0, [&] { relay(origin); });
+    queue.run();
+    return result;
+}
+
+}  // namespace ebv::netsim

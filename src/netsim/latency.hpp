@@ -1,0 +1,49 @@
+// Inter-node latency model: five AWS-like regions with realistic RTTs.
+// The paper's propagation experiment runs 20 t2.medium nodes "dispersed in
+// five regions" with 2 gossip neighbours per node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netsim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::netsim {
+
+inline constexpr int kRegionCount = 5;
+
+enum class Region { kUsEast = 0, kUsWest, kEuCentral, kApTokyo, kApSydney };
+
+/// One-way latency matrix in milliseconds (approximate public inter-region
+/// figures; symmetric).
+inline constexpr std::array<std::array<double, kRegionCount>, kRegionCount>
+    kOneWayLatencyMs = {{
+        // us-east us-west eu     tokyo  sydney
+        {1.0, 32.0, 45.0, 75.0, 100.0},   // us-east
+        {32.0, 1.0, 70.0, 55.0, 70.0},    // us-west
+        {45.0, 70.0, 1.0, 120.0, 140.0},  // eu-central
+        {75.0, 55.0, 120.0, 1.0, 52.0},   // ap-tokyo
+        {100.0, 70.0, 140.0, 52.0, 1.0},  // ap-sydney
+    }};
+
+class LatencySampler {
+public:
+    explicit LatencySampler(std::uint64_t seed) : rng_(seed) {}
+
+    /// One-way message latency between two regions, with ±20% jitter, plus
+    /// a transfer term for the payload at ~100 Mbit/s.
+    SimTime sample(Region from, Region to, std::size_t payload_bytes) {
+        const double base_ms =
+            kOneWayLatencyMs[static_cast<int>(from)][static_cast<int>(to)];
+        const double jitter = 0.8 + 0.4 * rng_.uniform01();
+        const double transfer_ms =
+            static_cast<double>(payload_bytes) * 8.0 / 100e6 * 1e3;
+        return static_cast<SimTime>((base_ms * jitter + transfer_ms) * 1e6);
+    }
+
+private:
+    util::Rng rng_;
+};
+
+}  // namespace ebv::netsim

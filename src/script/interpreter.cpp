@@ -1,0 +1,529 @@
+#include "script/interpreter.hpp"
+
+#include <algorithm>
+
+#include "crypto/hash_types.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ebv::script {
+
+namespace {
+
+/// ScriptNum: little-endian sign-magnitude integers capped at 4 bytes on
+/// input (results may be 5 bytes), matching Bitcoin semantics.
+class ScriptNum {
+public:
+    static util::Result<ScriptNum, ScriptError> decode(util::ByteSpan bytes) {
+        if (bytes.size() > 4) return util::Unexpected{ScriptError::kBadNumericOperand};
+        std::int64_t value = 0;
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+            value |= static_cast<std::int64_t>(bytes[i] & (i + 1 == bytes.size() ? 0x7f : 0xff))
+                     << (8 * i);
+        }
+        if (!bytes.empty() && (bytes.back() & 0x80)) value = -value;
+        return ScriptNum(value);
+    }
+
+    explicit ScriptNum(std::int64_t value) : value_(value) {}
+
+    [[nodiscard]] std::int64_t value() const { return value_; }
+
+    [[nodiscard]] util::Bytes encode() const {
+        util::Bytes out;
+        if (value_ == 0) return out;
+        const bool negative = value_ < 0;
+        std::uint64_t abs = negative ? static_cast<std::uint64_t>(-value_)
+                                     : static_cast<std::uint64_t>(value_);
+        while (abs != 0) {
+            out.push_back(static_cast<std::uint8_t>(abs & 0xff));
+            abs >>= 8;
+        }
+        if (out.back() & 0x80) {
+            out.push_back(negative ? 0x80 : 0x00);
+        } else if (negative) {
+            out.back() |= 0x80;
+        }
+        return out;
+    }
+
+private:
+    std::int64_t value_;
+};
+
+util::Bytes bool_bytes(bool b) { return b ? util::Bytes{1} : util::Bytes{}; }
+
+struct Vm {
+    Stack& stack;
+    Stack altstack;
+    const SignatureChecker& checker;
+    util::ByteSpan script_code;
+    std::vector<bool> exec_flags;  // OP_IF nesting: true = executing branch
+    std::size_t op_count = 0;
+
+    [[nodiscard]] bool executing() const {
+        return std::all_of(exec_flags.begin(), exec_flags.end(), [](bool f) { return f; });
+    }
+
+    [[nodiscard]] bool need(std::size_t n) const { return stack.size() >= n; }
+
+    util::Bytes pop() {
+        util::Bytes v = std::move(stack.back());
+        stack.pop_back();
+        return v;
+    }
+
+    [[nodiscard]] ScriptError pop_num(std::int64_t& out) {
+        if (!need(1)) return ScriptError::kStackUnderflow;
+        auto num = ScriptNum::decode(pop());
+        if (!num) return num.error();
+        out = num->value();
+        return ScriptError::kOk;
+    }
+
+    void push_num(std::int64_t v) { stack.push_back(ScriptNum(v).encode()); }
+};
+
+ScriptError execute_op(Vm& vm, const ScriptOp& op);
+
+}  // namespace
+
+bool cast_to_bool(util::ByteSpan value) {
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        if (value[i] != 0) {
+            // Negative zero (sign bit only in last byte) is false.
+            return !(i == value.size() - 1 && value[i] == 0x80);
+        }
+    }
+    return false;
+}
+
+namespace {
+
+ScriptError execute_checkmultisig(Vm& vm) {
+    // Stack: <dummy> <sig1..sigm> <m> <pk1..pkn> <n>
+    std::int64_t key_count = 0;
+    if (auto err = vm.pop_num(key_count); err != ScriptError::kOk) return err;
+    if (key_count < 0 || key_count > ScriptLimits::kMaxPubkeysPerMultisig)
+        return ScriptError::kPubkeyCountInvalid;
+    vm.op_count += static_cast<std::size_t>(key_count);
+    if (vm.op_count > ScriptLimits::kMaxOpsPerScript) return ScriptError::kOpCountExceeded;
+
+    if (!vm.need(static_cast<std::size_t>(key_count))) return ScriptError::kStackUnderflow;
+    std::vector<util::Bytes> pubkeys(static_cast<std::size_t>(key_count));
+    for (auto it = pubkeys.rbegin(); it != pubkeys.rend(); ++it) *it = vm.pop();
+
+    std::int64_t sig_count = 0;
+    if (auto err = vm.pop_num(sig_count); err != ScriptError::kOk) return err;
+    if (sig_count < 0 || sig_count > key_count) return ScriptError::kSigCountInvalid;
+
+    if (!vm.need(static_cast<std::size_t>(sig_count))) return ScriptError::kStackUnderflow;
+    std::vector<util::Bytes> sigs(static_cast<std::size_t>(sig_count));
+    for (auto it = sigs.rbegin(); it != sigs.rend(); ++it) *it = vm.pop();
+
+    // The off-by-one dummy element, preserved for compatibility.
+    if (!vm.need(1)) return ScriptError::kStackUnderflow;
+    vm.pop();
+
+    // Signatures must match pubkeys in order.
+    bool success = true;
+    std::size_t sig_idx = 0;
+    std::size_t key_idx = 0;
+    while (sig_idx < sigs.size()) {
+        if (key_idx >= pubkeys.size() || pubkeys.size() - key_idx < sigs.size() - sig_idx) {
+            success = false;
+            break;
+        }
+        if (vm.checker.check_signature(sigs[sig_idx], pubkeys[key_idx], vm.script_code)) {
+            ++sig_idx;
+        }
+        ++key_idx;
+    }
+
+    vm.stack.push_back(bool_bytes(success));
+    return ScriptError::kOk;
+}
+
+ScriptError execute_op(Vm& vm, const ScriptOp& op) {
+    Stack& stack = vm.stack;
+
+    switch (op.opcode) {
+        case OP_NOP:
+            return ScriptError::kOk;
+
+        case OP_VERIFY: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            if (!cast_to_bool(vm.pop())) return ScriptError::kVerifyFailed;
+            return ScriptError::kOk;
+        }
+        case OP_RETURN:
+            return ScriptError::kOpReturn;
+
+        case OP_TOALTSTACK: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            vm.altstack.push_back(vm.pop());
+            return ScriptError::kOk;
+        }
+        case OP_FROMALTSTACK: {
+            if (vm.altstack.empty()) return ScriptError::kInvalidStackOperation;
+            stack.push_back(std::move(vm.altstack.back()));
+            vm.altstack.pop_back();
+            return ScriptError::kOk;
+        }
+        case OP_2DROP: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            stack.pop_back();
+            stack.pop_back();
+            return ScriptError::kOk;
+        }
+        case OP_2DUP: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            stack.push_back(stack[stack.size() - 2]);
+            stack.push_back(stack[stack.size() - 2]);
+            return ScriptError::kOk;
+        }
+        case OP_3DUP: {
+            if (!vm.need(3)) return ScriptError::kStackUnderflow;
+            for (int i = 0; i < 3; ++i) stack.push_back(stack[stack.size() - 3]);
+            return ScriptError::kOk;
+        }
+        case OP_IFDUP: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            if (cast_to_bool(stack.back())) stack.push_back(stack.back());
+            return ScriptError::kOk;
+        }
+        case OP_DEPTH:
+            vm.push_num(static_cast<std::int64_t>(stack.size()));
+            return ScriptError::kOk;
+        case OP_DROP: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            stack.pop_back();
+            return ScriptError::kOk;
+        }
+        case OP_DUP: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            stack.push_back(stack.back());
+            return ScriptError::kOk;
+        }
+        case OP_NIP: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            stack.erase(stack.end() - 2);
+            return ScriptError::kOk;
+        }
+        case OP_OVER: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            stack.push_back(stack[stack.size() - 2]);
+            return ScriptError::kOk;
+        }
+        case OP_PICK:
+        case OP_ROLL: {
+            std::int64_t n = 0;
+            if (auto err = vm.pop_num(n); err != ScriptError::kOk) return err;
+            if (n < 0 || static_cast<std::size_t>(n) >= stack.size())
+                return ScriptError::kInvalidStackOperation;
+            const std::size_t idx = stack.size() - 1 - static_cast<std::size_t>(n);
+            util::Bytes value = stack[idx];
+            if (op.opcode == OP_ROLL)
+                stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(idx));
+            stack.push_back(std::move(value));
+            return ScriptError::kOk;
+        }
+        case OP_ROT: {
+            if (!vm.need(3)) return ScriptError::kStackUnderflow;
+            std::rotate(stack.end() - 3, stack.end() - 2, stack.end());
+            return ScriptError::kOk;
+        }
+        case OP_SWAP: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+            return ScriptError::kOk;
+        }
+        case OP_TUCK: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            stack.insert(stack.end() - 2, stack.back());
+            return ScriptError::kOk;
+        }
+        case OP_SIZE: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            vm.push_num(static_cast<std::int64_t>(stack.back().size()));
+            return ScriptError::kOk;
+        }
+
+        case OP_EQUAL:
+        case OP_EQUALVERIFY: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            const util::Bytes b = vm.pop();
+            const util::Bytes a = vm.pop();
+            const bool equal = a == b;
+            if (op.opcode == OP_EQUALVERIFY) {
+                if (!equal) return ScriptError::kEqualVerifyFailed;
+            } else {
+                stack.push_back(bool_bytes(equal));
+            }
+            return ScriptError::kOk;
+        }
+
+        case OP_1ADD:
+        case OP_1SUB:
+        case OP_NEGATE:
+        case OP_ABS:
+        case OP_NOT:
+        case OP_0NOTEQUAL: {
+            std::int64_t a = 0;
+            if (auto err = vm.pop_num(a); err != ScriptError::kOk) return err;
+            switch (op.opcode) {
+                case OP_1ADD: a += 1; break;
+                case OP_1SUB: a -= 1; break;
+                case OP_NEGATE: a = -a; break;
+                case OP_ABS: a = a < 0 ? -a : a; break;
+                case OP_NOT: a = (a == 0); break;
+                default: a = (a != 0); break;  // OP_0NOTEQUAL
+            }
+            vm.push_num(a);
+            return ScriptError::kOk;
+        }
+
+        case OP_ADD:
+        case OP_SUB:
+        case OP_BOOLAND:
+        case OP_BOOLOR:
+        case OP_NUMEQUAL:
+        case OP_NUMEQUALVERIFY:
+        case OP_NUMNOTEQUAL:
+        case OP_LESSTHAN:
+        case OP_GREATERTHAN:
+        case OP_LESSTHANOREQUAL:
+        case OP_GREATERTHANOREQUAL:
+        case OP_MIN:
+        case OP_MAX: {
+            std::int64_t b = 0, a = 0;
+            if (auto err = vm.pop_num(b); err != ScriptError::kOk) return err;
+            if (auto err = vm.pop_num(a); err != ScriptError::kOk) return err;
+            std::int64_t r = 0;
+            switch (op.opcode) {
+                case OP_ADD: r = a + b; break;
+                case OP_SUB: r = a - b; break;
+                case OP_BOOLAND: r = (a != 0 && b != 0); break;
+                case OP_BOOLOR: r = (a != 0 || b != 0); break;
+                case OP_NUMEQUAL:
+                case OP_NUMEQUALVERIFY: r = (a == b); break;
+                case OP_NUMNOTEQUAL: r = (a != b); break;
+                case OP_LESSTHAN: r = (a < b); break;
+                case OP_GREATERTHAN: r = (a > b); break;
+                case OP_LESSTHANOREQUAL: r = (a <= b); break;
+                case OP_GREATERTHANOREQUAL: r = (a >= b); break;
+                case OP_MIN: r = std::min(a, b); break;
+                default: r = std::max(a, b); break;  // OP_MAX
+            }
+            if (op.opcode == OP_NUMEQUALVERIFY) {
+                if (r == 0) return ScriptError::kNumEqualVerifyFailed;
+            } else {
+                vm.push_num(r);
+            }
+            return ScriptError::kOk;
+        }
+
+        case OP_WITHIN: {
+            std::int64_t max = 0, min = 0, x = 0;
+            if (auto err = vm.pop_num(max); err != ScriptError::kOk) return err;
+            if (auto err = vm.pop_num(min); err != ScriptError::kOk) return err;
+            if (auto err = vm.pop_num(x); err != ScriptError::kOk) return err;
+            stack.push_back(bool_bytes(min <= x && x < max));
+            return ScriptError::kOk;
+        }
+
+        case OP_RIPEMD160:
+        case OP_SHA256:
+        case OP_HASH160:
+        case OP_HASH256: {
+            if (!vm.need(1)) return ScriptError::kStackUnderflow;
+            const util::Bytes data = vm.pop();
+            switch (op.opcode) {
+                case OP_RIPEMD160: {
+                    const auto d = crypto::Ripemd160::hash(data);
+                    stack.emplace_back(d.begin(), d.end());
+                    break;
+                }
+                case OP_SHA256: {
+                    const auto d = crypto::Sha256::hash(data);
+                    stack.emplace_back(d.begin(), d.end());
+                    break;
+                }
+                case OP_HASH160: {
+                    const auto d = crypto::hash160(data);
+                    stack.emplace_back(d.span().begin(), d.span().end());
+                    break;
+                }
+                default: {  // OP_HASH256
+                    const auto d = crypto::hash256(data);
+                    stack.emplace_back(d.span().begin(), d.span().end());
+                    break;
+                }
+            }
+            return ScriptError::kOk;
+        }
+
+        case OP_CHECKSIG:
+        case OP_CHECKSIGVERIFY: {
+            if (!vm.need(2)) return ScriptError::kStackUnderflow;
+            const util::Bytes pubkey = vm.pop();
+            const util::Bytes sig = vm.pop();
+            const bool ok = vm.checker.check_signature(sig, pubkey, vm.script_code);
+            if (op.opcode == OP_CHECKSIGVERIFY) {
+                if (!ok) return ScriptError::kCheckSigVerifyFailed;
+            } else {
+                stack.push_back(bool_bytes(ok));
+            }
+            return ScriptError::kOk;
+        }
+
+        case OP_CHECKMULTISIG:
+        case OP_CHECKMULTISIGVERIFY: {
+            if (auto err = execute_checkmultisig(vm); err != ScriptError::kOk) return err;
+            if (op.opcode == OP_CHECKMULTISIGVERIFY) {
+                if (!cast_to_bool(vm.pop())) return ScriptError::kCheckMultiSigVerifyFailed;
+            }
+            return ScriptError::kOk;
+        }
+
+        default:
+            return ScriptError::kBadOpcode;
+    }
+}
+
+}  // namespace
+
+ScriptError eval_script(util::ByteSpan script, Stack& stack, const SignatureChecker& checker) {
+    if (script.size() > ScriptLimits::kMaxScriptSize) return ScriptError::kScriptSizeExceeded;
+
+    Vm vm{stack, {}, checker, script, {}, 0};
+    ScriptParser parser(script);
+
+    while (auto op = parser.next()) {
+        if (op->is_push()) {
+            if (op->push_data.size() > ScriptLimits::kMaxPushSize)
+                return ScriptError::kPushSizeExceeded;
+            if (vm.executing()) stack.push_back(std::move(op->push_data));
+        } else if (op->opcode == OP_1NEGATE || (op->opcode >= OP_1 && op->opcode <= OP_16)) {
+            if (vm.executing()) {
+                vm.push_num(op->opcode == OP_1NEGATE ? -1 : op->opcode - OP_1 + 1);
+            }
+        } else {
+            if (++vm.op_count > ScriptLimits::kMaxOpsPerScript)
+                return ScriptError::kOpCountExceeded;
+
+            // Conditionals are tracked even in non-executing branches.
+            switch (op->opcode) {
+                case OP_IF:
+                case OP_NOTIF: {
+                    bool branch = false;
+                    if (vm.executing()) {
+                        if (!vm.need(1)) return ScriptError::kUnbalancedConditional;
+                        branch = cast_to_bool(vm.pop());
+                        if (op->opcode == OP_NOTIF) branch = !branch;
+                    }
+                    vm.exec_flags.push_back(branch);
+                    continue;
+                }
+                case OP_ELSE: {
+                    if (vm.exec_flags.empty()) return ScriptError::kUnbalancedConditional;
+                    vm.exec_flags.back() = !vm.exec_flags.back();
+                    continue;
+                }
+                case OP_ENDIF: {
+                    if (vm.exec_flags.empty()) return ScriptError::kUnbalancedConditional;
+                    vm.exec_flags.pop_back();
+                    continue;
+                }
+                default:
+                    break;
+            }
+
+            if (!vm.executing()) continue;
+            if (auto err = execute_op(vm, *op); err != ScriptError::kOk) return err;
+        }
+
+        if (stack.size() + vm.altstack.size() > ScriptLimits::kMaxStackSize)
+            return ScriptError::kStackSizeExceeded;
+    }
+
+    if (parser.malformed()) return ScriptError::kMalformedScript;
+    if (!vm.exec_flags.empty()) return ScriptError::kUnbalancedConditional;
+    return ScriptError::kOk;
+}
+
+bool is_pay_to_script_hash(util::ByteSpan locking) {
+    return locking.size() == 23 && locking[0] == OP_HASH160 && locking[1] == 20 &&
+           locking[22] == OP_EQUAL;
+}
+
+ScriptError verify_script(util::ByteSpan unlocking, util::ByteSpan locking,
+                          const SignatureChecker& checker, bool require_clean_stack) {
+    // The unlocking script must be push-only (Bitcoin policy; prevents
+    // script-injection into the locking script's evaluation).
+    {
+        ScriptParser parser(unlocking);
+        while (auto op = parser.next()) {
+            const bool small_int = op->opcode == OP_1NEGATE ||
+                                   (op->opcode >= OP_1 && op->opcode <= OP_16);
+            if (!op->is_push() && !small_int) return ScriptError::kBadOpcode;
+        }
+        if (parser.malformed()) return ScriptError::kMalformedScript;
+    }
+
+    Stack stack;
+    if (auto err = eval_script(unlocking, stack, checker); err != ScriptError::kOk) return err;
+    const Stack stack_after_unlock = stack;  // preserved for the P2SH path
+    if (auto err = eval_script(locking, stack, checker); err != ScriptError::kOk) return err;
+
+    if (stack.empty() || !cast_to_bool(stack.back())) return ScriptError::kEvalFalse;
+
+    if (is_pay_to_script_hash(locking)) {
+        // Standard P2SH: the last datum the unlocking script pushed is the
+        // redeem script; execute it against the rest of that stack.
+        if (stack_after_unlock.empty()) return ScriptError::kInvalidStackOperation;
+        Stack redeem_stack(stack_after_unlock.begin(), stack_after_unlock.end() - 1);
+        const util::Bytes& redeem_script = stack_after_unlock.back();
+        if (auto err = eval_script(redeem_script, redeem_stack, checker);
+            err != ScriptError::kOk) {
+            return err;
+        }
+        if (redeem_stack.empty() || !cast_to_bool(redeem_stack.back()))
+            return ScriptError::kEvalFalse;
+        if (require_clean_stack && redeem_stack.size() != 1)
+            return ScriptError::kCleanStackViolation;
+        return ScriptError::kOk;
+    }
+
+    if (require_clean_stack && stack.size() != 1) return ScriptError::kCleanStackViolation;
+    return ScriptError::kOk;
+}
+
+const char* to_string(ScriptError e) {
+    switch (e) {
+        case ScriptError::kOk: return "ok";
+        case ScriptError::kEvalFalse: return "script evaluated to false";
+        case ScriptError::kMalformedScript: return "malformed script";
+        case ScriptError::kBadOpcode: return "bad or disabled opcode";
+        case ScriptError::kStackUnderflow: return "stack underflow";
+        case ScriptError::kUnbalancedConditional: return "unbalanced conditional";
+        case ScriptError::kVerifyFailed: return "OP_VERIFY failed";
+        case ScriptError::kEqualVerifyFailed: return "OP_EQUALVERIFY failed";
+        case ScriptError::kNumEqualVerifyFailed: return "OP_NUMEQUALVERIFY failed";
+        case ScriptError::kCheckSigVerifyFailed: return "OP_CHECKSIGVERIFY failed";
+        case ScriptError::kCheckMultiSigVerifyFailed: return "OP_CHECKMULTISIGVERIFY failed";
+        case ScriptError::kOpReturn: return "OP_RETURN encountered";
+        case ScriptError::kPushSizeExceeded: return "push size exceeded";
+        case ScriptError::kOpCountExceeded: return "op count exceeded";
+        case ScriptError::kStackSizeExceeded: return "stack size exceeded";
+        case ScriptError::kScriptSizeExceeded: return "script size exceeded";
+        case ScriptError::kBadNumericOperand: return "bad numeric operand";
+        case ScriptError::kInvalidStackOperation: return "invalid stack operation";
+        case ScriptError::kSigCountInvalid: return "invalid signature count";
+        case ScriptError::kPubkeyCountInvalid: return "invalid pubkey count";
+        case ScriptError::kCleanStackViolation: return "stack not clean";
+    }
+    return "unknown script error";
+}
+
+}  // namespace ebv::script

@@ -1,0 +1,201 @@
+#include "script/script.hpp"
+
+#include "util/assert.hpp"
+#include "util/endian.hpp"
+#include "util/hex.hpp"
+
+namespace ebv::script {
+
+const char* opcode_name(Opcode op) {
+    switch (op) {
+        case OP_0: return "OP_0";
+        case OP_PUSHDATA1: return "OP_PUSHDATA1";
+        case OP_PUSHDATA2: return "OP_PUSHDATA2";
+        case OP_PUSHDATA4: return "OP_PUSHDATA4";
+        case OP_1NEGATE: return "OP_1NEGATE";
+        case OP_1: return "OP_1";
+        case OP_2: return "OP_2";
+        case OP_3: return "OP_3";
+        case OP_4: return "OP_4";
+        case OP_5: return "OP_5";
+        case OP_6: return "OP_6";
+        case OP_7: return "OP_7";
+        case OP_8: return "OP_8";
+        case OP_9: return "OP_9";
+        case OP_10: return "OP_10";
+        case OP_11: return "OP_11";
+        case OP_12: return "OP_12";
+        case OP_13: return "OP_13";
+        case OP_14: return "OP_14";
+        case OP_15: return "OP_15";
+        case OP_16: return "OP_16";
+        case OP_NOP: return "OP_NOP";
+        case OP_IF: return "OP_IF";
+        case OP_NOTIF: return "OP_NOTIF";
+        case OP_ELSE: return "OP_ELSE";
+        case OP_ENDIF: return "OP_ENDIF";
+        case OP_VERIFY: return "OP_VERIFY";
+        case OP_RETURN: return "OP_RETURN";
+        case OP_TOALTSTACK: return "OP_TOALTSTACK";
+        case OP_FROMALTSTACK: return "OP_FROMALTSTACK";
+        case OP_2DROP: return "OP_2DROP";
+        case OP_2DUP: return "OP_2DUP";
+        case OP_3DUP: return "OP_3DUP";
+        case OP_IFDUP: return "OP_IFDUP";
+        case OP_DEPTH: return "OP_DEPTH";
+        case OP_DROP: return "OP_DROP";
+        case OP_DUP: return "OP_DUP";
+        case OP_NIP: return "OP_NIP";
+        case OP_OVER: return "OP_OVER";
+        case OP_PICK: return "OP_PICK";
+        case OP_ROLL: return "OP_ROLL";
+        case OP_ROT: return "OP_ROT";
+        case OP_SWAP: return "OP_SWAP";
+        case OP_TUCK: return "OP_TUCK";
+        case OP_SIZE: return "OP_SIZE";
+        case OP_EQUAL: return "OP_EQUAL";
+        case OP_EQUALVERIFY: return "OP_EQUALVERIFY";
+        case OP_1ADD: return "OP_1ADD";
+        case OP_1SUB: return "OP_1SUB";
+        case OP_NEGATE: return "OP_NEGATE";
+        case OP_ABS: return "OP_ABS";
+        case OP_NOT: return "OP_NOT";
+        case OP_0NOTEQUAL: return "OP_0NOTEQUAL";
+        case OP_ADD: return "OP_ADD";
+        case OP_SUB: return "OP_SUB";
+        case OP_BOOLAND: return "OP_BOOLAND";
+        case OP_BOOLOR: return "OP_BOOLOR";
+        case OP_NUMEQUAL: return "OP_NUMEQUAL";
+        case OP_NUMEQUALVERIFY: return "OP_NUMEQUALVERIFY";
+        case OP_NUMNOTEQUAL: return "OP_NUMNOTEQUAL";
+        case OP_LESSTHAN: return "OP_LESSTHAN";
+        case OP_GREATERTHAN: return "OP_GREATERTHAN";
+        case OP_LESSTHANOREQUAL: return "OP_LESSTHANOREQUAL";
+        case OP_GREATERTHANOREQUAL: return "OP_GREATERTHANOREQUAL";
+        case OP_MIN: return "OP_MIN";
+        case OP_MAX: return "OP_MAX";
+        case OP_WITHIN: return "OP_WITHIN";
+        case OP_RIPEMD160: return "OP_RIPEMD160";
+        case OP_SHA256: return "OP_SHA256";
+        case OP_HASH160: return "OP_HASH160";
+        case OP_HASH256: return "OP_HASH256";
+        case OP_CHECKSIG: return "OP_CHECKSIG";
+        case OP_CHECKSIGVERIFY: return "OP_CHECKSIGVERIFY";
+        case OP_CHECKMULTISIG: return "OP_CHECKMULTISIG";
+        case OP_CHECKMULTISIGVERIFY: return "OP_CHECKMULTISIGVERIFY";
+        default: return "OP_UNKNOWN";
+    }
+}
+
+ScriptBuilder& ScriptBuilder::op(Opcode opcode) {
+    script_.push_back(static_cast<std::uint8_t>(opcode));
+    return *this;
+}
+
+ScriptBuilder& ScriptBuilder::push(util::ByteSpan data) {
+    if (data.size() < OP_PUSHDATA1) {
+        script_.push_back(static_cast<std::uint8_t>(data.size()));
+    } else if (data.size() <= 0xff) {
+        script_.push_back(OP_PUSHDATA1);
+        script_.push_back(static_cast<std::uint8_t>(data.size()));
+    } else if (data.size() <= 0xffff) {
+        script_.push_back(OP_PUSHDATA2);
+        std::uint8_t len[2];
+        util::store_le16(len, static_cast<std::uint16_t>(data.size()));
+        script_.insert(script_.end(), len, len + 2);
+    } else {
+        script_.push_back(OP_PUSHDATA4);
+        std::uint8_t len[4];
+        util::store_le32(len, static_cast<std::uint32_t>(data.size()));
+        script_.insert(script_.end(), len, len + 4);
+    }
+    script_.insert(script_.end(), data.begin(), data.end());
+    return *this;
+}
+
+ScriptBuilder& ScriptBuilder::push_int(std::int64_t value) {
+    if (value == 0) return op(OP_0);
+    if (value == -1) return op(OP_1NEGATE);
+    if (value >= 1 && value <= 16)
+        return op(static_cast<Opcode>(OP_1 + static_cast<int>(value) - 1));
+
+    // Minimal ScriptNum encoding: little-endian magnitude, sign in the top
+    // bit of the last byte.
+    util::Bytes num;
+    const bool negative = value < 0;
+    std::uint64_t abs = negative ? static_cast<std::uint64_t>(-value)
+                                 : static_cast<std::uint64_t>(value);
+    while (abs != 0) {
+        num.push_back(static_cast<std::uint8_t>(abs & 0xff));
+        abs >>= 8;
+    }
+    if (num.back() & 0x80) {
+        num.push_back(negative ? 0x80 : 0x00);
+    } else if (negative) {
+        num.back() |= 0x80;
+    }
+    return push(num);
+}
+
+std::optional<ScriptOp> ScriptParser::next() {
+    if (malformed_ || pos_ >= script_.size()) return std::nullopt;
+
+    ScriptOp op;
+    const std::uint8_t byte = script_[pos_++];
+    op.opcode = static_cast<Opcode>(byte);
+
+    std::size_t push_len = 0;
+    if (byte >= 1 && byte < OP_PUSHDATA1) {
+        push_len = byte;
+    } else if (byte == OP_PUSHDATA1) {
+        if (pos_ + 1 > script_.size()) {
+            malformed_ = true;
+            return std::nullopt;
+        }
+        push_len = script_[pos_];
+        pos_ += 1;
+    } else if (byte == OP_PUSHDATA2) {
+        if (pos_ + 2 > script_.size()) {
+            malformed_ = true;
+            return std::nullopt;
+        }
+        push_len = util::load_le16(script_.data() + pos_);
+        pos_ += 2;
+    } else if (byte == OP_PUSHDATA4) {
+        if (pos_ + 4 > script_.size()) {
+            malformed_ = true;
+            return std::nullopt;
+        }
+        push_len = util::load_le32(script_.data() + pos_);
+        pos_ += 4;
+    }
+
+    if (push_len > 0) {
+        if (pos_ + push_len > script_.size()) {
+            malformed_ = true;
+            return std::nullopt;
+        }
+        op.push_data.assign(script_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                            script_.begin() + static_cast<std::ptrdiff_t>(pos_ + push_len));
+        pos_ += push_len;
+    }
+    return op;
+}
+
+std::string disassemble(util::ByteSpan script) {
+    std::string out;
+    ScriptParser parser(script);
+    while (auto op = parser.next()) {
+        if (!out.empty()) out.push_back(' ');
+        if (op->is_push() && op->opcode != OP_0) {
+            out += "<" + std::to_string(op->push_data.size()) + ":" +
+                   util::hex_encode(op->push_data) + ">";
+        } else {
+            out += opcode_name(op->opcode);
+        }
+    }
+    if (parser.malformed()) out += " [malformed]";
+    return out;
+}
+
+}  // namespace ebv::script

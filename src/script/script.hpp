@@ -1,0 +1,63 @@
+// Script container, builder, and parser. A Script is just bytes; the
+// builder guarantees canonical push encodings and the iterator decodes one
+// operation (opcode + optional push payload) at a time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "script/opcodes.hpp"
+#include "util/span.hpp"
+
+namespace ebv::script {
+
+using Script = util::Bytes;
+
+class ScriptBuilder {
+public:
+    /// Append a bare opcode.
+    ScriptBuilder& op(Opcode opcode);
+
+    /// Append data with the minimal push encoding (direct push, PUSHDATA1/2/4).
+    ScriptBuilder& push(util::ByteSpan data);
+
+    /// Append a small integer using OP_0/OP_1..OP_16/OP_1NEGATE when
+    /// possible, otherwise a minimal ScriptNum push.
+    ScriptBuilder& push_int(std::int64_t value);
+
+    [[nodiscard]] const Script& script() const { return script_; }
+    [[nodiscard]] Script take() { return std::move(script_); }
+
+private:
+    Script script_;
+};
+
+/// One decoded operation.
+struct ScriptOp {
+    Opcode opcode = OP_INVALIDOPCODE;
+    util::Bytes push_data;  ///< payload when the opcode is a push
+
+    [[nodiscard]] bool is_push() const { return opcode <= OP_PUSHDATA4; }
+};
+
+/// Sequential decoder. next() returns nullopt at end; malformed() is set if
+/// decoding hit a truncated push.
+class ScriptParser {
+public:
+    explicit ScriptParser(util::ByteSpan script) : script_(script) {}
+
+    std::optional<ScriptOp> next();
+    [[nodiscard]] bool malformed() const { return malformed_; }
+    [[nodiscard]] std::size_t position() const { return pos_; }
+
+private:
+    util::ByteSpan script_;
+    std::size_t pos_ = 0;
+    bool malformed_ = false;
+};
+
+/// Disassemble into "OP_DUP OP_HASH160 <20:ab...> ..." for diagnostics.
+std::string disassemble(util::ByteSpan script);
+
+}  // namespace ebv::script

@@ -1,0 +1,132 @@
+#include "script/standard.hpp"
+
+#include "util/assert.hpp"
+
+namespace ebv::script {
+
+Script make_p2pkh(const crypto::Hash160& pubkey_hash) {
+    return ScriptBuilder()
+        .op(OP_DUP)
+        .op(OP_HASH160)
+        .push(pubkey_hash.span())
+        .op(OP_EQUALVERIFY)
+        .op(OP_CHECKSIG)
+        .take();
+}
+
+Script make_p2pk(const crypto::PublicKey& pubkey) {
+    return ScriptBuilder().push(pubkey.serialize()).op(OP_CHECKSIG).take();
+}
+
+Script make_multisig(int required, const std::vector<crypto::PublicKey>& pubkeys) {
+    EBV_EXPECTS(required >= 1 && static_cast<std::size_t>(required) <= pubkeys.size());
+    EBV_EXPECTS(pubkeys.size() <= 16);
+    ScriptBuilder builder;
+    builder.push_int(required);
+    for (const auto& pk : pubkeys) builder.push(pk.serialize());
+    builder.push_int(static_cast<std::int64_t>(pubkeys.size()));
+    builder.op(OP_CHECKMULTISIG);
+    return builder.take();
+}
+
+Script make_null_data(util::ByteSpan data) {
+    return ScriptBuilder().op(OP_RETURN).push(data).take();
+}
+
+Script make_p2sh(const Script& redeem_script) {
+    return ScriptBuilder()
+        .op(OP_HASH160)
+        .push(crypto::hash160(redeem_script).span())
+        .op(OP_EQUAL)
+        .take();
+}
+
+Script make_p2sh_unlock(const Script& inner_unlock, const Script& redeem_script) {
+    Script out = inner_unlock;
+    const Script push = ScriptBuilder().push(redeem_script).take();
+    out.insert(out.end(), push.begin(), push.end());
+    return out;
+}
+
+Script make_p2pkh_unlock(util::ByteSpan sig_with_hashtype, const crypto::PublicKey& pubkey) {
+    return ScriptBuilder().push(sig_with_hashtype).push(pubkey.serialize()).take();
+}
+
+Script make_p2pk_unlock(util::ByteSpan sig_with_hashtype) {
+    return ScriptBuilder().push(sig_with_hashtype).take();
+}
+
+Script make_multisig_unlock(const std::vector<util::Bytes>& sigs_with_hashtype) {
+    ScriptBuilder builder;
+    builder.op(OP_0);  // CHECKMULTISIG's historical extra-pop dummy
+    for (const auto& sig : sigs_with_hashtype) builder.push(sig);
+    return builder.take();
+}
+
+namespace {
+
+/// Decode the full op sequence, or empty on malformed script.
+std::vector<ScriptOp> decode_ops(util::ByteSpan script) {
+    std::vector<ScriptOp> ops;
+    ScriptParser parser(script);
+    while (auto op = parser.next()) ops.push_back(std::move(*op));
+    if (parser.malformed()) ops.clear();
+    return ops;
+}
+
+bool is_small_int(Opcode op) { return op >= OP_1 && op <= OP_16; }
+int small_int_value(Opcode op) { return op - OP_1 + 1; }
+
+}  // namespace
+
+ScriptType classify(util::ByteSpan locking_script) {
+    const auto ops = decode_ops(locking_script);
+    if (ops.empty()) return ScriptType::kNonStandard;
+
+    // OP_RETURN <data...>
+    if (ops[0].opcode == OP_RETURN) return ScriptType::kNullData;
+
+    // <33-byte pubkey> OP_CHECKSIG
+    if (ops.size() == 2 && ops[0].is_push() && ops[0].push_data.size() == 33 &&
+        ops[1].opcode == OP_CHECKSIG) {
+        return ScriptType::kP2Pk;
+    }
+
+    // OP_DUP OP_HASH160 <20> OP_EQUALVERIFY OP_CHECKSIG
+    if (ops.size() == 5 && ops[0].opcode == OP_DUP && ops[1].opcode == OP_HASH160 &&
+        ops[2].is_push() && ops[2].push_data.size() == 20 &&
+        ops[3].opcode == OP_EQUALVERIFY && ops[4].opcode == OP_CHECKSIG) {
+        return ScriptType::kP2Pkh;
+    }
+
+    // OP_HASH160 <20> OP_EQUAL
+    if (ops.size() == 3 && ops[0].opcode == OP_HASH160 && ops[1].is_push() &&
+        ops[1].push_data.size() == 20 && ops[2].opcode == OP_EQUAL) {
+        return ScriptType::kP2Sh;
+    }
+
+    // OP_m <pk...> OP_n OP_CHECKMULTISIG
+    if (ops.size() >= 4 && is_small_int(ops[0].opcode) &&
+        is_small_int(ops[ops.size() - 2].opcode) &&
+        ops.back().opcode == OP_CHECKMULTISIG) {
+        const int m = small_int_value(ops[0].opcode);
+        const int n = small_int_value(ops[ops.size() - 2].opcode);
+        if (m >= 1 && m <= n && static_cast<std::size_t>(n) == ops.size() - 3) {
+            for (std::size_t i = 1; i + 2 < ops.size(); ++i) {
+                if (!ops[i].is_push() || ops[i].push_data.size() != 33)
+                    return ScriptType::kNonStandard;
+            }
+            return ScriptType::kMultisig;
+        }
+    }
+
+    return ScriptType::kNonStandard;
+}
+
+std::optional<crypto::Hash160> extract_p2pkh_destination(util::ByteSpan locking_script) {
+    if (classify(locking_script) != ScriptType::kP2Pkh) return std::nullopt;
+    const auto ops = decode_ops(locking_script);
+    return crypto::Hash160::from_span(ops[2].push_data);
+}
+
+}  // namespace ebv::script

@@ -1,0 +1,46 @@
+// Standard script templates: construction, classification, and unlocking-
+// script assembly for the output types the workload generator emits
+// (P2PKH dominates real chains; P2PK and bare multisig cover the rest).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/hash_types.hpp"
+#include "script/script.hpp"
+
+namespace ebv::script {
+
+enum class ScriptType {
+    kNonStandard,
+    kP2Pk,        ///< <pubkey> OP_CHECKSIG
+    kP2Pkh,       ///< OP_DUP OP_HASH160 <20> OP_EQUALVERIFY OP_CHECKSIG
+    kP2Sh,        ///< OP_HASH160 <20> OP_EQUAL
+    kMultisig,    ///< OP_m <pubkeys...> OP_n OP_CHECKMULTISIG
+    kNullData,    ///< OP_RETURN <data> (provably unspendable)
+};
+
+/// Locking-script constructors.
+Script make_p2pkh(const crypto::Hash160& pubkey_hash);
+Script make_p2pk(const crypto::PublicKey& pubkey);
+Script make_multisig(int required, const std::vector<crypto::PublicKey>& pubkeys);
+Script make_null_data(util::ByteSpan data);
+/// P2SH wrapper locking funds to hash160(redeem_script).
+Script make_p2sh(const Script& redeem_script);
+
+/// Unlocking-script constructors. `sig_with_hashtype` is DER || sighash byte.
+Script make_p2pkh_unlock(util::ByteSpan sig_with_hashtype, const crypto::PublicKey& pubkey);
+Script make_p2pk_unlock(util::ByteSpan sig_with_hashtype);
+Script make_multisig_unlock(const std::vector<util::Bytes>& sigs_with_hashtype);
+/// P2SH unlock: the redeem script's own unlocking pushes + the redeem
+/// script itself as the final push.
+Script make_p2sh_unlock(const Script& inner_unlock, const Script& redeem_script);
+
+/// Pattern-match a locking script.
+ScriptType classify(util::ByteSpan locking_script);
+
+/// For P2PKH scripts, the 20-byte destination; nullopt otherwise.
+std::optional<crypto::Hash160> extract_p2pkh_destination(util::ByteSpan locking_script);
+
+}  // namespace ebv::script

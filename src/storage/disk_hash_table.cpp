@@ -1,0 +1,392 @@
+#include "storage/disk_hash_table.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/endian.hpp"
+
+namespace ebv::storage {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::uint64_t fnv1a(util::ByteSpan data) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : data) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+DiskHashTable::DiskHashTable(const std::string& path, const Options& options) {
+    file_ = std::make_unique<PagedFile>(path);
+    cache_ = std::make_unique<PageCache>(
+        *file_, options.cache_budget_bytes,
+        LatencyModel(options.device, options.latency_seed), ledger_,
+        options.cache_budget_bytes * options.os_cache_multiplier);
+    load_or_init(options);
+}
+
+DiskHashTable::~DiskHashTable() { flush(); }
+
+// ------------------------------------------------------------ metadata ----
+
+void DiskHashTable::load_or_init(const Options& options) {
+    auto& page = cache_->page(0);
+    const std::uint64_t magic = util::load_le64(page.data.data());
+
+    if (magic == kMagic) {
+        const std::uint8_t* p = page.data.data();
+        base_buckets_ = util::load_le64(p + 8);
+        level_ = util::load_le64(p + 16);
+        split_ = util::load_le64(p + 24);
+        target_per_bucket_ = util::load_le64(p + 32);
+        entry_count_ = util::load_le64(p + 40);
+        payload_bytes_ = util::load_le64(p + 48);
+        free_list_head_ = util::load_le64(p + 56);
+        next_fresh_page_ = util::load_le64(p + 64);
+        const std::uint64_t dir_first = util::load_le64(p + 72);
+        const std::uint64_t bucket_count = util::load_le64(p + 80);
+        load_directory(dir_first, bucket_count);
+        return;
+    }
+
+    EBV_EXPECTS(options.initial_buckets > 0);
+    EBV_EXPECTS(options.target_entries_per_bucket > 0);
+    base_buckets_ = options.initial_buckets;
+    level_ = 0;
+    split_ = 0;
+    target_per_bucket_ = options.target_entries_per_bucket;
+    entry_count_ = 0;
+    payload_bytes_ = 0;
+    free_list_head_ = 0;
+    next_fresh_page_ = 1;
+
+    directory_.resize(base_buckets_);
+    for (auto& head : directory_) head = allocate_page();
+    persist_header();
+}
+
+void DiskHashTable::persist_header() {
+    auto& page = cache_->page(0);
+    std::uint8_t* p = page.data.data();
+    std::memset(p, 0, PagedFile::kPageSize);
+    util::store_le64(p, kMagic);
+    util::store_le64(p + 8, base_buckets_);
+    util::store_le64(p + 16, level_);
+    util::store_le64(p + 24, split_);
+    util::store_le64(p + 32, target_per_bucket_);
+    util::store_le64(p + 40, entry_count_);
+    util::store_le64(p + 48, payload_bytes_);
+    util::store_le64(p + 56, free_list_head_);
+    util::store_le64(p + 64, next_fresh_page_);
+    util::store_le64(p + 72, directory_pages_.empty() ? 0 : directory_pages_.front());
+    util::store_le64(p + 80, directory_.size());
+    page.dirty = true;
+    cache_->mark_dirty(0);
+}
+
+void DiskHashTable::persist_directory() {
+    // Rewrite the snapshot from scratch: free the old pages, then write the
+    // directory as a chain of pages of packed u64 entries.
+    for (std::uint64_t index : directory_pages_) free_page(index);
+    directory_pages_.clear();
+
+    constexpr std::size_t kPerPage = (PagedFile::kPageSize - kPageHeaderSize) / 8;
+    std::size_t written = 0;
+    std::uint64_t prev = 0;
+    while (written < directory_.size()) {
+        const std::uint64_t index = allocate_page();
+        if (prev != 0) {
+            auto& prev_page = cache_->page(prev);
+            util::store_le64(prev_page.data.data(), index);
+            prev_page.dirty = true;
+            cache_->mark_dirty(prev);
+        }
+        directory_pages_.push_back(index);
+
+        auto& page = cache_->page(index);
+        const std::size_t count = std::min(kPerPage, directory_.size() - written);
+        util::store_le16(page.data.data() + 8, static_cast<std::uint16_t>(count * 8));
+        for (std::size_t i = 0; i < count; ++i) {
+            util::store_le64(page.data.data() + kPageHeaderSize + 8 * i,
+                             directory_[written + i]);
+        }
+        page.dirty = true;
+        cache_->mark_dirty(index);
+        written += count;
+        prev = index;
+    }
+}
+
+void DiskHashTable::load_directory(std::uint64_t first_page, std::uint64_t bucket_count) {
+    directory_.clear();
+    directory_.reserve(bucket_count);
+    directory_pages_.clear();
+
+    std::uint64_t index = first_page;
+    while (index != 0 && directory_.size() < bucket_count) {
+        directory_pages_.push_back(index);
+        auto& page = cache_->page(index);
+        const std::size_t bytes = page_used(page);
+        for (std::size_t off = 0; off + 8 <= bytes && directory_.size() < bucket_count;
+             off += 8) {
+            directory_.push_back(util::load_le64(page.data.data() + kPageHeaderSize + off));
+        }
+        index = page_next(page);
+    }
+    EBV_ENSURES(directory_.size() == bucket_count);
+}
+
+// ------------------------------------------------------------ hashing -----
+
+std::uint64_t DiskHashTable::bucket_of(util::ByteSpan key) const {
+    const std::uint64_t h = fnv1a(key);
+    const std::uint64_t round = base_buckets_ << level_;
+    std::uint64_t b = h % round;
+    if (b < split_) b = h % (round << 1);
+    return b;
+}
+
+void DiskHashTable::maybe_grow() {
+    while (entry_count_ > directory_.size() * target_per_bucket_) {
+        split_one_bucket();
+    }
+}
+
+void DiskHashTable::split_one_bucket() {
+    const std::uint64_t round = base_buckets_ << level_;
+    const std::uint64_t source = split_;
+    const std::uint64_t sibling = source + round;
+
+    // Collect the source chain's records.
+    std::vector<std::pair<util::Bytes, util::Bytes>> records;
+    std::uint64_t index = directory_[source];
+    while (index != 0) {
+        auto& page = cache_->page(index);
+        const std::size_t end = kPageHeaderSize + page_used(page);
+        std::size_t pos = kPageHeaderSize;
+        while (pos + 4 <= end) {
+            const std::uint16_t klen = util::load_le16(page.data.data() + pos);
+            const std::uint16_t vlen = util::load_le16(page.data.data() + pos + 2);
+            const std::uint8_t* kv = page.data.data() + pos + 4;
+            records.emplace_back(util::Bytes(kv, kv + klen),
+                                 util::Bytes(kv + klen, kv + klen + vlen));
+            pos += 4 + klen + vlen;
+        }
+        const std::uint64_t next = page_next(page);
+        // Reset the page for reuse: the head stays the (emptied) bucket
+        // page, overflow pages go to the free list.
+        std::memset(page.data.data(), 0, PagedFile::kPageSize);
+        page.dirty = true;
+        cache_->mark_dirty(index);
+        if (index != directory_[source]) free_page(index);
+        index = next;
+    }
+
+    // Advance the linear-hash state before re-inserting so bucket_of()
+    // routes between source and sibling.
+    directory_.push_back(allocate_page());
+    EBV_ASSERT(directory_.size() == sibling + 1);
+    ++split_;
+    if (split_ == round) {
+        ++level_;
+        split_ = 0;
+    }
+
+    for (auto& [key, value] : records) {
+        const std::uint64_t target = bucket_of(key);
+        EBV_ASSERT(target == source || target == sibling);
+        append_record(target, key, value);
+    }
+}
+
+// ------------------------------------------------------- page plumbing ----
+
+std::uint64_t DiskHashTable::allocate_page() {
+    if (free_list_head_ != 0) {
+        const std::uint64_t index = free_list_head_;
+        auto& page = cache_->page(index);
+        free_list_head_ = page_next(page);
+        std::memset(page.data.data(), 0, PagedFile::kPageSize);
+        page.dirty = true;
+        cache_->mark_dirty(index);
+        return index;
+    }
+    const std::uint64_t index = next_fresh_page_++;
+    auto& page = cache_->page(index);
+    std::memset(page.data.data(), 0, PagedFile::kPageSize);
+    page.dirty = true;
+    cache_->mark_dirty(index);
+    return index;
+}
+
+void DiskHashTable::free_page(std::uint64_t index) {
+    auto& page = cache_->page(index);
+    std::memset(page.data.data(), 0, PagedFile::kPageSize);
+    util::store_le64(page.data.data(), free_list_head_);
+    page.dirty = true;
+    cache_->mark_dirty(index);
+    free_list_head_ = index;
+}
+
+std::size_t DiskHashTable::page_used(const PageCache::Page& page) {
+    return util::load_le16(page.data.data() + 8);
+}
+
+std::uint64_t DiskHashTable::page_next(const PageCache::Page& page) {
+    return util::load_le64(page.data.data());
+}
+
+std::size_t DiskHashTable::find_record(const PageCache::Page& page, util::ByteSpan key) {
+    const std::size_t end = kPageHeaderSize + page_used(page);
+    std::size_t pos = kPageHeaderSize;
+    while (pos + 4 <= end) {
+        const std::uint16_t klen = util::load_le16(page.data.data() + pos);
+        const std::uint16_t vlen = util::load_le16(page.data.data() + pos + 2);
+        const std::size_t record_end = pos + 4 + klen + vlen;
+        EBV_ASSERT(record_end <= end);
+        if (klen == key.size() &&
+            std::memcmp(page.data.data() + pos + 4, key.data(), klen) == 0) {
+            return pos;
+        }
+        pos = record_end;
+    }
+    return kNpos;
+}
+
+// ----------------------------------------------------------- operations ---
+
+std::optional<util::Bytes> DiskHashTable::get(util::ByteSpan key) {
+    ++stats_.fetches;
+    std::uint64_t index = directory_[bucket_of(key)];
+    while (index != 0) {
+        auto& page = cache_->page(index);
+        const std::size_t pos = find_record(page, key);
+        if (pos != kNpos) {
+            const std::uint16_t klen = util::load_le16(page.data.data() + pos);
+            const std::uint16_t vlen = util::load_le16(page.data.data() + pos + 2);
+            const std::uint8_t* value = page.data.data() + pos + 4 + klen;
+            return util::Bytes(value, value + vlen);
+        }
+        index = page_next(page);
+    }
+    ++stats_.fetch_misses;
+    return std::nullopt;
+}
+
+void DiskHashTable::append_record(std::uint64_t bucket, util::ByteSpan key,
+                                  util::ByteSpan value) {
+    const std::size_t record_size = 4 + key.size() + value.size();
+
+    std::uint64_t index = directory_[bucket];
+    std::uint64_t last = index;
+    while (index != 0) {
+        auto& page = cache_->page(index);
+        const std::size_t used = page_used(page);
+        if (kPageHeaderSize + used + record_size <= PagedFile::kPageSize) {
+            std::uint8_t* cursor = page.data.data() + kPageHeaderSize + used;
+            util::store_le16(cursor, static_cast<std::uint16_t>(key.size()));
+            util::store_le16(cursor + 2, static_cast<std::uint16_t>(value.size()));
+            std::memcpy(cursor + 4, key.data(), key.size());
+            std::memcpy(cursor + 4 + key.size(), value.data(), value.size());
+            util::store_le16(page.data.data() + 8,
+                             static_cast<std::uint16_t>(used + record_size));
+            page.dirty = true;
+            cache_->mark_dirty(index);
+            return;
+        }
+        last = index;
+        index = page_next(page);
+    }
+
+    // No room in the chain: append an overflow page.
+    const std::uint64_t fresh = allocate_page();
+    {
+        auto& tail = cache_->page(last);
+        util::store_le64(tail.data.data(), fresh);
+        tail.dirty = true;
+        cache_->mark_dirty(last);
+    }
+    auto& page = cache_->page(fresh);
+    std::uint8_t* cursor = page.data.data() + kPageHeaderSize;
+    util::store_le16(cursor, static_cast<std::uint16_t>(key.size()));
+    util::store_le16(cursor + 2, static_cast<std::uint16_t>(value.size()));
+    std::memcpy(cursor + 4, key.data(), key.size());
+    std::memcpy(cursor + 4 + key.size(), value.data(), value.size());
+    util::store_le16(page.data.data() + 8, static_cast<std::uint16_t>(record_size));
+    page.dirty = true;
+    cache_->mark_dirty(fresh);
+}
+
+void DiskHashTable::put(util::ByteSpan key, util::ByteSpan value) {
+    EBV_EXPECTS(key.size() + value.size() <= kMaxRecordPayload);
+    ++stats_.inserts;
+
+    // Replace-by-delete: overwrites are rare (outpoints are unique).
+    erase_internal(key);
+
+    append_record(bucket_of(key), key, value);
+    ++entry_count_;
+    payload_bytes_ += key.size() + value.size();
+    maybe_grow();
+}
+
+bool DiskHashTable::erase(util::ByteSpan key) {
+    ++stats_.deletes;
+    return erase_internal(key);
+}
+
+bool DiskHashTable::erase_internal(util::ByteSpan key) {
+    const std::uint64_t head = directory_[bucket_of(key)];
+    std::uint64_t prev = 0;
+    std::uint64_t index = head;
+    while (index != 0) {
+        auto& page = cache_->page(index);
+        const std::size_t pos = find_record(page, key);
+        if (pos == kNpos) {
+            prev = index;
+            index = page_next(page);
+            continue;
+        }
+
+        const std::uint16_t klen = util::load_le16(page.data.data() + pos);
+        const std::uint16_t vlen = util::load_le16(page.data.data() + pos + 2);
+        const std::size_t record_size = 4 + static_cast<std::size_t>(klen) + vlen;
+        const std::size_t used = page_used(page);
+        const std::size_t end = kPageHeaderSize + used;
+
+        std::memmove(page.data.data() + pos, page.data.data() + pos + record_size,
+                     end - pos - record_size);
+        util::store_le16(page.data.data() + 8,
+                         static_cast<std::uint16_t>(used - record_size));
+        page.dirty = true;
+        cache_->mark_dirty(index);
+        --entry_count_;
+        payload_bytes_ -= klen + vlen;
+
+        // Unlink now-empty overflow pages (never the bucket head itself).
+        if (used - record_size == 0 && index != head) {
+            const std::uint64_t next = page_next(page);
+            auto& prev_page = cache_->page(prev);
+            util::store_le64(prev_page.data.data(), next);
+            prev_page.dirty = true;
+            cache_->mark_dirty(prev);
+            free_page(index);
+        }
+        return true;
+    }
+    return false;
+}
+
+void DiskHashTable::flush() {
+    persist_directory();
+    persist_header();
+    cache_->flush();
+}
+
+}  // namespace ebv::storage

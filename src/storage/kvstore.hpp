@@ -1,0 +1,54 @@
+// Key-value store abstraction for the status database. Two implementations:
+// an unbounded in-memory map (for tests and for "all in RAM" baselines) and
+// a paged on-disk hash table with an LRU page cache under a byte budget —
+// the stand-in for LevelDB on the paper's memory-restricted node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/span.hpp"
+
+namespace ebv::storage {
+
+/// Operation counters every store maintains; the paper's DBO metric is the
+/// time spent producing these.
+struct KvStats {
+    std::uint64_t fetches = 0;
+    std::uint64_t fetch_misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t deletes = 0;
+
+    void reset() { *this = KvStats{}; }
+};
+
+class KvStore {
+public:
+    virtual ~KvStore() = default;
+
+    /// Fetch the value for a key; nullopt if absent.
+    virtual std::optional<util::Bytes> get(util::ByteSpan key) = 0;
+    /// Insert or overwrite.
+    virtual void put(util::ByteSpan key, util::ByteSpan value) = 0;
+    /// Remove; returns whether the key existed.
+    virtual bool erase(util::ByteSpan key) = 0;
+    /// Number of live entries.
+    virtual std::uint64_t size() const = 0;
+    /// Bytes of live payload (keys + values), i.e. the dataset size a node
+    /// would need to hold this store fully in memory.
+    virtual std::uint64_t payload_bytes() const = 0;
+    /// Persist any buffered state.
+    virtual void flush() = 0;
+    /// Modelled device time accumulated so far (0 for purely in-memory
+    /// stores). See storage/latency_model.hpp.
+    virtual std::int64_t simulated_ns() const { return 0; }
+
+    [[nodiscard]] const KvStats& stats() const { return stats_; }
+    void reset_stats() { stats_.reset(); }
+
+protected:
+    KvStats stats_;
+};
+
+}  // namespace ebv::storage

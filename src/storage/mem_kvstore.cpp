@@ -1,0 +1,38 @@
+#include "storage/mem_kvstore.hpp"
+
+namespace ebv::storage {
+
+std::optional<util::Bytes> MemKvStore::get(util::ByteSpan key) {
+    ++stats_.fetches;
+    const auto it = map_.find(util::to_bytes(key));
+    if (it == map_.end()) {
+        ++stats_.fetch_misses;
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+void MemKvStore::put(util::ByteSpan key, util::ByteSpan value) {
+    ++stats_.inserts;
+    auto k = util::to_bytes(key);
+    const auto it = map_.find(k);
+    if (it != map_.end()) {
+        payload_bytes_ -= it->second.size();
+        payload_bytes_ += value.size();
+        it->second = util::to_bytes(value);
+        return;
+    }
+    payload_bytes_ += k.size() + value.size();
+    map_.emplace(std::move(k), util::to_bytes(value));
+}
+
+bool MemKvStore::erase(util::ByteSpan key) {
+    ++stats_.deletes;
+    const auto it = map_.find(util::to_bytes(key));
+    if (it == map_.end()) return false;
+    payload_bytes_ -= it->first.size() + it->second.size();
+    map_.erase(it);
+    return true;
+}
+
+}  // namespace ebv::storage

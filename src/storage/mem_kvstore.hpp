@@ -1,0 +1,26 @@
+// Unbounded in-memory store: the model implementation other stores are
+// tested against, and the "everything fits in RAM" baseline configuration.
+#pragma once
+
+#include <map>
+
+#include "storage/kvstore.hpp"
+
+namespace ebv::storage {
+
+class MemKvStore final : public KvStore {
+public:
+    std::optional<util::Bytes> get(util::ByteSpan key) override;
+    void put(util::ByteSpan key, util::ByteSpan value) override;
+    bool erase(util::ByteSpan key) override;
+    std::uint64_t size() const override { return map_.size(); }
+    std::uint64_t payload_bytes() const override { return payload_bytes_; }
+    void flush() override {}
+
+private:
+    // std::map keeps keys ordered, which makes debugging dumps stable.
+    std::map<util::Bytes, util::Bytes> map_;
+    std::uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace ebv::storage

@@ -1,0 +1,72 @@
+// LRU page cache with a hard byte budget over a PagedFile. This is where
+// the paper's memory restriction bites: when the working set outgrows the
+// budget, every miss costs a modelled device access.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "storage/latency_model.hpp"
+#include "storage/paged_file.hpp"
+#include "util/lru.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ebv::storage {
+
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< application-cache misses
+    std::uint64_t os_hits = 0;      ///< of the misses, served by the OS cache
+    std::uint64_t device_reads = 0; ///< of the misses, paid a device access
+    std::uint64_t write_backs = 0;
+
+    void reset() { *this = CacheStats{}; }
+};
+
+class PageCache {
+public:
+    struct Page {
+        std::array<std::uint8_t, PagedFile::kPageSize> data;
+        bool dirty = false;
+    };
+
+    /// budget_bytes: the application's cache capacity (the paper's memory
+    /// limit). os_budget_bytes models the kernel page cache behind it: an
+    /// application miss that the OS would still have resident costs only a
+    /// copy, not a device access; write-backs land in the OS cache and are
+    /// flushed asynchronously (no device charge on the critical path).
+    /// os_budget_bytes == 0 disables the second level.
+    PageCache(PagedFile& file, std::size_t budget_bytes, LatencyModel latency,
+              util::SimTimeLedger& ledger, std::size_t os_budget_bytes = 0);
+    ~PageCache();
+
+    /// Pin-free access: the pointer is valid until the next cache call.
+    Page& page(std::uint64_t index);
+    void mark_dirty(std::uint64_t index);
+
+    /// Write back every dirty page (without evicting).
+    void flush();
+
+    [[nodiscard]] const CacheStats& stats() const { return stats_; }
+    void reset_stats() { stats_.reset(); }
+
+    [[nodiscard]] std::size_t budget() const { return cache_.budget(); }
+    void set_budget(std::size_t bytes) { cache_.set_budget(bytes); }
+    [[nodiscard]] std::size_t resident_bytes() const { return cache_.total_cost(); }
+
+private:
+    /// Bookkeeping overhead per cached page (LRU node, map entry), counted
+    /// against the budget so "500 MB" means what the paper's node means.
+    static constexpr std::size_t kPageCost = PagedFile::kPageSize + 96;
+
+    PagedFile& file_;
+    util::LruMap<std::uint64_t, std::unique_ptr<Page>> cache_;
+    /// Kernel-page-cache model: tracks which pages the OS would still hold.
+    /// Values are unused; page indexes and LRU order are the state.
+    util::LruMap<std::uint64_t, char> os_cache_;
+    LatencyModel latency_;
+    util::SimTimeLedger& ledger_;
+    CacheStats stats_;
+};
+
+}  // namespace ebv::storage

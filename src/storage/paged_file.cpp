@@ -1,0 +1,59 @@
+#include "storage/paged_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace ebv::storage {
+
+PagedFile::PagedFile(const std::string& path) : path_(path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    EBV_ENSURES(fd_ >= 0);
+}
+
+PagedFile::~PagedFile() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void PagedFile::read_page(std::uint64_t index, util::MutableByteSpan out) {
+    EBV_EXPECTS(out.size() == kPageSize);
+    const auto offset = static_cast<off_t>(index * kPageSize);
+    std::size_t done = 0;
+    while (done < kPageSize) {
+        const ssize_t n = ::pread(fd_, out.data() + done, kPageSize - done,
+                                  offset + static_cast<off_t>(done));
+        EBV_ASSERT(n >= 0);
+        if (n == 0) {  // beyond EOF: zero-fill the rest
+            std::memset(out.data() + done, 0, kPageSize - done);
+            return;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void PagedFile::write_page(std::uint64_t index, util::ByteSpan data) {
+    EBV_EXPECTS(data.size() == kPageSize);
+    const auto offset = static_cast<off_t>(index * kPageSize);
+    std::size_t done = 0;
+    while (done < kPageSize) {
+        const ssize_t n = ::pwrite(fd_, data.data() + done, kPageSize - done,
+                                   offset + static_cast<off_t>(done));
+        EBV_ASSERT(n > 0);
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+std::uint64_t PagedFile::page_count() const {
+    struct stat st{};
+    EBV_ASSERT(::fstat(fd_, &st) == 0);
+    return (static_cast<std::uint64_t>(st.st_size) + kPageSize - 1) / kPageSize;
+}
+
+void PagedFile::sync() { ::fsync(fd_); }
+
+}  // namespace ebv::storage

@@ -1,0 +1,43 @@
+// Fixed-size-page file I/O (POSIX pread/pwrite). The unit of transfer — and
+// therefore the unit the latency model charges — is one 4 KiB page, like a
+// database block device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/span.hpp"
+
+namespace ebv::storage {
+
+class PagedFile {
+public:
+    static constexpr std::size_t kPageSize = 4096;
+
+    /// Opens (creating if needed) the file at path.
+    explicit PagedFile(const std::string& path);
+    ~PagedFile();
+
+    PagedFile(const PagedFile&) = delete;
+    PagedFile& operator=(const PagedFile&) = delete;
+
+    /// Read page `index` into out (exactly kPageSize bytes). Reading a page
+    /// beyond EOF yields zeros (sparse semantics).
+    void read_page(std::uint64_t index, util::MutableByteSpan out);
+    /// Write page `index` from data (exactly kPageSize bytes), extending the
+    /// file as needed.
+    void write_page(std::uint64_t index, util::ByteSpan data);
+
+    /// Pages currently backed by the file (ceil(file size / page size)).
+    [[nodiscard]] std::uint64_t page_count() const;
+
+    void sync();
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+}  // namespace ebv::storage

@@ -1,0 +1,23 @@
+#include "storage/status_db.hpp"
+
+namespace ebv::storage {
+
+std::optional<util::Bytes> StatusDb::fetch(util::ByteSpan key) {
+    ++dbo_.fetch_count;
+    return timed(dbo_.fetch_time, [&] { return store_.get(key); });
+}
+
+void StatusDb::insert(util::ByteSpan key, util::ByteSpan value) {
+    ++dbo_.insert_count;
+    timed(dbo_.insert_time, [&] {
+        store_.put(key, value);
+        return true;
+    });
+}
+
+bool StatusDb::erase(util::ByteSpan key) {
+    ++dbo_.delete_count;
+    return timed(dbo_.delete_time, [&] { return store_.erase(key); });
+}
+
+}  // namespace ebv::storage

@@ -1,0 +1,57 @@
+// Instrumented wrapper around a KvStore: times every Fetch/Insert/Delete
+// (wall clock + modelled device time), producing the paper's DBO metric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "storage/kvstore.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ebv::storage {
+
+struct DboStats {
+    util::TimeCost fetch_time;
+    util::TimeCost insert_time;
+    util::TimeCost delete_time;
+    std::uint64_t fetch_count = 0;
+    std::uint64_t insert_count = 0;
+    std::uint64_t delete_count = 0;
+
+    [[nodiscard]] util::TimeCost total_time() const {
+        return fetch_time + insert_time + delete_time;
+    }
+
+    void reset() { *this = DboStats{}; }
+};
+
+class StatusDb {
+public:
+    explicit StatusDb(KvStore& store) : store_(store) {}
+
+    std::optional<util::Bytes> fetch(util::ByteSpan key);
+    void insert(util::ByteSpan key, util::ByteSpan value);
+    bool erase(util::ByteSpan key);
+
+    [[nodiscard]] const DboStats& dbo() const { return dbo_; }
+    void reset_dbo() { dbo_.reset(); }
+
+    [[nodiscard]] KvStore& store() { return store_; }
+    [[nodiscard]] const KvStore& store() const { return store_; }
+
+private:
+    template <typename Op>
+    auto timed(util::TimeCost& cost, Op&& op) {
+        const util::Nanoseconds sim_before = store_.simulated_ns();
+        util::Stopwatch watch;
+        auto result = op();
+        cost.wall_ns += watch.elapsed_ns();
+        cost.simulated_ns += store_.simulated_ns() - sim_before;
+        return result;
+    }
+
+    KvStore& store_;
+    DboStats dbo_;
+};
+
+}  // namespace ebv::storage

@@ -1,0 +1,36 @@
+// Lightweight contract checks, in the spirit of the Core Guidelines'
+// Expects/Ensures. These stay enabled in release builds: the validators in
+// this library are security-relevant, so silently proceeding past a broken
+// precondition is worse than aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ebv::util {
+
+[[noreturn]] inline void assertion_failure(const char* kind, const char* expr,
+                                           const char* file, int line) {
+    std::fprintf(stderr, "ebv: %s failed: %s at %s:%d\n", kind, expr, file, line);
+    std::abort();
+}
+
+}  // namespace ebv::util
+
+#define EBV_EXPECTS(cond)                                                          \
+    do {                                                                           \
+        if (!(cond))                                                               \
+            ::ebv::util::assertion_failure("precondition", #cond, __FILE__, __LINE__); \
+    } while (0)
+
+#define EBV_ENSURES(cond)                                                          \
+    do {                                                                           \
+        if (!(cond))                                                               \
+            ::ebv::util::assertion_failure("postcondition", #cond, __FILE__, __LINE__); \
+    } while (0)
+
+#define EBV_ASSERT(cond)                                                           \
+    do {                                                                           \
+        if (!(cond))                                                               \
+            ::ebv::util::assertion_failure("assertion", #cond, __FILE__, __LINE__); \
+    } while (0)

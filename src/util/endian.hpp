@@ -1,0 +1,63 @@
+// Endian-explicit integer load/store helpers. The wire format of the chain
+// (like Bitcoin's) is little-endian; hash displays are big-endian.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ebv::util {
+
+inline std::uint16_t load_le16(const std::uint8_t* p) {
+    return static_cast<std::uint16_t>(p[0]) | static_cast<std::uint16_t>(p[1]) << 8;
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+    return static_cast<std::uint64_t>(load_le32(p)) |
+           static_cast<std::uint64_t>(load_le32(p + 4)) << 32;
+}
+
+inline void store_le16(std::uint8_t* p, std::uint16_t v) {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+    store_le32(p, static_cast<std::uint32_t>(v));
+    store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+           static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+    return static_cast<std::uint64_t>(load_be32(p)) << 32 |
+           static_cast<std::uint64_t>(load_be32(p + 4));
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+    store_be32(p, static_cast<std::uint32_t>(v >> 32));
+    store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace ebv::util

@@ -1,0 +1,19 @@
+// Hex encoding/decoding for byte ranges.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/span.hpp"
+
+namespace ebv::util {
+
+/// Lowercase hex encoding of a byte range.
+std::string hex_encode(ByteSpan data);
+
+/// Decode a hex string (upper or lower case). Returns nullopt on any
+/// malformed input (odd length, non-hex character).
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+}  // namespace ebv::util

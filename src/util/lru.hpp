@@ -1,0 +1,115 @@
+// Intrusive-list LRU map with a caller-defined cost function, used by the
+// storage layer's page cache (costs are bytes) and by small object caches
+// (costs are entry counts).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ebv::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruMap {
+public:
+    using EvictionHandler = std::function<void(const K&, V&)>;
+
+    /// budget: maximum total cost before eviction kicks in.
+    explicit LruMap(std::size_t budget) : budget_(budget) {}
+
+    /// Called with each (key, value) evicted so the owner can write back
+    /// dirty state. The handler must not touch this map.
+    void set_eviction_handler(EvictionHandler handler) { on_evict_ = std::move(handler); }
+
+    /// Insert or overwrite; cost is the entry's contribution to the budget.
+    /// Inserting may evict other (least recently used) entries. The entry
+    /// being inserted is never evicted by its own insertion, even if its
+    /// cost alone exceeds the budget.
+    void put(const K& key, V value, std::size_t cost) {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            total_cost_ -= it->second->cost;
+            order_.erase(it->second);
+            index_.erase(it);
+        }
+        order_.push_front(Entry{key, std::move(value), cost});
+        index_[key] = order_.begin();
+        total_cost_ += cost;
+        evict_over_budget();
+    }
+
+    /// Lookup that refreshes recency. The returned pointer is invalidated by
+    /// any subsequent mutation of the map.
+    V* get(const K& key) {
+        auto it = index_.find(key);
+        if (it == index_.end()) return nullptr;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->value;
+    }
+
+    /// Lookup without refreshing recency.
+    const V* peek(const K& key) const {
+        auto it = index_.find(key);
+        return it == index_.end() ? nullptr : &it->second->value;
+    }
+
+    /// Remove an entry without invoking the eviction handler.
+    std::optional<V> take(const K& key) {
+        auto it = index_.find(key);
+        if (it == index_.end()) return std::nullopt;
+        V out = std::move(it->second->value);
+        total_cost_ -= it->second->cost;
+        order_.erase(it->second);
+        index_.erase(it);
+        return out;
+    }
+
+    /// Evict everything (invoking the handler), e.g. on flush/close.
+    void clear() {
+        while (!order_.empty()) evict_one();
+    }
+
+    [[nodiscard]] std::size_t size() const { return index_.size(); }
+    [[nodiscard]] std::size_t total_cost() const { return total_cost_; }
+    [[nodiscard]] std::size_t budget() const { return budget_; }
+
+    void set_budget(std::size_t budget) {
+        budget_ = budget;
+        evict_over_budget();
+    }
+
+private:
+    struct Entry {
+        K key;
+        V value;
+        std::size_t cost;
+    };
+
+    void evict_one() {
+        EBV_ASSERT(!order_.empty());
+        Entry& victim = order_.back();
+        if (on_evict_) on_evict_(victim.key, victim.value);
+        total_cost_ -= victim.cost;
+        index_.erase(victim.key);
+        order_.pop_back();
+    }
+
+    void evict_over_budget() {
+        // Keep at least the most recent entry resident so a single
+        // over-budget item still works.
+        while (total_cost_ > budget_ && order_.size() > 1) evict_one();
+    }
+
+    std::size_t budget_;
+    std::size_t total_cost_ = 0;
+    std::list<Entry> order_;
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
+    EvictionHandler on_evict_;
+};
+
+}  // namespace ebv::util

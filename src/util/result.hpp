@@ -1,0 +1,70 @@
+// A minimal expected-style result type. gcc 12's libstdc++ does not ship
+// <expected>, and exceptions are the wrong tool on the validation hot path
+// (an invalid block is an ordinary outcome, not an exceptional one).
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace ebv::util {
+
+/// Wrapper marking a value as an error so Result<T,E> stays unambiguous
+/// even when T and E are the same type.
+template <typename E>
+struct Unexpected {
+    E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Either a value of type T or an error of type E.
+template <typename T, typename E>
+class [[nodiscard]] Result {
+public:
+    Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+    Result(Unexpected<E> err) : storage_(std::in_place_index<1>, std::move(err.error)) {}
+
+    [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+    explicit operator bool() const { return has_value(); }
+
+    T& value() & {
+        EBV_EXPECTS(has_value());
+        return std::get<0>(storage_);
+    }
+    const T& value() const& {
+        EBV_EXPECTS(has_value());
+        return std::get<0>(storage_);
+    }
+    T&& value() && {
+        EBV_EXPECTS(has_value());
+        return std::get<0>(std::move(storage_));
+    }
+
+    E& error() & {
+        EBV_EXPECTS(!has_value());
+        return std::get<1>(storage_);
+    }
+    const E& error() const& {
+        EBV_EXPECTS(!has_value());
+        return std::get<1>(storage_);
+    }
+
+    T& operator*() & { return value(); }
+    const T& operator*() const& { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+private:
+    std::variant<T, E> storage_;
+};
+
+/// Result specialization for operations that produce no value.
+struct Ok {};
+
+template <typename E>
+using Status = Result<Ok, E>;
+
+}  // namespace ebv::util

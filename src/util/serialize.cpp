@@ -1,0 +1,121 @@
+#include "util/serialize.hpp"
+
+namespace ebv::util {
+
+void Writer::u16(std::uint16_t v) {
+    std::uint8_t tmp[2];
+    store_le16(tmp, v);
+    bytes({tmp, 2});
+}
+
+void Writer::u32(std::uint32_t v) {
+    std::uint8_t tmp[4];
+    store_le32(tmp, v);
+    bytes({tmp, 4});
+}
+
+void Writer::u64(std::uint64_t v) {
+    std::uint8_t tmp[8];
+    store_le64(tmp, v);
+    bytes({tmp, 8});
+}
+
+void Writer::compact_size(std::uint64_t v) {
+    if (v < 0xfd) {
+        u8(static_cast<std::uint8_t>(v));
+    } else if (v <= 0xffff) {
+        u8(0xfd);
+        u16(static_cast<std::uint16_t>(v));
+    } else if (v <= 0xffffffff) {
+        u8(0xfe);
+        u32(static_cast<std::uint32_t>(v));
+    } else {
+        u8(0xff);
+        u64(v);
+    }
+}
+
+void Writer::var_bytes(ByteSpan data) {
+    compact_size(data.size());
+    bytes(data);
+}
+
+std::string to_string(DecodeError e) {
+    switch (e) {
+        case DecodeError::kTruncated: return "truncated input";
+        case DecodeError::kOversizedField: return "oversized field";
+        case DecodeError::kNonCanonical: return "non-canonical compact size";
+        case DecodeError::kMalformed: return "malformed structure";
+    }
+    return "unknown decode error";
+}
+
+Result<std::uint8_t, DecodeError> Reader::u8() {
+    if (!can_read(1)) return Unexpected{DecodeError::kTruncated};
+    return data_[pos_++];
+}
+
+Result<std::uint16_t, DecodeError> Reader::u16() {
+    if (!can_read(2)) return Unexpected{DecodeError::kTruncated};
+    const auto v = load_le16(cursor());
+    pos_ += 2;
+    return v;
+}
+
+Result<std::uint32_t, DecodeError> Reader::u32() {
+    if (!can_read(4)) return Unexpected{DecodeError::kTruncated};
+    const auto v = load_le32(cursor());
+    pos_ += 4;
+    return v;
+}
+
+Result<std::uint64_t, DecodeError> Reader::u64() {
+    if (!can_read(8)) return Unexpected{DecodeError::kTruncated};
+    const auto v = load_le64(cursor());
+    pos_ += 8;
+    return v;
+}
+
+Result<std::int64_t, DecodeError> Reader::i64() {
+    auto v = u64();
+    if (!v) return Unexpected{v.error()};
+    return static_cast<std::int64_t>(*v);
+}
+
+Result<std::uint64_t, DecodeError> Reader::compact_size() {
+    auto first = u8();
+    if (!first) return Unexpected{first.error()};
+    if (*first < 0xfd) return static_cast<std::uint64_t>(*first);
+    if (*first == 0xfd) {
+        auto v = u16();
+        if (!v) return Unexpected{v.error()};
+        if (*v < 0xfd) return Unexpected{DecodeError::kNonCanonical};
+        return static_cast<std::uint64_t>(*v);
+    }
+    if (*first == 0xfe) {
+        auto v = u32();
+        if (!v) return Unexpected{v.error()};
+        if (*v <= 0xffff) return Unexpected{DecodeError::kNonCanonical};
+        return static_cast<std::uint64_t>(*v);
+    }
+    auto v = u64();
+    if (!v) return Unexpected{v.error()};
+    if (*v <= 0xffffffff) return Unexpected{DecodeError::kNonCanonical};
+    return *v;
+}
+
+Result<Bytes, DecodeError> Reader::bytes(std::size_t n) {
+    if (!can_read(n)) return Unexpected{DecodeError::kTruncated};
+    Bytes out(cursor(), cursor() + n);
+    pos_ += n;
+    return out;
+}
+
+Result<Bytes, DecodeError> Reader::var_bytes(std::size_t limit) {
+    auto n = compact_size();
+    if (!n) return Unexpected{n.error()};
+    if (*n > limit) return Unexpected{DecodeError::kOversizedField};
+    return bytes(static_cast<std::size_t>(*n));
+}
+
+}  // namespace ebv::util

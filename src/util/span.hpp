@@ -1,0 +1,26 @@
+// Byte-range aliases and conversions used throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ebv::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+/// View the bytes of a string (no copy).
+inline ByteSpan as_bytes(std::string_view s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a byte range into an owned buffer.
+inline Bytes to_bytes(ByteSpan s) { return Bytes(s.begin(), s.end()); }
+
+/// Copy a string's bytes into an owned buffer.
+inline Bytes to_bytes(std::string_view s) { return to_bytes(as_bytes(s)); }
+
+}  // namespace ebv::util

@@ -1,0 +1,123 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <exception>
+
+namespace ebv::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : hw;
+    }
+    // The calling thread participates in parallel_for, so spawn one fewer.
+    const std::size_t spawn = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(spawn);
+    for (std::size_t i = 0; i < spawn; ++i) {
+        try {
+            workers_.emplace_back([this] { worker_loop(); });
+        } catch (const std::system_error&) {
+            // Restricted environments (containers, sandboxes) may refuse
+            // thread creation; degrade to whatever parallelism we got —
+            // parallel_for still runs everything on the calling thread.
+            break;
+        }
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    const std::size_t parts = std::min<std::size_t>(workers_.size() + 1, n);
+    if (parts == 1) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    // Shared completion state: workers hold their own reference, so the
+    // caller returning cannot destroy the condition variable out from under
+    // a late notify.
+    struct SharedState {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t total;
+        std::size_t chunk;
+        const std::function<void(std::size_t)>* body;
+        std::exception_ptr first_error;
+        std::mutex mutex;
+        std::condition_variable cv;
+    };
+
+    auto state = std::make_shared<SharedState>();
+    state->total = n;
+    // Dynamic scheduling in small chunks: script-validation costs per item
+    // are highly non-uniform, so static partitioning would straggle.
+    state->chunk = std::max<std::size_t>(1, n / (parts * 8));
+    state->body = &body;
+
+    auto run_chunks = [](const std::shared_ptr<SharedState>& s) {
+        std::size_t completed = 0;
+        for (;;) {
+            const std::size_t begin = s->next.fetch_add(s->chunk);
+            if (begin >= s->total) break;
+            const std::size_t end = std::min(begin + s->chunk, s->total);
+            try {
+                for (std::size_t i = begin; i < end; ++i) (*s->body)(i);
+            } catch (...) {
+                std::lock_guard lock(s->mutex);
+                if (!s->first_error) s->first_error = std::current_exception();
+            }
+            completed += end - begin;
+        }
+        if (completed > 0) {
+            // Publish under the lock so the final increment cannot slip
+            // between the waiter's predicate check and its sleep.
+            std::lock_guard lock(s->mutex);
+            s->done.fetch_add(completed);
+            s->cv.notify_one();
+        }
+    };
+
+    for (std::size_t p = 1; p < parts; ++p) {
+        submit([state, run_chunks] { run_chunks(state); });
+    }
+    run_chunks(state);
+
+    std::unique_lock lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->done.load() >= n; });
+
+    if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace ebv::util

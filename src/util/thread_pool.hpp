@@ -1,0 +1,44 @@
+// A small owned thread pool used for parallel script validation (the
+// paper's SV step dominates EBV's remaining cost; Bitcoin Core parallelizes
+// exactly this). Work is submitted as ranges, MPI/OpenMP-style: the caller
+// partitions, the pool executes, parallel_for is a barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ebv::util {
+
+class ThreadPool {
+public:
+    /// threads == 0 selects hardware_concurrency (min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+    /// Run body(i) for i in [0, n), partitioned into contiguous chunks
+    /// across the pool plus the calling thread. Blocks until all complete.
+    /// Exceptions thrown by body are rethrown on the caller (first one wins).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+private:
+    void submit(std::function<void()> task);
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace ebv::util

@@ -1,0 +1,58 @@
+#include "workload/era.hpp"
+
+#include "util/assert.hpp"
+
+namespace ebv::workload {
+
+EraSchedule EraSchedule::bitcoin_mainnet() {
+    // Anchors: {real height, tx/block, in/tx, out/tx, young prob, window,
+    //           p2pk share, multisig share}. Values are fitted to public
+    //           mainnet aggregates; the consolidation era at 500k-550k has
+    //           inputs_per_tx > outputs_per_tx, shrinking the UTXO set.
+    return EraSchedule({
+        {0,       2.0,  1.10, 1.60, 0.90, 50, 0.70, 0.00},
+        {100'000, 6.0,  1.30, 1.90, 0.85, 40, 0.40, 0.00},
+        {200'000, 15.0, 1.60, 2.10, 0.80, 30, 0.15, 0.01},
+        {300'000, 28.0, 1.80, 2.35, 0.75, 25, 0.05, 0.02},
+        {400'000, 60.0, 1.85, 2.50, 0.72, 20, 0.02, 0.04},
+        {500'000, 85.0, 2.60, 2.20, 0.60, 20, 0.01, 0.04},   // consolidation begins
+        {550'000, 90.0, 2.80, 2.10, 0.55, 20, 0.01, 0.04},   // consolidation peak
+        {560'000, 100.0, 1.85, 2.55, 0.70, 20, 0.01, 0.05},  // back to growth
+        {650'000, 115.0, 1.90, 2.60, 0.70, 20, 0.01, 0.06},
+    });
+}
+
+EraSchedule EraSchedule::flat(double tx_per_block, double inputs_per_tx,
+                              double outputs_per_tx) {
+    return EraSchedule({
+        {0, tx_per_block, inputs_per_tx, outputs_per_tx, 0.8, 20, 0.0, 0.0},
+    });
+}
+
+EraPoint EraSchedule::at(std::uint32_t real_height) const {
+    EBV_EXPECTS(!points_.empty());
+    if (real_height <= points_.front().real_height) return points_.front();
+    if (real_height >= points_.back().real_height) return points_.back();
+
+    std::size_t hi = 1;
+    while (points_[hi].real_height < real_height) ++hi;
+    const EraPoint& a = points_[hi - 1];
+    const EraPoint& b = points_[hi];
+    const double t = static_cast<double>(real_height - a.real_height) /
+                     static_cast<double>(b.real_height - a.real_height);
+
+    auto lerp = [t](double x, double y) { return x + (y - x) * t; };
+    EraPoint out;
+    out.real_height = real_height;
+    out.tx_per_block = lerp(a.tx_per_block, b.tx_per_block);
+    out.inputs_per_tx = lerp(a.inputs_per_tx, b.inputs_per_tx);
+    out.outputs_per_tx = lerp(a.outputs_per_tx, b.outputs_per_tx);
+    out.young_spend_prob = lerp(a.young_spend_prob, b.young_spend_prob);
+    out.young_window = static_cast<std::uint32_t>(
+        lerp(static_cast<double>(a.young_window), static_cast<double>(b.young_window)));
+    out.p2pk_fraction = lerp(a.p2pk_fraction, b.p2pk_fraction);
+    out.multisig_fraction = lerp(a.multisig_fraction, b.multisig_fraction);
+    return out;
+}
+
+}  // namespace ebv::workload

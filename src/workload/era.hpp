@@ -1,0 +1,44 @@
+// Era model: per-height workload parameters fitted to Bitcoin mainnet
+// aggregates (transactions per block, input/output fan, spend-age behavior,
+// script mix). Eras are anchored at *real* mainnet heights; a generated
+// chain of N blocks maps block i to real height i * scale, so a 6,500-block
+// laptop run traverses the same 2009→2021 regime sequence as the paper's
+// 650,000-block IBD. The 500k-550k consolidation era reproduces the Fig 5
+// dip (inputs temporarily exceed outputs, shrinking the UTXO set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ebv::workload {
+
+struct EraPoint {
+    std::uint32_t real_height;  ///< anchor on the real-chain height axis
+    double tx_per_block;        ///< mean non-coinbase transactions per block
+    double inputs_per_tx;       ///< mean inputs per transaction
+    double outputs_per_tx;      ///< mean outputs per transaction
+    double young_spend_prob;    ///< P(input spends a recent output)
+    std::uint32_t young_window; ///< "recent" = created in the last W blocks
+    double p2pk_fraction;       ///< early chain used pay-to-pubkey heavily
+    double multisig_fraction;   ///< bare multisig share (rest is P2PKH)
+};
+
+/// Piecewise-linear parameter curve over real height.
+class EraSchedule {
+public:
+    /// The default mainnet-fitted table.
+    static EraSchedule bitcoin_mainnet();
+
+    /// A flat schedule (uniform blocks) for unit tests.
+    static EraSchedule flat(double tx_per_block, double inputs_per_tx,
+                            double outputs_per_tx);
+
+    explicit EraSchedule(std::vector<EraPoint> points) : points_(std::move(points)) {}
+
+    [[nodiscard]] EraPoint at(std::uint32_t real_height) const;
+
+private:
+    std::vector<EraPoint> points_;  // ascending real_height
+};
+
+}  // namespace ebv::workload

@@ -1,0 +1,212 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+#include "chain/miner.hpp"
+#include "chain/sighash.hpp"
+#include "script/standard.hpp"
+#include "util/assert.hpp"
+
+namespace ebv::workload {
+
+namespace {
+constexpr chain::Amount kFeePerTx = 10'000;  // flat fee keeps accounting simple
+}
+
+ChainGenerator::ChainGenerator(const GeneratorOptions& options)
+    : options_(options), rng_(options.seed) {
+    keys_.reserve(options.key_pool_size);
+    pubkeys_.reserve(options.key_pool_size);
+    key_hashes_.reserve(options.key_pool_size);
+    for (std::size_t i = 0; i < options.key_pool_size; ++i) {
+        keys_.push_back(crypto::PrivateKey::generate(rng_));
+        pubkeys_.push_back(keys_.back().public_key());
+        key_hashes_.push_back(pubkeys_.back().id());
+    }
+}
+
+script::Script ChainGenerator::lock_script_for(std::uint32_t key_id,
+                                               std::uint8_t kind) const {
+    switch (kind) {
+        case 1:
+            return script::make_p2pk(pubkeys_[key_id]);
+        case 2: {
+            const std::uint32_t other = (key_id + 1) % pubkeys_.size();
+            return script::make_multisig(1, {pubkeys_[key_id], pubkeys_[other]});
+        }
+        default:
+            return script::make_p2pkh(key_hashes_[key_id]);
+    }
+}
+
+script::Script ChainGenerator::unlock_script_for(const chain::Transaction& tx,
+                                                 std::size_t input_index,
+                                                 const Spendable& spent) const {
+    const script::Script lock = lock_script_for(spent.key_id, spent.script_kind);
+
+    if (!options_.signed_mode) {
+        // Shape-realistic dummy: same byte structure as a real unlocking
+        // script (these chains are validated with SV disabled).
+        util::Bytes fake_sig(71, 0x30);
+        fake_sig.back() = 0x01;
+        switch (spent.script_kind) {
+            case 1:
+                return script::make_p2pk_unlock(fake_sig);
+            case 2:
+                return script::make_multisig_unlock({fake_sig});
+            default:
+                return script::make_p2pkh_unlock(fake_sig, pubkeys_[spent.key_id]);
+        }
+    }
+
+    const util::Bytes sig =
+        chain::sign_input(tx, input_index, lock, keys_[spent.key_id]);
+    switch (spent.script_kind) {
+        case 1:
+            return script::make_p2pk_unlock(sig);
+        case 2:
+            return script::make_multisig_unlock({sig});
+        default:
+            return script::make_p2pkh_unlock(sig, pubkeys_[spent.key_id]);
+    }
+}
+
+std::uint8_t ChainGenerator::pick_script_kind(const EraPoint& era) {
+    const double roll = rng_.uniform01();
+    if (roll < era.p2pk_fraction) return 1;
+    if (roll < era.p2pk_fraction + era.multisig_fraction) return 2;
+    return 0;
+}
+
+bool ChainGenerator::pick_input(const EraPoint& era, Spendable& out) {
+    if (pool_.empty()) return false;
+
+    // The pool is approximately age-ordered (appends at the tail, swap-
+    // removes perturb it only locally), so "young" sampling reads from the
+    // tail region and "old" sampling from the whole vector. A few
+    // rejection retries skip unspendable candidates.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        std::size_t index;
+        if (rng_.chance(era.young_spend_prob)) {
+            const std::size_t window =
+                std::min<std::size_t>(pool_.size(), era.young_window * 32ULL);
+            index = pool_.size() - 1 - rng_.below(window);
+        } else {
+            // Old spends skew toward the oldest outputs (min of two draws):
+            // mature blocks drain toward fully-spent, which is what makes
+            // their bit-vectors sparse (the paper's §IV-E2 optimization
+            // target) and eventually deletable.
+            index = std::min(rng_.below(pool_.size()), rng_.below(pool_.size()));
+        }
+
+        const Spendable& candidate = pool_[index];
+        if (candidate.height >= next_height_) continue;  // same-block output
+        if (candidate.coinbase &&
+            next_height_ < candidate.height + options_.params.coinbase_maturity) {
+            continue;  // immature
+        }
+        out = candidate;
+        pool_[index] = pool_.back();
+        pool_.pop_back();
+        return true;
+    }
+    return false;
+}
+
+chain::Block ChainGenerator::next_block() {
+    const auto real_height =
+        static_cast<std::uint32_t>(next_height_ * options_.height_scale);
+    const EraPoint era = options_.schedule.at(real_height);
+
+    const double tx_target = era.tx_per_block * options_.intensity;
+    std::size_t tx_count = static_cast<std::size_t>(tx_target);
+    if (rng_.chance(tx_target - static_cast<double>(tx_count))) ++tx_count;
+
+    std::vector<chain::Transaction> txs;
+    txs.reserve(tx_count);
+    chain::Amount total_fees = 0;
+
+    for (std::size_t t = 0; t < tx_count; ++t) {
+        const std::uint64_t want_inputs = rng_.geometric_at_least_one(era.inputs_per_tx);
+        std::vector<Spendable> spends;
+        spends.reserve(want_inputs);
+        chain::Amount value_in = 0;
+        for (std::uint64_t i = 0; i < want_inputs; ++i) {
+            Spendable s;
+            if (!pick_input(era, s)) break;
+            value_in += s.value;
+            spends.push_back(s);
+        }
+        if (spends.empty()) continue;
+
+        // Keep at least one unit per planned output; fee takes the rest up
+        // to the flat rate.
+        const chain::Amount value_out = std::max<chain::Amount>(
+            1, std::min(value_in, value_in - std::min(kFeePerTx, value_in - 1)));
+        const chain::Amount fee = value_in - value_out;
+
+        std::uint64_t want_outputs = rng_.geometric_at_least_one(era.outputs_per_tx);
+        want_outputs =
+            std::min<std::uint64_t>(want_outputs, static_cast<std::uint64_t>(value_out));
+        if (want_outputs == 0) want_outputs = 1;
+
+        chain::Transaction tx;
+        tx.vin.reserve(spends.size());
+        for (const Spendable& s : spends) {
+            tx.vin.push_back(chain::TxIn{s.outpoint, {}, 0xffffffff});
+        }
+
+        const chain::Amount per_output =
+            std::max<chain::Amount>(1, value_out / static_cast<chain::Amount>(want_outputs));
+        std::vector<std::uint8_t> kinds;
+        std::vector<std::uint32_t> key_ids;
+        for (std::uint64_t o = 0; o < want_outputs; ++o) {
+            const chain::Amount value =
+                (o + 1 == want_outputs)
+                    ? value_out - per_output * static_cast<chain::Amount>(want_outputs - 1)
+                    : per_output;
+            const auto key_id = static_cast<std::uint32_t>(rng_.below(keys_.size()));
+            const std::uint8_t kind = pick_script_kind(era);
+            kinds.push_back(kind);
+            key_ids.push_back(key_id);
+            tx.vout.push_back(chain::TxOut{value, lock_script_for(key_id, kind)});
+        }
+
+        // Sign (or fake) every input now that the transaction body is final.
+        for (std::size_t i = 0; i < spends.size(); ++i) {
+            tx.vin[i].unlock_script = unlock_script_for(tx, i, spends[i]);
+        }
+        tx.invalidate_cache();
+
+        total_fees += fee;
+
+        // Register the outputs as spendable.
+        const crypto::Hash256 txid = tx.txid();
+        for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
+            pool_.push_back(Spendable{chain::OutPoint{txid, o}, tx.vout[o].value,
+                                      next_height_, false, key_ids[o], kinds[o]});
+        }
+        txs.push_back(std::move(tx));
+    }
+
+    // Coinbase pays subsidy + fees to a rotating key.
+    const auto cb_key = static_cast<std::uint32_t>(rng_.below(keys_.size()));
+    const chain::Amount reward =
+        options_.params.subsidy_at(next_height_) + total_fees;
+    chain::Transaction coinbase = chain::make_coinbase(
+        next_height_, reward, script::make_p2pkh(key_hashes_[cb_key]),
+        static_cast<std::uint32_t>(rng_.next()));
+
+    chain::Block block = chain::assemble_block(
+        tip_hash_, std::move(coinbase), std::move(txs),
+        /*time=*/1231006505 + next_height_ * 600);
+
+    pool_.push_back(Spendable{chain::OutPoint{block.txs[0].txid(), 0},
+                              block.txs[0].vout[0].value, next_height_, true, cb_key, 0});
+
+    tip_hash_ = block.header.hash();
+    ++next_height_;
+    return block;
+}
+
+}  // namespace ebv::workload

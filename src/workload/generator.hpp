@@ -1,0 +1,76 @@
+// Deterministic synthetic chain generator. Produces Bitcoin-format blocks
+// whose statistics follow an EraSchedule; the intermediary converter then
+// yields the matching EBV chain. Two modes:
+//   signed   — every input carries a real ECDSA signature over the correct
+//              sighash (validators run full SV); costs real signing time.
+//   unsigned — unlocking scripts are shape-realistic dummies (validators
+//              run with SV disabled); used for memory/size experiments
+//              where script execution is irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/params.hpp"
+#include "crypto/ecdsa.hpp"
+#include "util/rng.hpp"
+#include "workload/era.hpp"
+
+namespace ebv::workload {
+
+struct GeneratorOptions {
+    std::uint64_t seed = 1;
+    chain::ChainParams params = chain::ChainParams::simnet();
+    EraSchedule schedule = EraSchedule::bitcoin_mainnet();
+    /// Generated block i maps to real height i * height_scale on the era
+    /// axis (100 ⇒ a 6,500-block run traverses the 650k-block history).
+    double height_scale = 100.0;
+    /// Multiplier on the schedule's tx_per_block (laptop-sized default).
+    double intensity = 0.2;
+    bool signed_mode = true;
+    /// Number of distinct keys cycled through output destinations.
+    std::size_t key_pool_size = 64;
+};
+
+class ChainGenerator {
+public:
+    explicit ChainGenerator(const GeneratorOptions& options);
+
+    /// Generate, record, and return the next block.
+    chain::Block next_block();
+
+    [[nodiscard]] std::uint32_t height() const { return next_height_; }
+    [[nodiscard]] std::size_t utxo_pool_size() const { return pool_.size(); }
+    [[nodiscard]] const GeneratorOptions& options() const { return options_; }
+
+private:
+    struct Spendable {
+        chain::OutPoint outpoint;
+        chain::Amount value;
+        std::uint32_t height;
+        bool coinbase;
+        std::uint32_t key_id;       ///< signer for this output
+        std::uint8_t script_kind;   ///< 0 = P2PKH, 1 = P2PK, 2 = multisig 1-of-2
+    };
+
+    script::Script lock_script_for(std::uint32_t key_id, std::uint8_t kind) const;
+    script::Script unlock_script_for(const chain::Transaction& tx, std::size_t input_index,
+                                     const Spendable& spent) const;
+    std::uint8_t pick_script_kind(const EraPoint& era);
+
+    /// Pick and remove a spendable output (age-biased per the era).
+    bool pick_input(const EraPoint& era, Spendable& out);
+
+    GeneratorOptions options_;
+    util::Rng rng_;
+    std::vector<crypto::PrivateKey> keys_;
+    std::vector<crypto::PublicKey> pubkeys_;
+    std::vector<crypto::Hash160> key_hashes_;
+
+    std::vector<Spendable> pool_;
+    std::uint32_t next_height_ = 0;
+    crypto::Hash256 tip_hash_;
+};
+
+}  // namespace ebv::workload

@@ -1,0 +1,25 @@
+#include "workload/stats.hpp"
+
+namespace ebv::workload {
+
+namespace {
+constexpr double kBlocksPerYear = 52'560.0;  // 144/day * 365
+constexpr int kGenesisYear = 2009;
+}  // namespace
+
+std::uint32_t real_height_for_quarter(int year, int quarter) {
+    const double years = (year - kGenesisYear) + (quarter - 1) * 0.25;
+    if (years <= 0) return 0;
+    return static_cast<std::uint32_t>(years * kBlocksPerYear);
+}
+
+std::string quarter_label_for_height(std::uint32_t real_height) {
+    const double years = static_cast<double>(real_height) / kBlocksPerYear;
+    const int year = kGenesisYear + static_cast<int>(years);
+    const int quarter = static_cast<int>((years - static_cast<int>(years)) * 4) + 1;
+    std::string label = std::to_string(year % 100);
+    if (label.size() == 1) label.insert(label.begin(), '0');
+    return label + "-Q" + std::to_string(quarter);
+}
+
+}  // namespace ebv::workload

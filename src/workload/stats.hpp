@@ -1,0 +1,32 @@
+// Reporting helpers: map generated heights back to real-chain quarters for
+// Fig 1/14-style time axes, and accumulate per-period measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ebv::workload {
+
+/// Approximate real mainnet height for the start of a calendar quarter
+/// (Bitcoin averages ~52,560 blocks/year; early years ran faster, which
+/// this linear model deliberately smooths over — only labels depend on it).
+[[nodiscard]] std::uint32_t real_height_for_quarter(int year, int quarter);
+
+/// "17-Q3"-style label for a real height.
+[[nodiscard]] std::string quarter_label_for_height(std::uint32_t real_height);
+
+/// One row of a per-period experiment report (Figs 5/17): the harness
+/// fills the fields it measures and prints via the bench's formatter.
+struct PeriodRow {
+    std::uint32_t start_height = 0;
+    std::uint32_t end_height = 0;
+    double dbo_ms = 0;
+    double ev_ms = 0;
+    double uv_ms = 0;
+    double sv_ms = 0;
+    double other_ms = 0;
+    double total_ms = 0;
+};
+
+}  // namespace ebv::workload

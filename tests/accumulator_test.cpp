@@ -1,0 +1,156 @@
+// Utreexo-style forest accumulator: structure invariants, proof soundness,
+// and the proof-churn behaviour the paper criticizes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "accumulator/forest.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::accumulator {
+namespace {
+
+crypto::Hash256 leaf_hash(std::uint64_t i) {
+    crypto::Hash256 h;
+    h.bytes()[0] = static_cast<std::uint8_t>(i);
+    h.bytes()[1] = static_cast<std::uint8_t>(i >> 8);
+    h.bytes()[2] = static_cast<std::uint8_t>(i >> 16);
+    h.bytes()[31] = 0x77;
+    return h;
+}
+
+TEST(Forest, RootCountFollowsPopcount) {
+    MerkleForest forest;
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+        forest.add(leaf_hash(i));
+        EXPECT_EQ(forest.root_count(),
+                  static_cast<std::size_t>(__builtin_popcountll(i)))
+            << "after " << i << " adds";
+    }
+    EXPECT_EQ(forest.leaf_count(), 64u);
+    EXPECT_EQ(forest.state_bytes(), 32u);  // one root for a perfect 64-tree
+}
+
+TEST(Forest, ProveAndVerifyAllLeaves) {
+    MerkleForest forest;
+    std::vector<MerkleForest::LeafId> ids;
+    for (std::uint64_t i = 0; i < 37; ++i) ids.push_back(forest.add(leaf_hash(i)));
+
+    for (const auto id : ids) {
+        const auto proof = forest.prove(id);
+        ASSERT_TRUE(proof.has_value()) << id;
+        EXPECT_TRUE(forest.verify(*proof)) << id;
+    }
+}
+
+TEST(Forest, TamperedProofRejected) {
+    MerkleForest forest;
+    std::vector<MerkleForest::LeafId> ids;
+    for (std::uint64_t i = 0; i < 16; ++i) ids.push_back(forest.add(leaf_hash(i)));
+
+    auto proof = *forest.prove(ids[5]);
+    proof.leaf.bytes()[3] ^= 1;
+    EXPECT_FALSE(forest.verify(proof));
+
+    auto proof2 = *forest.prove(ids[5]);
+    ASSERT_FALSE(proof2.siblings.empty());
+    proof2.siblings[0].first.bytes()[0] ^= 1;
+    EXPECT_FALSE(forest.verify(proof2));
+}
+
+TEST(Forest, RemoveMakesLeafUnprovable) {
+    MerkleForest forest;
+    std::vector<MerkleForest::LeafId> ids;
+    for (std::uint64_t i = 0; i < 20; ++i) ids.push_back(forest.add(leaf_hash(i)));
+
+    const auto stale = *forest.prove(ids[7]);
+    ASSERT_TRUE(forest.remove(ids[7]));
+    EXPECT_FALSE(forest.prove(ids[7]).has_value());
+    EXPECT_FALSE(forest.remove(ids[7]));  // double remove
+    EXPECT_EQ(forest.leaf_count(), 19u);
+    // The old proof no longer folds onto any root.
+    EXPECT_FALSE(forest.verify(stale));
+
+    // Every surviving leaf remains provable with a *fresh* proof.
+    for (const auto id : ids) {
+        if (id == ids[7]) continue;
+        const auto proof = forest.prove(id);
+        ASSERT_TRUE(proof.has_value()) << id;
+        EXPECT_TRUE(forest.verify(*proof)) << id;
+    }
+}
+
+TEST(Forest, RemoveRightmostLeafDirectly) {
+    MerkleForest forest;
+    std::vector<MerkleForest::LeafId> ids;
+    for (std::uint64_t i = 0; i < 9; ++i) ids.push_back(forest.add(leaf_hash(i)));
+    // Leaf 8 is alone in the height-0 tree: the rightmost leaf.
+    ASSERT_TRUE(forest.remove(ids[8]));
+    EXPECT_EQ(forest.leaf_count(), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(forest.verify(*forest.prove(ids[i]))) << i;
+    }
+}
+
+TEST(Forest, RandomizedAgainstModel) {
+    MerkleForest forest;
+    std::unordered_map<std::uint64_t, MerkleForest::LeafId> live;  // value -> id
+    util::Rng rng(77);
+    std::uint64_t next_value = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            const std::uint64_t v = next_value++;
+            live[v] = forest.add(leaf_hash(v));
+        } else {
+            // Remove a pseudo-random live element.
+            auto it = live.begin();
+            std::advance(it, static_cast<long>(rng.below(live.size())));
+            ASSERT_TRUE(forest.remove(it->second));
+            live.erase(it);
+        }
+        ASSERT_EQ(forest.leaf_count(), live.size());
+    }
+
+    // Full audit: every live leaf provable, forest shape canonical.
+    EXPECT_EQ(forest.root_count(),
+              static_cast<std::size_t>(__builtin_popcountll(live.size())));
+    for (const auto& [value, id] : live) {
+        const auto proof = forest.prove(id);
+        ASSERT_TRUE(proof.has_value()) << value;
+        EXPECT_TRUE(forest.verify(*proof)) << value;
+        EXPECT_EQ(proof->leaf, leaf_hash(value)) << value;
+    }
+}
+
+TEST(Forest, ProofSizeGrowsLogarithmically) {
+    MerkleForest forest;
+    MerkleForest::LeafId first = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        const auto id = forest.add(leaf_hash(i));
+        if (i == 0) first = id;
+    }
+    const auto proof = forest.prove(first);
+    ASSERT_TRUE(proof.has_value());
+    EXPECT_EQ(proof->siblings.size(), 10u);  // log2(1024)
+    // Paper §VII-B: "the size of proof in Utreexo has a positive
+    // relationship with the count of UTXOs" — vs EBV's O(log block-size).
+    EXPECT_GT(proof->byte_size(), 300u);
+}
+
+TEST(Forest, GenerationTracksStructuralChanges) {
+    MerkleForest forest;
+    const auto g0 = forest.generation();
+    const auto id = forest.add(leaf_hash(1));
+    EXPECT_GT(forest.generation(), g0);
+    const auto g1 = forest.generation();
+    forest.add(leaf_hash(2));
+    EXPECT_GT(forest.generation(), g1);
+    const auto g2 = forest.generation();
+    forest.remove(id);
+    EXPECT_GT(forest.generation(), g2);
+}
+
+}  // namespace
+}  // namespace ebv::accumulator

@@ -1,0 +1,145 @@
+// Tests for the header index and the chain-archive proof source.
+#include <gtest/gtest.h>
+
+#include "chain/header_index.hpp"
+#include "core/chain_archive.hpp"
+#include "util/rng.hpp"
+
+namespace ebv {
+namespace {
+
+chain::BlockHeader make_header(const crypto::Hash256& prev, std::uint32_t time) {
+    chain::BlockHeader h;
+    h.prev_hash = prev;
+    h.time = time;
+    return h;
+}
+
+TEST(HeaderIndex, AppendsLinkedHeaders) {
+    chain::HeaderIndex index;
+    EXPECT_TRUE(index.empty());
+
+    const auto genesis = make_header(crypto::Hash256{}, 0);
+    ASSERT_TRUE(index.append(genesis));
+    EXPECT_EQ(index.height(), 0u);
+    EXPECT_EQ(index.tip_hash(), genesis.hash());
+
+    const auto second = make_header(genesis.hash(), 1);
+    ASSERT_TRUE(index.append(second));
+    EXPECT_EQ(index.height(), 1u);
+    ASSERT_NE(index.at(0), nullptr);
+    EXPECT_EQ(*index.at(0), genesis);
+    ASSERT_NE(index.at(1), nullptr);
+    EXPECT_EQ(*index.at(1), second);
+    EXPECT_EQ(index.at(2), nullptr);
+}
+
+TEST(HeaderIndex, RejectsBrokenLinks) {
+    chain::HeaderIndex index;
+    const auto genesis = make_header(crypto::Hash256{}, 0);
+    ASSERT_TRUE(index.append(genesis));
+
+    auto orphan = make_header(crypto::Hash256{}, 2);
+    orphan.prev_hash.bytes()[0] = 0xde;
+    EXPECT_FALSE(index.append(orphan));
+    EXPECT_EQ(index.height(), 0u);  // unchanged
+
+    // A non-zero prev on the very first header is also rejected.
+    chain::HeaderIndex fresh;
+    auto bad_genesis = make_header(crypto::Hash256{}, 0);
+    bad_genesis.prev_hash.bytes()[5] = 1;
+    EXPECT_FALSE(fresh.append(bad_genesis));
+}
+
+TEST(HeaderIndex, FindByHash) {
+    chain::HeaderIndex index;
+    const auto genesis = make_header(crypto::Hash256{}, 0);
+    ASSERT_TRUE(index.append(genesis));
+    const auto second = make_header(genesis.hash(), 1);
+    ASSERT_TRUE(index.append(second));
+
+    EXPECT_EQ(index.find(genesis.hash()).value_or(99), 0u);
+    EXPECT_EQ(index.find(second.hash()).value_or(99), 1u);
+    EXPECT_FALSE(index.find(crypto::Hash256{}).has_value());
+    EXPECT_GT(index.memory_bytes(), 0u);
+}
+
+core::EbvBlock tiny_block(std::uint32_t height, const crypto::Hash256& prev,
+                          std::size_t tx_count) {
+    core::EbvBlock block;
+    for (std::size_t t = 0; t < tx_count; ++t) {
+        core::EbvTransaction tx;
+        if (t == 0) {
+            tx.coinbase_data = util::Bytes{static_cast<std::uint8_t>(height), 1};
+        } else {
+            core::EbvInput in;
+            in.height = 0;
+            in.els.coinbase_data = util::Bytes{9};
+            in.els.outputs.push_back(chain::TxOut{1, script::Script{0x51}});
+            tx.inputs.push_back(in);
+        }
+        tx.outputs.push_back(
+            chain::TxOut{static_cast<chain::Amount>(10 + t), script::Script{0x51}});
+        block.txs.push_back(std::move(tx));
+    }
+    block.header.prev_hash = prev;
+    block.assign_stake_positions();
+    return block;
+}
+
+TEST(ChainArchive, BranchesProveRecordedLeaves) {
+    core::ChainArchive archive;
+    crypto::Hash256 prev;
+    std::vector<core::EbvBlock> blocks;
+    for (std::uint32_t h = 0; h < 5; ++h) {
+        blocks.push_back(tiny_block(h, prev, 1 + h));
+        archive.add_block(blocks.back());
+        prev = blocks.back().header.hash();
+    }
+    EXPECT_EQ(archive.height_count(), 5u);
+
+    for (std::uint32_t h = 0; h < 5; ++h) {
+        EXPECT_EQ(archive.tx_count(h), 1 + h);
+        for (std::uint32_t t = 0; t < archive.tx_count(h); ++t) {
+            const auto branch = archive.branch(h, t);
+            const auto folded =
+                crypto::fold_branch(archive.tidy(h, t).leaf_hash(), branch);
+            EXPECT_EQ(folded, blocks[h].header.merkle_root)
+                << "height " << h << " tx " << t;
+        }
+    }
+}
+
+TEST(ChainArchive, MakeInputCarriesConsistentProof) {
+    core::ChainArchive archive;
+    const auto block = tiny_block(0, crypto::Hash256{}, 3);
+    archive.add_block(block);
+
+    const core::EbvInput input = archive.make_input(0, 2, 0);
+    EXPECT_EQ(input.height, 0u);
+    EXPECT_EQ(input.out_index, 0u);
+    EXPECT_EQ(input.els, block.txs[2].tidy());
+    EXPECT_EQ(crypto::fold_branch(input.els.leaf_hash(), input.mbr),
+              block.header.merkle_root);
+    EXPECT_EQ(input.absolute_position(), block.txs[2].stake_position);
+    EXPECT_GT(archive.memory_bytes(), 0u);
+}
+
+TEST(EbvBlock, SerializationRoundTrip) {
+    const auto block = tiny_block(3, crypto::Hash256{}, 4);
+    util::Writer w;
+    block.serialize(w);
+    util::Reader r(w.data());
+    auto decoded = core::EbvBlock::deserialize(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(decoded->header, block.header);
+    ASSERT_EQ(decoded->txs.size(), block.txs.size());
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        EXPECT_EQ(decoded->txs[i], block.txs[i]) << i;
+    }
+    EXPECT_EQ(decoded->compute_merkle_root(), block.header.merkle_root);
+}
+
+}  // namespace
+}  // namespace ebv

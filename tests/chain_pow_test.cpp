@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "chain/pow.hpp"
+
+namespace ebv::chain {
+namespace {
+
+TEST(Pow, ExpandKnownCompactValues) {
+    // Bitcoin genesis difficulty: 0x1d00ffff.
+    const auto genesis = expand_compact_target(0x1d00ffff);
+    ASSERT_TRUE(genesis.has_value());
+    EXPECT_EQ(crypto::U256::from_hex(
+                  "00000000ffff0000000000000000000000000000000000000000000000000000"),
+              *genesis);
+
+    // Small exponents shift the mantissa down.
+    const auto tiny = expand_compact_target(0x01003456);
+    ASSERT_TRUE(tiny.has_value());
+    EXPECT_EQ(tiny->limbs[0], 0x00u);
+
+    const auto three = expand_compact_target(0x03123456);
+    ASSERT_TRUE(three.has_value());
+    EXPECT_EQ(three->limbs[0], 0x123456u);
+}
+
+TEST(Pow, RejectsNegativeAndOverflow) {
+    EXPECT_FALSE(expand_compact_target(0x01803456).has_value());  // sign bit
+    EXPECT_FALSE(expand_compact_target(0xff123456).has_value());  // overflow
+}
+
+TEST(Pow, CompactRoundTripsCanonicalTargets) {
+    for (const std::uint32_t bits : {0x1d00ffffu, 0x207fffffu, 0x1b0404cbu, 0x03123456u}) {
+        const auto target = expand_compact_target(bits);
+        ASSERT_TRUE(target.has_value()) << std::hex << bits;
+        EXPECT_EQ(compact_from_target(*target), bits) << std::hex << bits;
+    }
+    EXPECT_EQ(compact_from_target(crypto::U256::zero()), 0u);
+}
+
+TEST(Pow, CheckProofOfWorkAgainstEasyTarget) {
+    BlockHeader header;
+    header.bits = 0x207fffff;  // maximal regtest-style target
+    // Nearly any hash passes this target.
+    EXPECT_TRUE(check_proof_of_work(header));
+
+    header.bits = 0x03000001;  // absurdly hard target
+    EXPECT_FALSE(check_proof_of_work(header));
+}
+
+TEST(Pow, GrindToRealTarget) {
+    BlockHeader header;
+    header.bits = 0x1f00ffff;  // requires ~1 byte of leading zeros
+    int attempts = 0;
+    while (!check_proof_of_work(header) && attempts < 200'000) {
+        ++header.nonce;
+        ++attempts;
+    }
+    EXPECT_TRUE(check_proof_of_work(header)) << "no solution in " << attempts;
+    EXPECT_GT(attempts, 0);
+}
+
+TEST(Pow, RetargetScalesAndClamps) {
+    const auto base = *expand_compact_target(0x1d00ffff);
+
+    // Blocks came in twice as fast: difficulty doubles (target halves).
+    const auto harder = retarget(base, 600, 1200);
+    EXPECT_TRUE(crypto::u256_less(harder, base));
+
+    // Blocks came in twice as slow: target doubles.
+    const auto easier = retarget(base, 2400, 1200);
+    EXPECT_TRUE(crypto::u256_less(base, easier));
+
+    // Clamped at 4x in both directions.
+    const auto clamped_fast = retarget(base, 1, 1200);
+    const auto quarter = retarget(base, 300, 1200);
+    EXPECT_EQ(clamped_fast, quarter);
+
+    const auto clamped_slow = retarget(base, 1'000'000, 1200);
+    const auto quadruple = retarget(base, 4800, 1200);
+    EXPECT_EQ(clamped_slow, quadruple);
+}
+
+}  // namespace
+}  // namespace ebv::chain

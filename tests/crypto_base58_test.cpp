@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "crypto/base58.hpp"
+#include "crypto/ecdsa.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+TEST(Base58, KnownVectors) {
+    // Vectors from the Bitcoin Core test set.
+    EXPECT_EQ(base58_encode(util::Bytes{}), "");
+    EXPECT_EQ(base58_encode(*util::hex_decode("61")), "2g");
+    EXPECT_EQ(base58_encode(*util::hex_decode("626262")), "a3gV");
+    EXPECT_EQ(base58_encode(*util::hex_decode("636363")), "aPEr");
+    EXPECT_EQ(base58_encode(*util::hex_decode("73696d706c792061206c6f6e6720737472696e67")),
+              "2cFupjhnEsSn59qHXstmK2ffpLv2");
+    EXPECT_EQ(base58_encode(*util::hex_decode("00eb15231dfceb60925886b67d065299925915aeb172c06647")),
+              "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L");
+    EXPECT_EQ(base58_encode(*util::hex_decode("516b6fcd0f")), "ABnLTmg");
+    EXPECT_EQ(base58_encode(*util::hex_decode("572e4794")), "3EFU7m");
+    EXPECT_EQ(base58_encode(*util::hex_decode("10c8511e")), "Rt5zm");
+    EXPECT_EQ(base58_encode(util::Bytes(10, 0)), "1111111111");
+}
+
+TEST(Base58, DecodeInvertsEncode) {
+    util::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        util::Bytes data(rng.between(0, 60));
+        rng.fill(data);
+        if (rng.chance(0.3) && !data.empty()) data[0] = 0;  // leading zeros
+        const auto decoded = base58_decode(base58_encode(data));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(Base58, DecodeRejectsBadCharacters) {
+    EXPECT_FALSE(base58_decode("0OIl").has_value());  // excluded alphabet
+    EXPECT_FALSE(base58_decode("abc!").has_value());
+    EXPECT_TRUE(base58_decode("").has_value());
+}
+
+TEST(Base58Check, RoundTrip) {
+    util::Rng rng(2);
+    const auto key = PrivateKey::generate(rng);
+    const Hash160 id = key.public_key().id();
+
+    const std::string address = base58check_encode(kP2pkhVersion, id.span());
+    EXPECT_EQ(address[0], '1');  // mainnet P2PKH addresses start with 1
+
+    const auto decoded = base58check_decode(address);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->first, kP2pkhVersion);
+    EXPECT_EQ(Hash160::from_span(decoded->second), id);
+}
+
+TEST(Base58Check, P2shVersionPrefix) {
+    const std::string address = base58check_encode(kP2shVersion, util::Bytes(20, 0xab));
+    EXPECT_EQ(address[0], '3');  // mainnet P2SH addresses start with 3
+    EXPECT_TRUE(base58check_decode(address).has_value());
+}
+
+TEST(Base58Check, ChecksumCatchesTypos) {
+    const std::string address = base58check_encode(kP2pkhVersion, util::Bytes(20, 0x11));
+    for (std::size_t i = 0; i < address.size(); ++i) {
+        std::string corrupted = address;
+        corrupted[i] = corrupted[i] == '2' ? '3' : '2';
+        if (corrupted == address) continue;
+        EXPECT_FALSE(base58check_decode(corrupted).has_value()) << "position " << i;
+    }
+}
+
+TEST(Base58Check, KnownSatoshiAddress) {
+    // hash160 behind the genesis-coinbase address.
+    const auto payload = util::hex_decode("62e907b15cbf27d5425399ebf6f0fb50ebb88f18");
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(base58check_encode(0x00, *payload), "1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa");
+}
+
+}  // namespace
+}  // namespace ebv::crypto

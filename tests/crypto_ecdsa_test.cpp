@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/hash_types.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+namespace k1 = secp256k1;
+
+Hash256 msg_hash(std::string_view msg) { return hash256(util::as_bytes(msg)); }
+
+TEST(Secp256k1, GeneratorIsOnCurve) {
+    EXPECT_TRUE(k1::generator().on_curve());
+}
+
+TEST(Secp256k1, GroupLawBasics) {
+    const k1::Point g = k1::generator();
+    const k1::Point g2_add = k1::add(g, g);
+    const k1::Point g2_mul = k1::multiply(g, U256::from_u64(2));
+    EXPECT_EQ(g2_add, g2_mul);
+    EXPECT_TRUE(g2_add.on_curve());
+
+    // Commutativity: G + 2G == 2G + G == 3G.
+    const k1::Point g3a = k1::add(g, g2_add);
+    const k1::Point g3b = k1::add(g2_add, g);
+    EXPECT_EQ(g3a, g3b);
+    EXPECT_EQ(g3a, k1::multiply(g, U256::from_u64(3)));
+}
+
+TEST(Secp256k1, AddingInverseYieldsInfinity) {
+    const k1::Point g = k1::generator();
+    const k1::Point sum = k1::add(g, k1::negate(g));
+    EXPECT_TRUE(sum.infinity);
+    // P + infinity == P.
+    EXPECT_EQ(k1::add(g, k1::Point::at_infinity()), g);
+}
+
+TEST(Secp256k1, OrderTimesGeneratorIsInfinity) {
+    const U256 n = k1::order().modulus();
+    // n ≡ 0 (mod n) so multiply() reduces it to zero ⇒ infinity.
+    EXPECT_TRUE(k1::multiply(k1::generator(), n).infinity);
+    // (n-1)·G == -G.
+    U256 n_minus_1;
+    u256_sub(n, U256::one(), n_minus_1);
+    EXPECT_EQ(k1::multiply(k1::generator(), n_minus_1), k1::negate(k1::generator()));
+}
+
+TEST(Secp256k1, GeneratorTableMatchesGenericMultiply) {
+    util::Rng rng(42);
+    for (int i = 0; i < 10; ++i) {
+        U256 k;
+        for (auto& limb : k.limbs) limb = rng.next();
+        EXPECT_EQ(k1::multiply_generator(k), k1::multiply(k1::generator(), k));
+    }
+}
+
+TEST(Secp256k1, MultiplyDistributesOverScalarAddition) {
+    util::Rng rng(43);
+    const auto& n = k1::order();
+    for (int i = 0; i < 5; ++i) {
+        U256 a, b;
+        for (auto& limb : a.limbs) limb = rng.next();
+        for (auto& limb : b.limbs) limb = rng.next();
+        const U256 sum = n.add(n.reduce(a), n.reduce(b));
+        const k1::Point lhs = k1::multiply_generator(sum);
+        const k1::Point rhs = k1::add(k1::multiply_generator(a), k1::multiply_generator(b));
+        EXPECT_EQ(lhs, rhs);
+    }
+}
+
+TEST(Secp256k1, CompressedSerializationRoundTrip) {
+    util::Rng rng(44);
+    for (int i = 0; i < 10; ++i) {
+        const PrivateKey key = PrivateKey::generate(rng);
+        const k1::Point p = key.public_key().point();
+        std::uint8_t buf[33];
+        k1::serialize_compressed(p, buf);
+        const auto parsed = k1::parse_compressed({buf, 33});
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, p);
+    }
+}
+
+TEST(Secp256k1, ParseRejectsBadEncodings) {
+    std::uint8_t buf[33] = {};
+    EXPECT_FALSE(k1::parse_compressed({buf, 32}).has_value());  // short
+    buf[0] = 0x04;  // uncompressed prefix unsupported in this codec
+    EXPECT_FALSE(k1::parse_compressed({buf, 33}).has_value());
+    buf[0] = 0x02;  // x = 0: 0³+7 = 7 is a QR? parse must verify on-curve
+    const auto p = k1::parse_compressed({buf, 33});
+    if (p) EXPECT_TRUE(p->on_curve());
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+    util::Rng rng(45);
+    const PrivateKey key = PrivateKey::generate(rng);
+    const PublicKey pub = key.public_key();
+    const Hash256 digest = msg_hash("EBV block validation");
+
+    const Signature sig = key.sign(digest);
+    EXPECT_TRUE(sig.is_low_s());
+    EXPECT_TRUE(pub.verify(digest, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsTamperedMessage) {
+    util::Rng rng(46);
+    const PrivateKey key = PrivateKey::generate(rng);
+    const Signature sig = key.sign(msg_hash("original"));
+    EXPECT_FALSE(key.public_key().verify(msg_hash("tampered"), sig));
+}
+
+TEST(Ecdsa, VerifyRejectsWrongKey) {
+    util::Rng rng(47);
+    const PrivateKey key1 = PrivateKey::generate(rng);
+    const PrivateKey key2 = PrivateKey::generate(rng);
+    const Hash256 digest = msg_hash("message");
+    const Signature sig = key1.sign(digest);
+    EXPECT_FALSE(key2.public_key().verify(digest, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsMangledSignature) {
+    util::Rng rng(48);
+    const PrivateKey key = PrivateKey::generate(rng);
+    const Hash256 digest = msg_hash("message");
+    Signature sig = key.sign(digest);
+
+    Signature bad_r = sig;
+    bad_r.r = k1::order().add(bad_r.r, U256::one());
+    EXPECT_FALSE(key.public_key().verify(digest, bad_r));
+
+    Signature zero_s = sig;
+    zero_s.s = U256::zero();
+    EXPECT_FALSE(key.public_key().verify(digest, zero_s));
+}
+
+TEST(Ecdsa, DeterministicSignaturesAreStable) {
+    util::Rng rng(49);
+    const PrivateKey key = PrivateKey::generate(rng);
+    const Hash256 digest = msg_hash("same message");
+    const Signature a = key.sign(digest);
+    const Signature b = key.sign(digest);
+    EXPECT_EQ(a.r, b.r);
+    EXPECT_EQ(a.s, b.s);
+}
+
+// The widely-cited RFC 6979 secp256k1 vector: d = 1, H = SHA256("Satoshi
+// Nakamoto"). Expected r/s are the low-s-normalized values.
+TEST(Ecdsa, Rfc6979KnownVector) {
+    std::uint8_t one[32] = {};
+    one[31] = 1;
+    const auto key = PrivateKey::from_bytes({one, 32});
+    ASSERT_TRUE(key.has_value());
+
+    const auto digest_arr = Sha256::hash(util::as_bytes("Satoshi Nakamoto"));
+    const Hash256 digest = Hash256::from_span({digest_arr.data(), digest_arr.size()});
+
+    const Signature sig = key->sign(digest);
+    std::uint8_t r_bytes[32], s_bytes[32];
+    sig.r.to_be_bytes(r_bytes);
+    sig.s.to_be_bytes(s_bytes);
+    EXPECT_EQ(util::hex_encode({r_bytes, 32}),
+              "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8");
+    EXPECT_EQ(util::hex_encode({s_bytes, 32}),
+              "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5");
+    EXPECT_TRUE(key->public_key().verify(digest, sig));
+}
+
+TEST(Ecdsa, DerRoundTrip) {
+    util::Rng rng(50);
+    for (int i = 0; i < 20; ++i) {
+        const PrivateKey key = PrivateKey::generate(rng);
+        const Signature sig = key.sign(msg_hash("der test"));
+        const auto der = sig.to_der();
+        EXPECT_GE(der.size(), 8u);
+        EXPECT_LE(der.size(), 72u);
+        const auto parsed = Signature::from_der(der);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->r, sig.r);
+        EXPECT_EQ(parsed->s, sig.s);
+    }
+}
+
+TEST(Ecdsa, DerRejectsMalformed) {
+    EXPECT_FALSE(Signature::from_der({}).has_value());
+    util::Rng rng(51);
+    const Signature sig = PrivateKey::generate(rng).sign(msg_hash("x"));
+    auto der = sig.to_der();
+    der[0] = 0x31;  // wrong tag
+    EXPECT_FALSE(Signature::from_der(der).has_value());
+    der[0] = 0x30;
+    der[1] += 1;  // wrong length
+    EXPECT_FALSE(Signature::from_der(der).has_value());
+}
+
+TEST(Ecdsa, PrivateKeyFromBytesRejectsOutOfRange) {
+    std::uint8_t zero[32] = {};
+    EXPECT_FALSE(PrivateKey::from_bytes({zero, 32}).has_value());
+
+    std::uint8_t big[32];
+    k1::order().modulus().to_be_bytes(big);
+    EXPECT_FALSE(PrivateKey::from_bytes({big, 32}).has_value());  // == n
+
+    EXPECT_FALSE(PrivateKey::from_bytes({zero, 31}).has_value());  // short
+}
+
+TEST(Ecdsa, PublicKeySerializeParseRoundTrip) {
+    util::Rng rng(52);
+    const PrivateKey key = PrivateKey::generate(rng);
+    const auto bytes = key.public_key().serialize();
+    EXPECT_EQ(bytes.size(), 33u);
+    const auto parsed = PublicKey::parse(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->point(), key.public_key().point());
+    EXPECT_EQ(parsed->id(), key.public_key().id());
+}
+
+}  // namespace
+}  // namespace ebv::crypto

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hash_types.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+using util::as_bytes;
+using util::Bytes;
+using util::hex_encode;
+
+std::string digest_hex(util::ByteSpan d) { return hex_encode(d); }
+
+// FIPS 180-4 test vectors.
+TEST(Sha256, KnownVectors) {
+    EXPECT_EQ(digest_hex(Sha256::hash(as_bytes(""))),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(digest_hex(Sha256::hash(as_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(digest_hex(Sha256::hash(
+                  as_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+    EXPECT_EQ(digest_hex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Streaming in arbitrary chunkings must equal one-shot hashing.
+class Sha256Chunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Chunking, MatchesOneShot) {
+    std::string msg;
+    for (int i = 0; i < 300; ++i) msg.push_back(static_cast<char>('A' + i % 23));
+    const auto expected = Sha256::hash(as_bytes(msg));
+
+    Sha256 h;
+    const std::size_t chunk = GetParam();
+    for (std::size_t pos = 0; pos < msg.size(); pos += chunk) {
+        h.update(as_bytes(std::string_view(msg).substr(pos, chunk)));
+    }
+    EXPECT_EQ(h.finalize(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, Sha256Chunking,
+                         ::testing::Values(1, 3, 7, 31, 63, 64, 65, 128, 299));
+
+TEST(Sha256, BoundaryLengthsAroundBlockSize) {
+    // Exercise the padding logic at every interesting length.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+        const std::string msg(len, 'x');
+        Sha256 a;
+        a.update(as_bytes(msg));
+        Sha256 b;
+        for (char c : msg) b.update(as_bytes(std::string_view(&c, 1)));
+        EXPECT_EQ(a.finalize(), b.finalize()) << "length " << len;
+    }
+}
+
+TEST(DoubleSha256, MatchesComposition) {
+    const auto once = Sha256::hash(as_bytes("hello"));
+    const auto twice = Sha256::hash({once.data(), once.size()});
+    EXPECT_EQ(double_sha256(as_bytes("hello")), twice);
+}
+
+// Bosselaers' RIPEMD-160 test vectors.
+TEST(Ripemd160, KnownVectors) {
+    EXPECT_EQ(digest_hex(Ripemd160::hash(as_bytes(""))),
+              "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+    EXPECT_EQ(digest_hex(Ripemd160::hash(as_bytes("abc"))),
+              "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+    EXPECT_EQ(digest_hex(Ripemd160::hash(as_bytes("message digest"))),
+              "5d0689ef49d2fae572b881b123a85ffa21595f36");
+    EXPECT_EQ(digest_hex(Ripemd160::hash(as_bytes("abcdefghijklmnopqrstuvwxyz"))),
+              "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+}
+
+// RFC 4231 test case 1 and 2.
+TEST(HmacSha256, Rfc4231Vectors) {
+    const Bytes key1(20, 0x0b);
+    EXPECT_EQ(digest_hex(HmacSha256::mac(key1, as_bytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+
+    EXPECT_EQ(digest_hex(HmacSha256::mac(as_bytes("Jefe"),
+                                         as_bytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+    // RFC 4231 test case 6 (131-byte key).
+    const Bytes key(131, 0xaa);
+    EXPECT_EQ(digest_hex(HmacSha256::mac(
+                  key, as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HashTypes, Hash256HexUsesReversedByteOrder) {
+    // Txid convention: display is byte-reversed.
+    Hash256 h;
+    h.bytes()[0] = 0x01;
+    h.bytes()[31] = 0xff;
+    const std::string hex = h.to_hex();
+    EXPECT_EQ(hex.substr(0, 2), "ff");
+    EXPECT_EQ(hex.substr(62, 2), "01");
+
+    const auto parsed = Hash256::from_hex(hex);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, h);
+}
+
+TEST(HashTypes, FromHexRejectsWrongLength) {
+    EXPECT_FALSE(Hash256::from_hex("abcd").has_value());
+    EXPECT_FALSE(Hash256::from_hex(std::string(63, 'a')).has_value());
+}
+
+TEST(HashTypes, Hash160Composition) {
+    const auto data = util::as_bytes("public key bytes");
+    const auto sha = Sha256::hash(data);
+    const auto expected = Ripemd160::hash({sha.data(), sha.size()});
+    EXPECT_EQ(hash160(data).span().size(), 20u);
+    EXPECT_EQ(util::hex_encode(hash160(data).span()), digest_hex(expected));
+}
+
+TEST(HashTypes, IsZeroAndComparison) {
+    Hash256 a, b;
+    EXPECT_TRUE(a.is_zero());
+    EXPECT_EQ(a, b);
+    b.bytes()[5] = 1;
+    EXPECT_FALSE(b.is_zero());
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace ebv::crypto

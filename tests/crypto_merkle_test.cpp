@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+std::vector<Hash256> random_leaves(std::size_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<Hash256> leaves(n);
+    for (auto& leaf : leaves) rng.fill({leaf.bytes().data(), leaf.bytes().size()});
+    return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+    const auto leaves = random_leaves(1, 1);
+    EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(Merkle, EmptyRootIsZero) {
+    EXPECT_TRUE(merkle_root({}).is_zero());
+}
+
+TEST(Merkle, TwoLeavesMatchManualPairHash) {
+    const auto leaves = random_leaves(2, 2);
+    util::Bytes concat;
+    concat.insert(concat.end(), leaves[0].span().begin(), leaves[0].span().end());
+    concat.insert(concat.end(), leaves[1].span().begin(), leaves[1].span().end());
+    const auto expected = hash256(concat);
+    EXPECT_EQ(merkle_root(leaves), expected);
+}
+
+TEST(Merkle, OddLevelDuplicatesLastNode) {
+    // With 3 leaves, the last leaf pairs with itself: root over {a,b,c}
+    // equals root over {a,b,c,c}.
+    const auto leaves3 = random_leaves(3, 3);
+    auto leaves4 = leaves3;
+    leaves4.push_back(leaves3[2]);
+    EXPECT_EQ(merkle_root(leaves3), merkle_root(leaves4));
+}
+
+TEST(Merkle, RootChangesWhenAnyLeafChanges) {
+    auto leaves = random_leaves(8, 4);
+    const auto root = merkle_root(leaves);
+    leaves[5].bytes()[0] ^= 1;
+    EXPECT_NE(merkle_root(leaves), root);
+}
+
+// Property: for every tree size and every leaf position, the branch folds
+// back to the root — and fails for a tampered leaf.
+class MerkleBranchProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleBranchProperty, EveryPositionProvesMembership) {
+    const std::size_t n = GetParam();
+    const auto leaves = random_leaves(n, 100 + n);
+    const auto root = merkle_root(leaves);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto branch = merkle_branch(leaves, i);
+        EXPECT_EQ(fold_branch(leaves[i], branch), root) << "position " << i;
+
+        Hash256 tampered = leaves[i];
+        tampered.bytes()[7] ^= 0x80;
+        EXPECT_NE(fold_branch(tampered, branch), root) << "position " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleBranchProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100, 255));
+
+TEST(MerkleBranch, WrongIndexFailsToProve) {
+    const auto leaves = random_leaves(16, 5);
+    const auto root = merkle_root(leaves);
+    auto branch = merkle_branch(leaves, 3);
+    branch.index = 4;  // claim a different position
+    EXPECT_NE(fold_branch(leaves[3], branch), root);
+}
+
+TEST(MerkleBranch, DepthIsLogarithmic) {
+    const auto leaves = random_leaves(1000, 6);
+    const auto branch = merkle_branch(leaves, 999);
+    EXPECT_EQ(branch.siblings.size(), 10u);  // ceil(log2(1000))
+}
+
+TEST(MerkleBranch, SerializationRoundTrip) {
+    const auto leaves = random_leaves(20, 7);
+    const auto branch = merkle_branch(leaves, 13);
+
+    util::Writer w;
+    branch.serialize(w);
+    util::Reader r(w.data());
+    auto decoded = MerkleBranch::deserialize(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, branch);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(MerkleBranch, DeserializeRejectsAbsurdDepth) {
+    util::Writer w;
+    w.compact_size(1000);  // deeper than any valid tree
+    util::Reader r(w.data());
+    auto decoded = MerkleBranch::deserialize(r);
+    ASSERT_FALSE(decoded.has_value());
+    EXPECT_EQ(decoded.error(), util::DecodeError::kOversizedField);
+}
+
+}  // namespace
+}  // namespace ebv::crypto

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "crypto/secp256k1.hpp"
+#include "crypto/u256.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+U256 random_u256(util::Rng& rng) {
+    U256 v;
+    for (auto& limb : v.limbs) limb = rng.next();
+    return v;
+}
+
+/// Reference modular multiplication: shift-and-add with a reduction step
+/// after every shift. O(256) but obviously correct.
+U256 reference_modmul(const U256& a, const U256& b, const U256& m) {
+    auto mod_reduce = [&](U256& x) {
+        while (!u256_less(x, m)) u256_sub(x, m, x);
+    };
+
+    // x + 2^256 ≡ x + (2^256 - m) (mod m): fold a carry-out back in.
+    U256 complement;
+    {
+        U256 not_m;
+        for (int i = 0; i < 4; ++i) not_m.limbs[i] = ~m.limbs[i];
+        u256_add(not_m, U256::one(), complement);
+    }
+    auto mod_add = [&](const U256& x, const U256& y) {
+        U256 sum;
+        if (u256_add(x, y, sum)) u256_add(sum, complement, sum);
+        mod_reduce(sum);
+        return sum;
+    };
+
+    U256 acc = U256::zero();
+    U256 addend = a;
+    mod_reduce(addend);
+
+    for (int bit = 0; bit < 256; ++bit) {
+        if (b.bit(static_cast<unsigned>(bit))) acc = mod_add(acc, addend);
+        addend = mod_add(addend, addend);
+    }
+    return acc;
+}
+
+TEST(U256, BytesRoundTrip) {
+    util::Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const U256 v = random_u256(rng);
+        std::uint8_t buf[32];
+        v.to_be_bytes(buf);
+        EXPECT_EQ(U256::from_be_bytes({buf, 32}), v);
+    }
+}
+
+TEST(U256, FromHexMatchesBytes) {
+    const U256 v = U256::from_hex(
+        "00000000000000000000000000000000000000000000000000000000000000ff");
+    EXPECT_EQ(v, U256::from_u64(0xff));
+
+    const U256 top = U256::from_hex(
+        "8000000000000000000000000000000000000000000000000000000000000000");
+    EXPECT_EQ(top.limbs[3], 0x8000000000000000ULL);
+    EXPECT_EQ(top.limbs[0], 0u);
+}
+
+TEST(U256, AddSubInverse) {
+    util::Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const U256 a = random_u256(rng);
+        const U256 b = random_u256(rng);
+        U256 sum, back;
+        const std::uint64_t carry = u256_add(a, b, sum);
+        const std::uint64_t borrow = u256_sub(sum, b, back);
+        EXPECT_EQ(back, a);
+        EXPECT_EQ(carry, borrow);  // overflow in add shows up as borrow coming back
+    }
+}
+
+TEST(U256, ComparisonIsTotalOrder) {
+    const U256 small = U256::from_u64(5);
+    const U256 large = U256::from_hex(
+        "0000000000000001000000000000000000000000000000000000000000000000");
+    EXPECT_TRUE(u256_less(small, large));
+    EXPECT_FALSE(u256_less(large, small));
+    EXPECT_FALSE(u256_less(small, small));
+    EXPECT_TRUE(u256_less_equal(small, small));
+}
+
+TEST(U256, MulWideLowLimbsMatchNativeMul) {
+    util::Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint64_t b = rng.next();
+        std::uint64_t wide[8];
+        u256_mul_wide(U256::from_u64(a), U256::from_u64(b), wide);
+        const unsigned __int128 expected = static_cast<unsigned __int128>(a) * b;
+        EXPECT_EQ(wide[0], static_cast<std::uint64_t>(expected));
+        EXPECT_EQ(wide[1], static_cast<std::uint64_t>(expected >> 64));
+        for (int j = 2; j < 8; ++j) EXPECT_EQ(wide[j], 0u);
+    }
+}
+
+class ModArithAgainstReference : public ::testing::TestWithParam<const char*> {
+protected:
+    ModArith arith() const { return ModArith(U256::from_hex(GetParam())); }
+};
+
+TEST_P(ModArithAgainstReference, MulMatchesShiftAddReference) {
+    const ModArith m = arith();
+    util::Rng rng(4);
+    for (int i = 0; i < 60; ++i) {
+        const U256 a = m.reduce(random_u256(rng));
+        const U256 b = m.reduce(random_u256(rng));
+        EXPECT_EQ(m.mul(a, b), reference_modmul(a, b, m.modulus()));
+    }
+}
+
+TEST_P(ModArithAgainstReference, AddSubNegConsistent) {
+    const ModArith m = arith();
+    util::Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const U256 a = m.reduce(random_u256(rng));
+        const U256 b = m.reduce(random_u256(rng));
+        // (a + b) - b == a
+        EXPECT_EQ(m.sub(m.add(a, b), b), a);
+        // a + (-a) == 0
+        EXPECT_TRUE(m.add(a, m.neg(a)).is_zero());
+    }
+}
+
+TEST_P(ModArithAgainstReference, InverseIsMultiplicativeInverse) {
+    const ModArith m = arith();
+    util::Rng rng(6);
+    for (int i = 0; i < 20; ++i) {
+        U256 a = m.reduce(random_u256(rng));
+        if (a.is_zero()) a = U256::one();
+        EXPECT_EQ(m.mul(a, m.inverse(a)), U256::one());
+    }
+}
+
+TEST_P(ModArithAgainstReference, PowMatchesRepeatedMul) {
+    const ModArith m = arith();
+    util::Rng rng(7);
+    const U256 base = m.reduce(random_u256(rng));
+    U256 acc = U256::one();
+    for (std::uint64_t e = 0; e <= 20; ++e) {
+        EXPECT_EQ(m.pow(base, U256::from_u64(e)), acc) << "exponent " << e;
+        acc = m.mul(acc, base);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Secp256k1Moduli, ModArithAgainstReference,
+    ::testing::Values(
+        // field prime p
+        "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        // group order n
+        "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"));
+
+TEST(ModArith, ReduceWideHandlesMaxValue) {
+    const ModArith f = secp256k1::field();
+    std::uint64_t wide[8];
+    for (auto& limb : wide) limb = ~0ULL;  // 2^512 - 1
+    const U256 reduced = f.reduce_wide(wide);
+    EXPECT_TRUE(u256_less(reduced, f.modulus()));
+    // Cross-check: (2^256-1)*(2^256-1) + 2*(2^256-1) = 2^512-1, so
+    // reduce(2^512-1) == mul(m-1+..) — verify via reference on the identity
+    // (x*y) where x=y=2^256-1 reduced first.
+    U256 max256;
+    for (auto& l : max256.limbs) l = ~0ULL;
+    const U256 x = f.reduce(max256);
+    const U256 expect_prod = reference_modmul(x, x, f.modulus());
+    const U256 two_x = f.add(x, x);
+    // 2^512 - 1 = (2^256-1)^2 + 2*(2^256-1)
+    EXPECT_EQ(reduced, f.add(expect_prod, two_x));
+}
+
+}  // namespace
+}  // namespace ebv::crypto

@@ -1,0 +1,188 @@
+// Adversarial mutation sweep: every single-field mutation of a valid EBV
+// block must be rejected by the validator (the security-analysis claims of
+// paper §V, exercised mechanically).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/node.hpp"
+#include "intermediary/converter.hpp"
+#include "workload/generator.hpp"
+
+namespace ebv::core {
+namespace {
+
+struct Fixture {
+    Fixture() {
+        workload::GeneratorOptions gen_options;
+        gen_options.seed = 31;
+        gen_options.params.coinbase_maturity = 5;
+        gen_options.schedule = workload::EraSchedule::flat(4.0, 1.7, 2.0);
+        gen_options.height_scale = 1.0;
+        gen_options.intensity = 1.0;
+        gen_options.key_pool_size = 8;
+
+        workload::ChainGenerator gen(gen_options);
+        intermediary::Converter converter;
+        options.params = gen_options.params;
+        node = std::make_unique<EbvNode>(options);
+
+        // Grow until the next block has at least two spends, then keep it.
+        for (int i = 0; i < 60; ++i) {
+            auto converted = converter.convert_block(gen.next_block());
+            EXPECT_TRUE(converted.has_value());
+            if (converted->input_count() >= 2) {
+                victim = *converted;
+                return;
+            }
+            EXPECT_TRUE(node->submit_block(*converted).has_value());
+        }
+        ADD_FAILURE() << "no block with >= 2 inputs generated";
+    }
+
+    EbvNodeOptions options;
+    std::unique_ptr<EbvNode> node;
+    EbvBlock victim;
+};
+
+using Mutation = std::function<void(EbvBlock&)>;
+
+/// Apply the mutation, repackage honestly (so the Merkle root matches the
+/// mutated content — the *miner* is the adversary), and expect rejection.
+void expect_rejected_with_honest_root(Fixture& f, const Mutation& mutate,
+                                      const char* what) {
+    EbvBlock block = f.victim;
+    mutate(block);
+    block.header.merkle_root = block.compute_merkle_root();
+    auto result = f.node->submit_block(block);
+    EXPECT_FALSE(result.has_value()) << what << " was accepted";
+}
+
+/// Apply the mutation without touching the root (the *relay* is the
+/// adversary, tampering after packaging).
+void expect_rejected_with_stale_root(Fixture& f, const Mutation& mutate,
+                                     const char* what) {
+    EbvBlock block = f.victim;
+    mutate(block);
+    auto result = f.node->submit_block(block);
+    EXPECT_FALSE(result.has_value()) << what << " was accepted";
+}
+
+std::size_t first_spender(const EbvBlock& block) {
+    for (std::size_t t = 1; t < block.txs.size(); ++t) {
+        if (!block.txs[t].inputs.empty()) return t;
+    }
+    return 1;
+}
+
+TEST(EbvMutation, ValidBlockIsAcceptedUnchanged) {
+    Fixture f;
+    EXPECT_TRUE(f.node->submit_block(f.victim).has_value());
+}
+
+TEST(EbvMutation, MinerSideMutationsRejected) {
+    struct Case {
+        const char* name;
+        Mutation mutate;
+    };
+    const Case cases[] = {
+        {"input height shifted",
+         [](EbvBlock& b) { b.txs[first_spender(b)].inputs[0].height += 1; }},
+        {"out_index beyond ELs outputs",
+         [](EbvBlock& b) {
+             auto& in = b.txs[first_spender(b)].inputs[0];
+             in.out_index = static_cast<std::uint16_t>(in.els.outputs.size());
+         }},
+        {"ELs stake position shifted (fake position)",
+         [](EbvBlock& b) { b.txs[first_spender(b)].inputs[0].els.stake_position += 1; }},
+        {"ELs output value inflated",
+         [](EbvBlock& b) {
+             auto& in = b.txs[first_spender(b)].inputs[0];
+             in.els.outputs[in.out_index].value += 1;
+         }},
+        {"MBr index shifted",
+         [](EbvBlock& b) {
+             auto& mbr = b.txs[first_spender(b)].inputs[0].mbr;
+             // A single-leaf tree ignores the index; force a sibling level
+             // so the claimed position actually participates in the fold.
+             if (mbr.siblings.empty()) mbr.siblings.emplace_back();
+             mbr.index ^= 1;
+         }},
+        {"MBr sibling corrupted",
+         [](EbvBlock& b) {
+             auto& mbr = b.txs[first_spender(b)].inputs[0].mbr;
+             if (mbr.siblings.empty()) mbr.siblings.emplace_back();
+             mbr.siblings[0].bytes()[0] ^= 1;
+         }},
+        {"unlocking script corrupted",
+         [](EbvBlock& b) {
+             auto& us = b.txs[first_spender(b)].inputs[0].unlock_script;
+             us[us.size() / 2] ^= 0x10;
+         }},
+        {"output value inflated (fee theft)",
+         [](EbvBlock& b) { b.txs[first_spender(b)].outputs[0].value += 1; }},
+        {"coinbase value inflated",
+         [](EbvBlock& b) { b.txs[0].outputs[0].value += 1; }},
+        {"duplicated spend input (double spend)",
+         [](EbvBlock& b) {
+             auto& tx = b.txs[first_spender(b)];
+             tx.inputs.push_back(tx.inputs[0]);
+         }},
+        {"stake positions self-servingly reassigned",
+         [](EbvBlock& b) {
+             for (auto& tx : b.txs) tx.stake_position += 1;
+         }},
+    };
+
+    for (const Case& c : cases) {
+        Fixture f;  // fresh state per case: rejection must not be order-dependent
+        expect_rejected_with_honest_root(f, c.mutate, c.name);
+        // The untampered block still connects afterwards (state untouched).
+        EXPECT_TRUE(f.node->submit_block(f.victim).has_value())
+            << "state damaged by rejected block: " << c.name;
+    }
+}
+
+TEST(EbvMutation, RelaySideMutationsRejected) {
+    struct Case {
+        const char* name;
+        Mutation mutate;
+    };
+    const Case cases[] = {
+        {"transaction dropped",
+         [](EbvBlock& b) { b.txs.pop_back(); }},
+        {"transactions reordered",
+         [](EbvBlock& b) {
+             if (b.txs.size() >= 3) std::swap(b.txs[1], b.txs[2]);
+             else b.txs[0].outputs[0].value ^= 1;
+         }},
+        {"output script swapped (payment redirected)",
+         [](EbvBlock& b) {
+             auto& out = b.txs[first_spender(b)].outputs[0];
+             out.lock_script.back() ^= 0x01;
+         }},
+        {"header time changed only",
+         [](EbvBlock& b) { b.header.time += 1; }},  // changes hash, not root:
+        // accepted content-wise would break prev-linkage for the *next*
+        // block, but here it must simply connect or fail consistently —
+        // time is not covered by the Merkle root, so this one is actually
+        // valid; assert acceptance below instead.
+    };
+
+    for (std::size_t i = 0; i + 1 < std::size(cases); ++i) {
+        Fixture f;
+        expect_rejected_with_stale_root(f, cases[i].mutate, cases[i].name);
+        EXPECT_TRUE(f.node->submit_block(f.victim).has_value())
+            << "state damaged by rejected block: " << cases[i].name;
+    }
+
+    // The header-time case: not Merkle-committed, so it connects (and forms
+    // a different block hash — fork-choice territory, out of scope).
+    Fixture f;
+    EbvBlock block = f.victim;
+    block.header.time += 1;
+    EXPECT_TRUE(f.node->submit_block(block).has_value());
+}
+
+}  // namespace
+}  // namespace ebv::core

@@ -1,0 +1,197 @@
+// Whole-pipeline integration: synthetic chain → baseline validation,
+// intermediary conversion → EBV validation, and the equivalence property
+// between the two systems.
+#include <gtest/gtest.h>
+
+#include "chain/miner.hpp"
+#include "chain/node.hpp"
+#include "core/node.hpp"
+#include "intermediary/converter.hpp"
+#include "workload/generator.hpp"
+
+namespace ebv {
+namespace {
+
+workload::GeneratorOptions pipeline_options(bool signed_mode, std::uint64_t seed = 77) {
+    workload::GeneratorOptions options;
+    options.seed = seed;
+    options.params.coinbase_maturity = 5;
+    options.schedule = workload::EraSchedule::flat(3.0, 1.6, 2.1);
+    options.height_scale = 1.0;
+    options.intensity = 1.0;
+    options.signed_mode = signed_mode;
+    options.key_pool_size = 8;
+    return options;
+}
+
+TEST(Integration, ConvertedChainValidatesUnderEbv) {
+    const int kBlocks = 20;
+    auto gen_options = pipeline_options(/*signed_mode=*/true);
+    workload::ChainGenerator gen(gen_options);
+    intermediary::Converter converter;
+
+    core::EbvNodeOptions ebv_options;
+    ebv_options.params = gen_options.params;
+    core::EbvNode ebv_node(ebv_options);
+
+    for (int i = 0; i < kBlocks; ++i) {
+        const chain::Block block = gen.next_block();
+        auto converted = converter.convert_block(block);
+        ASSERT_TRUE(converted.has_value())
+            << "height " << i << ": " << to_string(converted.error());
+        auto r = ebv_node.submit_block(*converted);
+        ASSERT_TRUE(r.has_value()) << "height " << i << ": " << r.error().describe();
+    }
+    EXPECT_EQ(ebv_node.next_height(), static_cast<std::uint32_t>(kBlocks));
+    EXPECT_EQ(converter.stats().blocks, static_cast<std::uint64_t>(kBlocks));
+    EXPECT_GT(converter.stats().ebv_bytes, converter.stats().bitcoin_bytes);
+}
+
+TEST(Integration, BothValidatorsAcceptTheSameChain) {
+    const int kBlocks = 15;
+    auto gen_options = pipeline_options(true, 91);
+    workload::ChainGenerator gen(gen_options);
+
+    chain::BitcoinNodeOptions btc_options;
+    btc_options.params = gen_options.params;
+    chain::BitcoinNode btc_node(btc_options);
+
+    intermediary::Converter converter;
+    core::EbvNodeOptions ebv_options;
+    ebv_options.params = gen_options.params;
+    core::EbvNode ebv_node(ebv_options);
+
+    for (int i = 0; i < kBlocks; ++i) {
+        const chain::Block block = gen.next_block();
+        const auto btc_result = btc_node.submit_block(block);
+        ASSERT_TRUE(btc_result.has_value()) << btc_result.error().describe();
+
+        auto converted = converter.convert_block(block);
+        ASSERT_TRUE(converted.has_value());
+        const auto ebv_result = ebv_node.submit_block(*converted);
+        ASSERT_TRUE(ebv_result.has_value()) << ebv_result.error().describe();
+
+        // Inputs/outputs seen by both systems agree.
+        EXPECT_EQ(btc_result->inputs, ebv_result->inputs);
+        EXPECT_EQ(btc_result->outputs, ebv_result->outputs);
+    }
+
+    // The status representations agree about what is spendable: the UTXO
+    // count equals the number of set bits across the bit-vector set — both
+    // count every unspent output in the chain.
+    std::uint64_t ebv_unspent = 0;
+    for (std::uint32_t h = 0; h < ebv_node.next_height(); ++h) {
+        if (!ebv_node.status().has_vector(h)) continue;
+        // Count via check_unspent over all positions of that block.
+        const auto* header = ebv_node.headers().at(h);
+        ASSERT_NE(header, nullptr);
+        for (std::uint32_t p = 0; p < 65'535; ++p) {
+            const auto status = ebv_node.status().check_unspent(h, p);
+            if (status.has_value()) {
+                ++ebv_unspent;
+            } else if (status.error() == core::UvError::kIndexOutOfRange) {
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(btc_node.utxo().size(), ebv_unspent);
+}
+
+TEST(Integration, TamperedBlockRejectedByBothSystems) {
+    auto gen_options = pipeline_options(true, 55);
+    workload::ChainGenerator gen(gen_options);
+
+    chain::BitcoinNodeOptions btc_options;
+    btc_options.params = gen_options.params;
+    chain::BitcoinNode btc_node(btc_options);
+    intermediary::Converter converter;
+    core::EbvNodeOptions ebv_options;
+    ebv_options.params = gen_options.params;
+    core::EbvNode ebv_node(ebv_options);
+
+    chain::Block victim;
+    bool have_victim = false;
+    for (int i = 0; i < 25; ++i) {
+        chain::Block block = gen.next_block();
+        if (!have_victim && block.input_count() > 0) {
+            victim = block;
+            have_victim = true;
+            // Tamper: steal an output by raising its value.
+            for (auto& tx : block.txs) {
+                if (tx.is_coinbase()) continue;
+                tx.vout[0].value += 1;
+                tx.invalidate_cache();
+                break;
+            }
+            block.header.merkle_root = block.compute_merkle_root();
+
+            EXPECT_FALSE(btc_node.submit_block(block).has_value());
+            // Convert on a fork of the intermediary state: the converter
+            // does not judge validity, and committing the tampered block
+            // would poison its outpoint index.
+            intermediary::Converter forked = converter;
+            auto converted = forked.convert_block(block);
+            if (converted.has_value()) {
+                EXPECT_FALSE(ebv_node.submit_block(*converted).has_value());
+            }
+            // Resume with the untampered block so the chain continues.
+            block = victim;
+        }
+        ASSERT_TRUE(btc_node.submit_block(block).has_value());
+        auto converted = converter.convert_block(block);
+        ASSERT_TRUE(converted.has_value());
+        ASSERT_TRUE(ebv_node.submit_block(*converted).has_value());
+    }
+    EXPECT_TRUE(have_victim);
+}
+
+TEST(Integration, EbvStatusMemoryFarBelowUtxoPayload) {
+    auto gen_options = pipeline_options(/*signed_mode=*/false, 33);
+    gen_options.schedule = workload::EraSchedule::flat(8.0, 1.5, 2.4);
+    workload::ChainGenerator gen(gen_options);
+
+    chain::BitcoinNodeOptions btc_options;
+    btc_options.params = gen_options.params;
+    btc_options.validator.verify_scripts = false;
+    chain::BitcoinNode btc_node(btc_options);
+
+    intermediary::Converter converter;
+    core::EbvNodeOptions ebv_options;
+    ebv_options.params = gen_options.params;
+    ebv_options.validator.verify_scripts = false;
+    core::EbvNode ebv_node(ebv_options);
+
+    for (int i = 0; i < 120; ++i) {
+        const chain::Block block = gen.next_block();
+        ASSERT_TRUE(btc_node.submit_block(block).has_value());
+        auto converted = converter.convert_block(block);
+        ASSERT_TRUE(converted.has_value());
+        ASSERT_TRUE(ebv_node.submit_block(*converted).has_value());
+    }
+
+    // The paper's Fig 14: the bit-vector set is orders of magnitude smaller
+    // than the UTXO set payload.
+    EXPECT_LT(ebv_node.status_memory_bytes() * 10, btc_node.status_payload_bytes());
+    // And the sparse optimization never exceeds the dense form.
+    EXPECT_LE(ebv_node.status_memory_bytes(), ebv_node.status_dense_memory_bytes());
+}
+
+TEST(Integration, ConverterRejectsUnknownPrevout) {
+    intermediary::Converter converter;
+    chain::Block block;
+    block.txs.push_back(chain::make_coinbase(0, 50 * chain::kCoin, script::Script{0x51}));
+    chain::Transaction bogus;
+    chain::OutPoint ghost;
+    ghost.txid.bytes()[0] = 0xee;
+    bogus.vin.push_back(chain::TxIn{ghost, {}, 0});
+    bogus.vout.push_back(chain::TxOut{1, script::Script{0x51}});
+    block.txs.push_back(bogus);
+    block.header.merkle_root = block.compute_merkle_root();
+
+    auto converted = converter.convert_block(block);
+    ASSERT_FALSE(converted.has_value());
+    EXPECT_EQ(converted.error(), intermediary::ConvertError::kUnknownPrevout);
+}
+
+}  // namespace
+}  // namespace ebv

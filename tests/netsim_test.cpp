@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/gossip.hpp"
+
+namespace ebv::netsim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&] { order.push_back(1); });
+    queue.schedule(5, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&] {
+        ++fired;
+        queue.schedule(queue.now() + 1, [&] { ++fired; });
+    });
+    queue.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.now(), 2);
+}
+
+TEST(GossipNetwork, TopologyMeetsDegreeRequirement) {
+    GossipOptions options;
+    options.node_count = 20;
+    options.neighbors_per_node = 2;
+    GossipNetwork network(options);
+    for (std::size_t i = 0; i < options.node_count; ++i) {
+        EXPECT_GE(network.neighbors_of(i).size(), 2u) << i;
+    }
+}
+
+TEST(GossipNetwork, BlockReachesAllNodes) {
+    GossipOptions options;
+    options.node_count = 20;
+    GossipNetwork network(options);
+
+    const auto result = network.propagate(0, [](std::size_t) { return SimTime{1'000'000}; });
+    for (std::size_t i = 0; i < options.node_count; ++i) {
+        EXPECT_NE(result.receive_time[i], PropagationResult::kUnreached) << i;
+    }
+    EXPECT_EQ(result.receive_time[0], 0);
+    EXPECT_GT(result.time_to_all(), 0);
+}
+
+TEST(GossipNetwork, FasterValidationPropagatesFaster) {
+    GossipOptions options;
+    options.node_count = 20;
+    GossipNetwork network(options);
+
+    // Slow nodes: 5 s per hop (Bitcoin-like); fast nodes: 0.3 s (EBV-like).
+    const auto slow =
+        network.propagate(0, [](std::size_t) { return SimTime{5'000'000'000}; });
+    const auto fast =
+        network.propagate(0, [](std::size_t) { return SimTime{300'000'000}; });
+    EXPECT_LT(fast.time_to_all(), slow.time_to_all());
+    EXPECT_LT(fast.time_to_fraction(0.5), slow.time_to_fraction(0.5));
+}
+
+TEST(GossipNetwork, ValidationDelayDominatesWhenLarge) {
+    GossipOptions options;
+    options.node_count = 10;
+    GossipNetwork network(options);
+    // With zero validation delay, total time is bounded by network hops
+    // (~hundreds of ms); with 10 s validation it must exceed 10 s.
+    const auto zero = network.propagate(0, [](std::size_t) { return SimTime{0}; });
+    const auto heavy =
+        network.propagate(0, [](std::size_t) { return SimTime{10'000'000'000}; });
+    EXPECT_LT(zero.time_to_all(), SimTime{5'000'000'000});
+    EXPECT_GT(heavy.time_to_all(), SimTime{10'000'000'000});
+}
+
+TEST(PropagationResult, FractionQueries) {
+    PropagationResult result;
+    result.receive_time = {0, 100, 200, 300};
+    EXPECT_EQ(result.time_to_fraction(0.5), 100);
+    EXPECT_EQ(result.time_to_all(), 300);
+}
+
+}  // namespace
+}  // namespace ebv::netsim

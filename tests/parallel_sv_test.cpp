@@ -1,0 +1,103 @@
+// The parallel-SV extension (the paper lists SV optimization as future
+// work): both validators accept a thread pool for script checks; results
+// must be identical to serial validation, including failure reporting.
+#include <gtest/gtest.h>
+
+#include "chain/node.hpp"
+#include "core/node.hpp"
+#include "intermediary/converter.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+namespace ebv {
+namespace {
+
+workload::GeneratorOptions options_for(std::uint64_t seed) {
+    workload::GeneratorOptions options;
+    options.seed = seed;
+    options.params.coinbase_maturity = 5;
+    options.schedule = workload::EraSchedule::flat(4.0, 1.6, 2.0);
+    options.height_scale = 1.0;
+    options.intensity = 1.0;
+    options.key_pool_size = 8;
+    return options;
+}
+
+TEST(ParallelSv, BaselineAcceptsSameChainAsSerial) {
+    const auto gen_options = options_for(3);
+    util::ThreadPool pool(4);
+
+    workload::ChainGenerator gen_a(gen_options);
+    chain::BitcoinNodeOptions serial_options;
+    serial_options.params = gen_options.params;
+    chain::BitcoinNode serial_node(serial_options);
+
+    workload::ChainGenerator gen_b(gen_options);
+    chain::BitcoinNodeOptions pooled_options;
+    pooled_options.params = gen_options.params;
+    pooled_options.validator.script_pool = &pool;
+    chain::BitcoinNode pooled_node(pooled_options);
+
+    for (int i = 0; i < 20; ++i) {
+        const auto block_a = gen_a.next_block();
+        const auto block_b = gen_b.next_block();
+        ASSERT_EQ(block_a.header.hash(), block_b.header.hash());
+        const auto ra = serial_node.submit_block(block_a);
+        const auto rb = pooled_node.submit_block(block_b);
+        ASSERT_TRUE(ra.has_value());
+        ASSERT_TRUE(rb.has_value());
+        EXPECT_EQ(ra->inputs, rb->inputs);
+    }
+    EXPECT_EQ(serial_node.utxo().size(), pooled_node.utxo().size());
+}
+
+TEST(ParallelSv, EbvPooledRejectsBadSignatureLikeSerial) {
+    const auto gen_options = options_for(4);
+    util::ThreadPool pool(4);
+
+    workload::ChainGenerator gen(gen_options);
+    intermediary::Converter converter;
+
+    core::EbvNodeOptions serial_options;
+    serial_options.params = gen_options.params;
+    core::EbvNode serial_node(serial_options);
+
+    core::EbvNodeOptions pooled_options;
+    pooled_options.params = gen_options.params;
+    pooled_options.validator.script_pool = &pool;
+    core::EbvNode pooled_node(pooled_options);
+
+    bool tampered_one = false;
+    for (int i = 0; i < 25; ++i) {
+        const auto block = gen.next_block();
+        auto converted = converter.convert_block(block);
+        ASSERT_TRUE(converted.has_value());
+
+        if (!tampered_one && converted->input_count() >= 3) {
+            tampered_one = true;
+            core::EbvBlock bad = *converted;
+            // Corrupt one signature buried in the middle of the block.
+            for (auto& tx : bad.txs) {
+                if (tx.inputs.empty()) continue;
+                tx.inputs.back().unlock_script[5] ^= 0x11;
+                break;
+            }
+            bad.assign_stake_positions();
+
+            const auto serial_result = serial_node.submit_block(bad);
+            const auto pooled_result = pooled_node.submit_block(bad);
+            ASSERT_FALSE(serial_result.has_value());
+            ASSERT_FALSE(pooled_result.has_value());
+            EXPECT_EQ(serial_result.error().error, core::EbvError::kScriptFailure);
+            EXPECT_EQ(pooled_result.error().error, core::EbvError::kScriptFailure);
+        }
+
+        ASSERT_TRUE(serial_node.submit_block(*converted).has_value());
+        ASSERT_TRUE(pooled_node.submit_block(*converted).has_value());
+    }
+    EXPECT_TRUE(tampered_one);
+    EXPECT_EQ(serial_node.status().memory_bytes(), pooled_node.status().memory_bytes());
+}
+
+}  // namespace
+}  // namespace ebv

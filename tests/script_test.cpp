@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
+#include "script/interpreter.hpp"
+#include "script/standard.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::script {
+namespace {
+
+const NullSignatureChecker kNullChecker;
+
+ScriptError run(const Script& s, Stack& stack) {
+    return eval_script(s, stack, kNullChecker);
+}
+
+util::Bytes num(std::int64_t v) {
+    Stack stack;
+    const Script s = ScriptBuilder().push_int(v).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    return stack.back();
+}
+
+TEST(ScriptBuilder, MinimalPushEncodings) {
+    EXPECT_EQ(ScriptBuilder().push(util::Bytes(5, 1)).script().size(), 6u);     // direct
+    EXPECT_EQ(ScriptBuilder().push(util::Bytes(80, 1)).script().size(), 82u);   // PUSHDATA1
+    EXPECT_EQ(ScriptBuilder().push(util::Bytes(300, 1)).script().size(), 303u); // PUSHDATA2
+    EXPECT_EQ(ScriptBuilder().push_int(0).script(), Script{OP_0});
+    EXPECT_EQ(ScriptBuilder().push_int(5).script(), Script{OP_5});
+    EXPECT_EQ(ScriptBuilder().push_int(16).script(), Script{OP_16});
+    EXPECT_EQ(ScriptBuilder().push_int(-1).script(), Script{OP_1NEGATE});
+    // 17 needs a real push: <1 byte len> <0x11>
+    EXPECT_EQ(ScriptBuilder().push_int(17).script(), (Script{0x01, 0x11}));
+}
+
+TEST(ScriptParser, RoundTripsOps) {
+    const Script s = ScriptBuilder()
+                         .op(OP_DUP)
+                         .push(util::Bytes{0xaa, 0xbb})
+                         .op(OP_EQUALVERIFY)
+                         .take();
+    ScriptParser parser(s);
+    auto op1 = parser.next();
+    ASSERT_TRUE(op1.has_value());
+    EXPECT_EQ(op1->opcode, OP_DUP);
+    auto op2 = parser.next();
+    ASSERT_TRUE(op2.has_value());
+    EXPECT_TRUE(op2->is_push());
+    EXPECT_EQ(op2->push_data, (util::Bytes{0xaa, 0xbb}));
+    auto op3 = parser.next();
+    ASSERT_TRUE(op3.has_value());
+    EXPECT_EQ(op3->opcode, OP_EQUALVERIFY);
+    EXPECT_FALSE(parser.next().has_value());
+    EXPECT_FALSE(parser.malformed());
+}
+
+TEST(ScriptParser, DetectsTruncatedPush) {
+    Script s{0x05, 0x01, 0x02};  // claims 5 bytes, has 2
+    ScriptParser parser(s);
+    EXPECT_FALSE(parser.next().has_value());
+    EXPECT_TRUE(parser.malformed());
+}
+
+TEST(Interpreter, ArithmeticBasics) {
+    Stack stack;
+    const Script s = ScriptBuilder().push_int(2).push_int(3).op(OP_ADD).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    EXPECT_EQ(stack.back(), num(5));
+}
+
+TEST(Interpreter, ComparisonAndBoolOps) {
+    struct Case {
+        std::int64_t a, b;
+        Opcode op;
+        std::int64_t expected;
+    };
+    const Case cases[] = {
+        {2, 3, OP_LESSTHAN, 1},     {3, 2, OP_LESSTHAN, 0},
+        {3, 3, OP_LESSTHANOREQUAL, 1}, {2, 3, OP_GREATERTHAN, 0},
+        {5, 5, OP_NUMEQUAL, 1},     {5, 6, OP_NUMNOTEQUAL, 1},
+        {4, 7, OP_MIN, 4},          {4, 7, OP_MAX, 7},
+        {1, 1, OP_BOOLAND, 1},      {0, 1, OP_BOOLAND, 0},
+        {0, 0, OP_BOOLOR, 0},       {0, 2, OP_BOOLOR, 1},
+        {-5, 3, OP_ADD, -2},        {3, 5, OP_SUB, -2},
+    };
+    for (const Case& c : cases) {
+        Stack stack;
+        const Script s = ScriptBuilder().push_int(c.a).push_int(c.b).op(c.op).take();
+        EXPECT_EQ(run(s, stack), ScriptError::kOk);
+        EXPECT_EQ(stack.back(), num(c.expected))
+            << c.a << " " << opcode_name(c.op) << " " << c.b;
+    }
+}
+
+TEST(Interpreter, UnaryOps) {
+    struct Case {
+        std::int64_t a;
+        Opcode op;
+        std::int64_t expected;
+    };
+    const Case cases[] = {
+        {5, OP_1ADD, 6},   {5, OP_1SUB, 4},  {5, OP_NEGATE, -5}, {-5, OP_ABS, 5},
+        {0, OP_NOT, 1},    {7, OP_NOT, 0},   {0, OP_0NOTEQUAL, 0}, {9, OP_0NOTEQUAL, 1},
+    };
+    for (const Case& c : cases) {
+        Stack stack;
+        const Script s = ScriptBuilder().push_int(c.a).op(c.op).take();
+        EXPECT_EQ(run(s, stack), ScriptError::kOk);
+        EXPECT_EQ(stack.back(), num(c.expected));
+    }
+}
+
+TEST(Interpreter, WithinChecksHalfOpenRange) {
+    for (const auto& [x, lo, hi, expect] :
+         std::vector<std::tuple<int, int, int, bool>>{
+             {5, 1, 10, true}, {1, 1, 10, true}, {10, 1, 10, false}, {0, 1, 10, false}}) {
+        Stack stack;
+        const Script s =
+            ScriptBuilder().push_int(x).push_int(lo).push_int(hi).op(OP_WITHIN).take();
+        EXPECT_EQ(run(s, stack), ScriptError::kOk);
+        EXPECT_EQ(cast_to_bool(stack.back()), expect);
+    }
+}
+
+TEST(Interpreter, StackManipulation) {
+    Stack stack;
+    // 1 2 3 ROT -> 2 3 1
+    Script s = ScriptBuilder().push_int(1).push_int(2).push_int(3).op(OP_ROT).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    ASSERT_EQ(stack.size(), 3u);
+    EXPECT_EQ(stack[0], num(2));
+    EXPECT_EQ(stack[2], num(1));
+
+    stack.clear();
+    // 7 8 SWAP OVER -> 8 7 8
+    s = ScriptBuilder().push_int(7).push_int(8).op(OP_SWAP).op(OP_OVER).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    ASSERT_EQ(stack.size(), 3u);
+    EXPECT_EQ(stack[0], num(8));
+    EXPECT_EQ(stack[1], num(7));
+    EXPECT_EQ(stack[2], num(8));
+
+    stack.clear();
+    // 1 2 3 2 PICK -> 1 2 3 1
+    s = ScriptBuilder().push_int(1).push_int(2).push_int(3).push_int(2).op(OP_PICK).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    ASSERT_EQ(stack.size(), 4u);
+    EXPECT_EQ(stack.back(), num(1));
+
+    stack.clear();
+    // 1 2 3 2 ROLL -> 2 3 1
+    s = ScriptBuilder().push_int(1).push_int(2).push_int(3).push_int(2).op(OP_ROLL).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    ASSERT_EQ(stack.size(), 3u);
+    EXPECT_EQ(stack.back(), num(1));
+    EXPECT_EQ(stack[0], num(2));
+}
+
+TEST(Interpreter, AltStack) {
+    Stack stack;
+    const Script s = ScriptBuilder()
+                         .push_int(42)
+                         .op(OP_TOALTSTACK)
+                         .push_int(1)
+                         .op(OP_FROMALTSTACK)
+                         .take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    ASSERT_EQ(stack.size(), 2u);
+    EXPECT_EQ(stack.back(), num(42));
+}
+
+TEST(Interpreter, ConditionalBranches) {
+    for (const auto& [cond, expected] : std::vector<std::pair<int, int>>{{1, 10}, {0, 20}}) {
+        Stack stack;
+        const Script s = ScriptBuilder()
+                             .push_int(cond)
+                             .op(OP_IF)
+                             .push_int(10)
+                             .op(OP_ELSE)
+                             .push_int(20)
+                             .op(OP_ENDIF)
+                             .take();
+        EXPECT_EQ(run(s, stack), ScriptError::kOk);
+        EXPECT_EQ(stack.back(), num(expected));
+    }
+}
+
+TEST(Interpreter, NestedConditionals) {
+    Stack stack;
+    const Script s = ScriptBuilder()
+                         .push_int(1)
+                         .op(OP_IF)
+                         .push_int(0)
+                         .op(OP_IF)
+                         .push_int(1)
+                         .op(OP_ELSE)
+                         .push_int(2)
+                         .op(OP_ENDIF)
+                         .op(OP_ENDIF)
+                         .take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    EXPECT_EQ(stack.back(), num(2));
+}
+
+TEST(Interpreter, UnbalancedConditionalFails) {
+    Stack stack;
+    EXPECT_EQ(run(ScriptBuilder().push_int(1).op(OP_IF).take(), stack),
+              ScriptError::kUnbalancedConditional);
+    stack.clear();
+    EXPECT_EQ(run(ScriptBuilder().op(OP_ENDIF).take(), stack),
+              ScriptError::kUnbalancedConditional);
+}
+
+TEST(Interpreter, VerifySemantics) {
+    Stack stack;
+    EXPECT_EQ(run(ScriptBuilder().push_int(1).op(OP_VERIFY).take(), stack),
+              ScriptError::kOk);
+    stack.clear();
+    EXPECT_EQ(run(ScriptBuilder().push_int(0).op(OP_VERIFY).take(), stack),
+              ScriptError::kVerifyFailed);
+}
+
+TEST(Interpreter, OpReturnAborts) {
+    Stack stack;
+    EXPECT_EQ(run(ScriptBuilder().op(OP_RETURN).take(), stack), ScriptError::kOpReturn);
+}
+
+TEST(Interpreter, HashOpcodes) {
+    Stack stack;
+    const util::Bytes data{1, 2, 3};
+    const Script s = ScriptBuilder().push(data).op(OP_SHA256).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kOk);
+    const auto expected = crypto::Sha256::hash(data);
+    EXPECT_EQ(stack.back(), util::Bytes(expected.begin(), expected.end()));
+
+    stack.clear();
+    const Script s160 = ScriptBuilder().push(data).op(OP_HASH160).take();
+    EXPECT_EQ(run(s160, stack), ScriptError::kOk);
+    EXPECT_EQ(stack.back().size(), 20u);
+}
+
+TEST(Interpreter, StackUnderflowDetected) {
+    Stack stack;
+    EXPECT_EQ(run(ScriptBuilder().op(OP_ADD).take(), stack), ScriptError::kStackUnderflow);
+    stack.clear();
+    EXPECT_EQ(run(ScriptBuilder().op(OP_DUP).take(), stack), ScriptError::kStackUnderflow);
+}
+
+TEST(Interpreter, NumericOperandLimit) {
+    Stack stack;
+    // A 5-byte operand must be rejected by arithmetic ops.
+    const Script s =
+        ScriptBuilder().push(util::Bytes(5, 0x01)).push_int(1).op(OP_ADD).take();
+    EXPECT_EQ(run(s, stack), ScriptError::kBadNumericOperand);
+}
+
+TEST(Interpreter, CastToBoolNegativeZeroIsFalse) {
+    EXPECT_FALSE(cast_to_bool(util::Bytes{}));
+    EXPECT_FALSE(cast_to_bool(util::Bytes{0x00}));
+    EXPECT_FALSE(cast_to_bool(util::Bytes{0x00, 0x80}));  // negative zero
+    EXPECT_TRUE(cast_to_bool(util::Bytes{0x01}));
+    EXPECT_TRUE(cast_to_bool(util::Bytes{0x80, 0x00}));
+}
+
+TEST(VerifyScript, RequiresPushOnlyUnlockScript) {
+    const Script unlock = ScriptBuilder().push_int(1).op(OP_DUP).take();
+    const Script lock = ScriptBuilder().op(OP_DROP).take();
+    EXPECT_EQ(verify_script(unlock, lock, kNullChecker), ScriptError::kBadOpcode);
+}
+
+TEST(VerifyScript, CleanStackEnforced) {
+    const Script unlock = ScriptBuilder().push_int(1).push_int(1).take();
+    const Script lock;  // leaves two items
+    EXPECT_EQ(verify_script(unlock, lock, kNullChecker, true),
+              ScriptError::kCleanStackViolation);
+    EXPECT_EQ(verify_script(unlock, lock, kNullChecker, false), ScriptError::kOk);
+}
+
+TEST(VerifyScript, HashLockEndToEnd) {
+    // Lock: SHA256 <digest> EQUAL; unlock: <preimage>.
+    const util::Bytes preimage = util::to_bytes(std::string_view("open sesame"));
+    const auto digest = crypto::Sha256::hash(preimage);
+    const Script lock = ScriptBuilder()
+                            .op(OP_SHA256)
+                            .push(util::ByteSpan{digest.data(), digest.size()})
+                            .op(OP_EQUAL)
+                            .take();
+    EXPECT_EQ(verify_script(ScriptBuilder().push(preimage).take(), lock, kNullChecker),
+              ScriptError::kOk);
+    EXPECT_EQ(verify_script(ScriptBuilder().push(util::Bytes{1}).take(), lock,
+                            kNullChecker),
+              ScriptError::kEvalFalse);
+}
+
+/// A checker that accepts one specific (signature, pubkey) pair.
+class FixedChecker final : public SignatureChecker {
+public:
+    FixedChecker(util::Bytes sig, util::Bytes pubkey)
+        : sig_(std::move(sig)), pubkey_(std::move(pubkey)) {}
+
+    bool check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
+                         util::ByteSpan) const override {
+        return util::Bytes(signature.begin(), signature.end()) == sig_ &&
+               util::Bytes(pubkey.begin(), pubkey.end()) == pubkey_;
+    }
+
+private:
+    util::Bytes sig_;
+    util::Bytes pubkey_;
+};
+
+TEST(Standard, P2PkhRoundTrip) {
+    util::Rng rng(1);
+    const auto key = crypto::PrivateKey::generate(rng);
+    const auto pub = key.public_key();
+    const util::Bytes fake_sig{0xde, 0xad, 0x01};
+
+    const Script lock = make_p2pkh(pub.id());
+    const Script unlock = make_p2pkh_unlock(fake_sig, pub);
+    FixedChecker checker(fake_sig, pub.serialize());
+    EXPECT_EQ(verify_script(unlock, lock, checker), ScriptError::kOk);
+
+    // Wrong pubkey fails at EQUALVERIFY.
+    const auto other = crypto::PrivateKey::generate(rng).public_key();
+    const Script bad_unlock = make_p2pkh_unlock(fake_sig, other);
+    EXPECT_EQ(verify_script(bad_unlock, lock, checker),
+              ScriptError::kEqualVerifyFailed);
+}
+
+TEST(Standard, MultisigOneOfTwo) {
+    util::Rng rng(2);
+    const auto k1 = crypto::PrivateKey::generate(rng);
+    const auto k2 = crypto::PrivateKey::generate(rng);
+    const util::Bytes sig{0x01, 0x02, 0x01};
+
+    const Script lock = make_multisig(1, {k1.public_key(), k2.public_key()});
+    const Script unlock = make_multisig_unlock({sig});
+
+    FixedChecker match_k2(sig, k2.public_key().serialize());
+    EXPECT_EQ(verify_script(unlock, lock, match_k2), ScriptError::kOk);
+
+    FixedChecker match_neither(sig, util::Bytes{0x99});
+    EXPECT_EQ(verify_script(unlock, lock, match_neither), ScriptError::kEvalFalse);
+}
+
+TEST(Standard, Classification) {
+    util::Rng rng(3);
+    const auto key = crypto::PrivateKey::generate(rng);
+    EXPECT_EQ(classify(make_p2pkh(key.public_key().id())), ScriptType::kP2Pkh);
+    EXPECT_EQ(classify(make_p2pk(key.public_key())), ScriptType::kP2Pk);
+    EXPECT_EQ(classify(make_multisig(
+                  1, {key.public_key(), crypto::PrivateKey::generate(rng).public_key()})),
+              ScriptType::kMultisig);
+    EXPECT_EQ(classify(make_null_data(util::Bytes{1, 2})), ScriptType::kNullData);
+    EXPECT_EQ(classify(ScriptBuilder().op(OP_DUP).take()), ScriptType::kNonStandard);
+    EXPECT_EQ(classify({}), ScriptType::kNonStandard);
+}
+
+TEST(Standard, ExtractP2PkhDestination) {
+    util::Rng rng(4);
+    const auto key = crypto::PrivateKey::generate(rng);
+    const auto dest = extract_p2pkh_destination(make_p2pkh(key.public_key().id()));
+    ASSERT_TRUE(dest.has_value());
+    EXPECT_EQ(*dest, key.public_key().id());
+    EXPECT_FALSE(extract_p2pkh_destination(make_p2pk(key.public_key())).has_value());
+}
+
+TEST(Disassemble, ReadableOutput) {
+    const Script s = ScriptBuilder().op(OP_DUP).push(util::Bytes{0xab}).take();
+    EXPECT_EQ(disassemble(s), "OP_DUP <1:ab>");
+}
+
+}  // namespace
+}  // namespace ebv::script

@@ -1,0 +1,94 @@
+// EBV node snapshot persistence: a restarted node resumes from the saved
+// headers + bit-vector set and behaves identically to the original.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/node.hpp"
+#include "intermediary/converter.hpp"
+#include "workload/generator.hpp"
+
+namespace ebv::core {
+namespace {
+
+std::string snapshot_path() {
+    return (std::filesystem::temp_directory_path() /
+            ("ebv_snapshot_" + std::to_string(::getpid()) + ".bin"))
+        .string();
+}
+
+TEST(Snapshot, SaveLoadResumesChain) {
+    workload::GeneratorOptions gen_options;
+    gen_options.seed = 23;
+    gen_options.params.coinbase_maturity = 5;
+    gen_options.schedule = workload::EraSchedule::flat(4.0, 1.6, 2.0);
+    gen_options.height_scale = 1.0;
+    gen_options.intensity = 1.0;
+    workload::ChainGenerator gen(gen_options);
+    intermediary::Converter converter;
+
+    EbvNodeOptions options;
+    options.params = gen_options.params;
+    EbvNode node(options);
+
+    std::vector<EbvBlock> blocks;
+    for (int i = 0; i < 30; ++i) {
+        auto converted = converter.convert_block(gen.next_block());
+        ASSERT_TRUE(converted.has_value());
+        blocks.push_back(*converted);
+    }
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE(node.submit_block(blocks[i]).has_value());
+
+    const std::string path = snapshot_path();
+    node.save_snapshot(path);
+
+    auto restored = EbvNode::load_snapshot(path, options);
+    std::filesystem::remove(path);
+    ASSERT_TRUE(restored.has_value());
+
+    EXPECT_EQ((*restored)->next_height(), 20u);
+    EXPECT_EQ((*restored)->headers().tip_hash(), node.headers().tip_hash());
+    EXPECT_EQ((*restored)->status(), node.status());
+    EXPECT_EQ((*restored)->status_memory_bytes(), node.status_memory_bytes());
+
+    // Both continue accepting the remaining chain identically.
+    for (int i = 20; i < 30; ++i) {
+        ASSERT_TRUE(node.submit_block(blocks[i]).has_value()) << i;
+        ASSERT_TRUE((*restored)->submit_block(blocks[i]).has_value()) << i;
+    }
+    EXPECT_EQ((*restored)->status(), node.status());
+
+    // And the restored node can disconnect (output counts were restored).
+    EXPECT_TRUE((*restored)->disconnect_tip(blocks[29]));
+}
+
+TEST(Snapshot, CorruptSnapshotRejected) {
+    workload::GeneratorOptions gen_options;
+    gen_options.seed = 29;
+    gen_options.params.coinbase_maturity = 5;
+    workload::ChainGenerator gen(gen_options);
+    intermediary::Converter converter;
+
+    EbvNodeOptions options;
+    options.params = gen_options.params;
+    EbvNode node(options);
+    for (int i = 0; i < 5; ++i) {
+        auto converted = converter.convert_block(gen.next_block());
+        ASSERT_TRUE(converted.has_value());
+        ASSERT_TRUE(node.submit_block(*converted).has_value());
+    }
+
+    const std::string path = snapshot_path();
+    node.save_snapshot(path);
+
+    // Truncate the file: load must fail cleanly.
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+    EXPECT_FALSE(EbvNode::load_snapshot(path, options).has_value());
+    std::filesystem::remove(path);
+
+    EXPECT_FALSE(EbvNode::load_snapshot("/nonexistent/snapshot", options).has_value());
+}
+
+}  // namespace
+}  // namespace ebv::core

@@ -1,0 +1,176 @@
+// Transaction-level validation and mempool behaviour (paper §IV-D).
+#include <gtest/gtest.h>
+
+#include "core/chain_archive.hpp"
+#include "core/node.hpp"
+#include "core/tx_pool.hpp"
+#include "script/standard.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::core {
+namespace {
+
+using chain::Amount;
+using chain::kCoin;
+
+/// Shared fixture: a small EBV chain whose coinbases pay one key, plus a
+/// pool attached to the node's state.
+class TxPoolTest : public ::testing::Test {
+protected:
+    TxPoolTest() : key_(crypto::PrivateKey::generate(rng_)) {
+        options_.params.coinbase_maturity = 2;
+        node_ = std::make_unique<EbvNode>(options_);
+        pool_ = std::make_unique<TxPool>(options_.params, node_->headers(),
+                                         node_->status());
+        mine_blocks(4);
+    }
+
+    script::Script lock() const { return script::make_p2pkh(key_.public_key().id()); }
+
+    void mine_blocks(int count, std::vector<EbvTransaction> txs = {}) {
+        for (int i = 0; i < count; ++i) {
+            EbvBlock block;
+            EbvTransaction coinbase;
+            const std::uint32_t height = node_->next_height();
+            coinbase.coinbase_data = {static_cast<std::uint8_t>(height), 1};
+            Amount fees = 0;
+            for (const auto& tx : txs) {
+                Amount in = 0;
+                for (const auto& input : tx.inputs)
+                    in += input.els.outputs[input.out_index].value;
+                fees += in - tx.total_output_value();
+            }
+            coinbase.outputs.push_back(
+                chain::TxOut{options_.params.subsidy_at(height) + fees, lock()});
+            block.txs.push_back(std::move(coinbase));
+            for (auto& tx : txs) block.txs.push_back(std::move(tx));
+            txs.clear();
+            block.header.prev_hash = node_->headers().empty()
+                                         ? crypto::Hash256{}
+                                         : node_->headers().tip_hash();
+            block.assign_stake_positions();
+            auto result = node_->submit_block(block);
+            ASSERT_TRUE(result.has_value()) << result.error().describe();
+            archive_.add_block(block);
+        }
+    }
+
+    EbvTransaction make_spend(std::uint32_t height, std::uint32_t tx_index,
+                              Amount out_value) {
+        EbvTransaction tx;
+        tx.inputs.push_back(archive_.make_input(height, tx_index, 0));
+        tx.outputs.push_back(chain::TxOut{out_value, lock()});
+        const crypto::Hash256 digest = ebv_signature_hash(tx, 0, lock(), 0x01);
+        util::Bytes sig = key_.sign(digest).to_der();
+        sig.push_back(0x01);
+        tx.inputs[0].unlock_script = script::make_p2pkh_unlock(sig, key_.public_key());
+        return tx;
+    }
+
+    util::Rng rng_{21};
+    crypto::PrivateKey key_;
+    EbvNodeOptions options_;
+    std::unique_ptr<EbvNode> node_;
+    std::unique_ptr<TxPool> pool_;
+    ChainArchive archive_;
+};
+
+TEST_F(TxPoolTest, AcceptsValidTransaction) {
+    const auto tx = make_spend(0, 0, 40 * kCoin);
+    EXPECT_EQ(pool_->submit(tx), TxAdmission::kAccepted);
+    EXPECT_EQ(pool_->size(), 1u);
+    EXPECT_TRUE(pool_->contains(tx.leaf_hash()));
+}
+
+TEST_F(TxPoolTest, RejectsDuplicate) {
+    const auto tx = make_spend(0, 0, 40 * kCoin);
+    ASSERT_EQ(pool_->submit(tx), TxAdmission::kAccepted);
+    EXPECT_EQ(pool_->submit(tx), TxAdmission::kDuplicate);
+}
+
+TEST_F(TxPoolTest, RejectsConflictingSpend) {
+    ASSERT_EQ(pool_->submit(make_spend(0, 0, 40 * kCoin)), TxAdmission::kAccepted);
+    // A different tx (different value) spending the same output.
+    EXPECT_EQ(pool_->submit(make_spend(0, 0, 39 * kCoin)), TxAdmission::kConflict);
+}
+
+TEST_F(TxPoolTest, RejectsCoinbase) {
+    EbvTransaction coinbase;
+    coinbase.coinbase_data = {1};
+    coinbase.outputs.push_back(chain::TxOut{1, lock()});
+    EXPECT_EQ(pool_->submit(coinbase), TxAdmission::kNotStandalone);
+}
+
+TEST_F(TxPoolTest, RejectsImmatureCoinbaseSpend) {
+    // Block 3's coinbase needs height >= 5; next height is 4.
+    EXPECT_EQ(pool_->submit(make_spend(3, 0, 40 * kCoin)),
+              TxAdmission::kImmatureCoinbase);
+}
+
+TEST_F(TxPoolTest, RejectsBadProofAndBadScript) {
+    auto bad_proof = make_spend(0, 0, 40 * kCoin);
+    bad_proof.inputs[0].els.stake_position += 1;
+    EXPECT_EQ(pool_->submit(bad_proof), TxAdmission::kExistenceFailed);
+
+    auto bad_sig = make_spend(0, 0, 40 * kCoin);
+    bad_sig.inputs[0].unlock_script[4] ^= 0x01;
+    EXPECT_EQ(pool_->submit(bad_sig), TxAdmission::kScriptFailed);
+
+    auto inflated = make_spend(0, 0, 60 * kCoin);  // outputs > inputs
+    EXPECT_EQ(pool_->submit(inflated), TxAdmission::kBadValue);
+}
+
+TEST_F(TxPoolTest, TakeForBlockPrefersHigherFeeRate) {
+    const auto cheap = make_spend(0, 0, 50 * kCoin - 1'000);   // fee 1000
+    const auto rich = make_spend(1, 0, 40 * kCoin);            // fee 10 coin
+    ASSERT_EQ(pool_->submit(cheap), TxAdmission::kAccepted);
+    ASSERT_EQ(pool_->submit(rich), TxAdmission::kAccepted);
+
+    const auto drained = pool_->take_for_block(1);
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].leaf_hash(), rich.leaf_hash());
+    EXPECT_EQ(pool_->size(), 1u);
+
+    // The drained spend is released: a conflicting tx may now enter.
+    EXPECT_EQ(pool_->submit(make_spend(1, 0, 39 * kCoin)), TxAdmission::kAccepted);
+}
+
+TEST_F(TxPoolTest, EvictsTransactionsSpentByConfirmedBlocks) {
+    const auto pooled = make_spend(0, 0, 40 * kCoin);
+    ASSERT_EQ(pool_->submit(pooled), TxAdmission::kAccepted);
+
+    // A block confirms a *different* transaction spending the same output.
+    auto confirmed = make_spend(0, 0, 41 * kCoin);
+    mine_blocks(1, {confirmed});
+
+    EXPECT_EQ(pool_->evict_confirmed_spends(), 1u);
+    EXPECT_EQ(pool_->size(), 0u);
+}
+
+TEST_F(TxPoolTest, PooledTransactionMinesCleanly) {
+    ASSERT_EQ(pool_->submit(make_spend(0, 0, 40 * kCoin)), TxAdmission::kAccepted);
+    auto txs = pool_->take_for_block(10);
+    ASSERT_EQ(txs.size(), 1u);
+    mine_blocks(1, std::move(txs));
+    EXPECT_EQ(pool_->evict_confirmed_spends(), 0u);
+    // The spent output's bit is cleared.
+    EXPECT_FALSE(node_->status().check_unspent(0, 0).has_value());
+}
+
+TEST(ValidateTransaction, StandaloneMatchesPoolVerdicts) {
+    // validate_transaction is the stateless core; a transaction with no
+    // chain behind it must fail EV.
+    chain::ChainParams params;
+    chain::HeaderIndex headers;
+    BitVectorSet status;
+    EbvTransaction tx;
+    EbvInput in;
+    in.els.outputs.push_back(chain::TxOut{1, script::Script{0x51}});
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(chain::TxOut{1, script::Script{0x51}});
+    EXPECT_EQ(validate_transaction(tx, params, headers, status, 0),
+              TxAdmission::kExistenceFailed);
+}
+
+}  // namespace
+}  // namespace ebv::core

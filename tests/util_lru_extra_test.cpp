@@ -1,0 +1,80 @@
+// LruMap corners not covered by the storage-layer tests: budget changes,
+// take(), peek() recency semantics, and overwrite cost accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/lru.hpp"
+
+namespace ebv::util {
+namespace {
+
+TEST(LruExtra, ShrinkingBudgetEvictsImmediately) {
+    LruMap<int, int> lru(100);
+    for (int i = 0; i < 10; ++i) lru.put(i, i, 10);
+    EXPECT_EQ(lru.size(), 10u);
+
+    std::vector<int> evicted;
+    lru.set_eviction_handler([&](const int& k, int&) { evicted.push_back(k); });
+    lru.set_budget(30);
+    EXPECT_EQ(lru.size(), 3u);
+    EXPECT_EQ(lru.total_cost(), 30u);
+    EXPECT_EQ(evicted.size(), 7u);
+    // Oldest went first.
+    EXPECT_EQ(evicted.front(), 0);
+
+    // Growing the budget evicts nothing.
+    lru.set_budget(1000);
+    EXPECT_EQ(lru.size(), 3u);
+}
+
+TEST(LruExtra, TakeBypassesEvictionHandler) {
+    int handler_calls = 0;
+    LruMap<int, std::string> lru(10);
+    lru.set_eviction_handler([&](const int&, std::string&) { ++handler_calls; });
+    lru.put(1, "one", 1);
+
+    const auto taken = lru.take(1);
+    ASSERT_TRUE(taken.has_value());
+    EXPECT_EQ(*taken, "one");
+    EXPECT_EQ(handler_calls, 0);
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_EQ(lru.total_cost(), 0u);
+    EXPECT_FALSE(lru.take(1).has_value());
+}
+
+TEST(LruExtra, PeekDoesNotRefreshRecency) {
+    LruMap<int, int> lru(3);
+    lru.put(1, 10, 1);
+    lru.put(2, 20, 1);
+    lru.put(3, 30, 1);
+
+    ASSERT_NE(lru.peek(1), nullptr);  // peek must NOT protect 1
+    lru.put(4, 40, 1);                // evicts 1 (still least recent)
+    EXPECT_EQ(lru.peek(1), nullptr);
+    EXPECT_NE(lru.peek(2), nullptr);
+}
+
+TEST(LruExtra, OverwriteReplacesCost) {
+    LruMap<int, int> lru(100);
+    lru.put(1, 10, 60);
+    lru.put(1, 11, 20);  // overwrite with smaller cost
+    EXPECT_EQ(lru.total_cost(), 20u);
+    EXPECT_EQ(*lru.get(1), 11);
+    lru.put(1, 12, 90);  // overwrite with bigger cost
+    EXPECT_EQ(lru.total_cost(), 90u);
+}
+
+TEST(LruExtra, ClearInvokesHandlerForEverything) {
+    std::vector<int> evicted;
+    LruMap<int, int> lru(100);
+    lru.set_eviction_handler([&](const int& k, int&) { evicted.push_back(k); });
+    for (int i = 0; i < 5; ++i) lru.put(i, i, 1);
+    lru.clear();
+    EXPECT_EQ(evicted.size(), 5u);
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_EQ(lru.total_cost(), 0u);
+}
+
+}  // namespace
+}  // namespace ebv::util

@@ -1,0 +1,101 @@
+// The Result/Status vocabulary types and the timing primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/result.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ebv::util {
+namespace {
+
+enum class TestError { kBad, kWorse };
+
+Result<int, TestError> half(int x) {
+    if (x % 2 != 0) return Unexpected{TestError::kBad};
+    return x / 2;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+    auto ok = half(10);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(*ok, 5);
+    EXPECT_EQ(ok.value(), 5);
+
+    auto bad = half(7);
+    ASSERT_FALSE(bad.has_value());
+    EXPECT_EQ(bad.error(), TestError::kBad);
+}
+
+TEST(Result, WorksWhenValueAndErrorTypesMatch) {
+    // The Unexpected wrapper disambiguates Result<int, int>.
+    Result<int, int> value = 3;
+    Result<int, int> error = Unexpected{4};
+    EXPECT_TRUE(value.has_value());
+    EXPECT_FALSE(error.has_value());
+    EXPECT_EQ(error.error(), 4);
+}
+
+TEST(Result, MoveOnlyValues) {
+    Result<std::unique_ptr<int>, TestError> r = std::make_unique<int>(42);
+    ASSERT_TRUE(r.has_value());
+    std::unique_ptr<int> taken = std::move(r).value();
+    EXPECT_EQ(*taken, 42);
+}
+
+TEST(Result, ArrowOperator) {
+    Result<std::string, TestError> r = std::string("hello");
+    EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(Status, OkAndErrorStates) {
+    Status<TestError> ok = Ok{};
+    EXPECT_TRUE(ok.has_value());
+    Status<TestError> err = Unexpected{TestError::kWorse};
+    EXPECT_FALSE(err.has_value());
+    EXPECT_EQ(err.error(), TestError::kWorse);
+}
+
+TEST(Stopwatch, MeasuresMonotonically) {
+    Stopwatch watch;
+    const auto first = watch.elapsed_ns();
+    // Burn a little CPU deterministically.
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100'000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+    const auto second = watch.elapsed_ns();
+    EXPECT_GE(first, 0);
+    EXPECT_GE(second, first);
+
+    watch.restart();
+    EXPECT_LT(watch.elapsed_ns(), second + 1'000'000'000);
+}
+
+TEST(SimTimeLedger, AccumulatesCharges) {
+    SimTimeLedger ledger;
+    EXPECT_EQ(ledger.total_ns(), 0);
+    ledger.charge(100);
+    ledger.charge(250);
+    EXPECT_EQ(ledger.total_ns(), 350);
+    ledger.reset();
+    EXPECT_EQ(ledger.total_ns(), 0);
+}
+
+TEST(TimeCost, ArithmeticAndConversions) {
+    TimeCost a{1'000'000, 2'000'000};
+    TimeCost b{500'000, 250'000};
+    const TimeCost sum = a + b;
+    EXPECT_EQ(sum.wall_ns, 1'500'000);
+    EXPECT_EQ(sum.simulated_ns, 2'250'000);
+    EXPECT_EQ(sum.total_ns(), 3'750'000);
+    EXPECT_DOUBLE_EQ(to_ms(sum.total_ns()), 3.75);
+    EXPECT_DOUBLE_EQ(to_sec(2'000'000'000), 2.0);
+
+    TimeCost acc;
+    acc += a;
+    acc += b;
+    EXPECT_EQ(acc.total_ns(), sum.total_ns());
+}
+
+}  // namespace
+}  // namespace ebv::util

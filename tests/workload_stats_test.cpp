@@ -1,0 +1,163 @@
+// Statistical validation of the workload generator: the emitted chain's
+// aggregate statistics must actually track the era schedule, since every
+// figure's shape rests on them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "script/standard.hpp"
+#include "workload/generator.hpp"
+
+namespace ebv::workload {
+namespace {
+
+struct ChainStats {
+    double txs_per_block = 0;
+    double inputs_per_tx = 0;
+    double outputs_per_tx = 0;
+    double p2pk_fraction = 0;
+    double multisig_fraction = 0;
+    std::uint64_t young_spends = 0;   ///< spent output younger than W blocks
+    std::uint64_t total_spends = 0;
+};
+
+ChainStats measure(GeneratorOptions options, int blocks, std::uint32_t young_window) {
+    ChainGenerator gen(options);
+    ChainStats stats;
+    std::uint64_t txs = 0, inputs = 0, outputs = 0, p2pk = 0, ms = 0;
+
+    // Track creation height of every outpoint for spend-age measurement.
+    std::unordered_map<chain::OutPoint, std::uint32_t, chain::OutPointHasher> born;
+
+    for (int h = 0; h < blocks; ++h) {
+        const chain::Block block = gen.next_block();
+        for (const auto& tx : block.txs) {
+            if (!tx.is_coinbase()) {
+                ++txs;
+                inputs += tx.vin.size();
+                for (const auto& in : tx.vin) {
+                    ++stats.total_spends;
+                    const auto it = born.find(in.prevout);
+                    if (it != born.end() &&
+                        static_cast<std::uint32_t>(h) - it->second <= young_window) {
+                        ++stats.young_spends;
+                    }
+                }
+                outputs += tx.vout.size();
+                for (const auto& out : tx.vout) {
+                    const auto type = script::classify(out.lock_script);
+                    if (type == script::ScriptType::kP2Pk) ++p2pk;
+                    if (type == script::ScriptType::kMultisig) ++ms;
+                }
+            }
+            for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
+                born.emplace(chain::OutPoint{tx.txid(), o},
+                             static_cast<std::uint32_t>(h));
+            }
+        }
+    }
+
+    stats.txs_per_block = static_cast<double>(txs) / blocks;
+    stats.inputs_per_tx = txs ? static_cast<double>(inputs) / static_cast<double>(txs) : 0;
+    stats.outputs_per_tx =
+        txs ? static_cast<double>(outputs) / static_cast<double>(txs) : 0;
+    stats.p2pk_fraction = outputs ? static_cast<double>(p2pk) / static_cast<double>(outputs) : 0;
+    stats.multisig_fraction =
+        outputs ? static_cast<double>(ms) / static_cast<double>(outputs) : 0;
+    return stats;
+}
+
+TEST(WorkloadStats, FlatScheduleMeansMatch) {
+    GeneratorOptions options;
+    options.seed = 5;
+    options.signed_mode = false;
+    options.params.coinbase_maturity = 5;
+    options.schedule = EraSchedule::flat(/*tx=*/6.0, /*in=*/1.8, /*out=*/2.2);
+    options.height_scale = 1.0;
+    options.intensity = 1.0;
+
+    const ChainStats stats = measure(options, 600, /*young_window=*/640);
+
+    EXPECT_NEAR(stats.txs_per_block, 6.0, 0.5);
+    // Input counts are demand-limited early (small UTXO pool), so the
+    // realized mean sits slightly under the schedule's.
+    EXPECT_NEAR(stats.inputs_per_tx, 1.8, 0.35);
+    EXPECT_NEAR(stats.outputs_per_tx, 2.2, 0.35);
+}
+
+TEST(WorkloadStats, IntensityScalesBlockFill) {
+    GeneratorOptions options;
+    options.seed = 6;
+    options.signed_mode = false;
+    options.schedule = EraSchedule::flat(8.0, 1.5, 2.0);
+    options.height_scale = 1.0;
+
+    options.intensity = 1.0;
+    const auto full = measure(options, 300, 10);
+    options.intensity = 0.25;
+    const auto quarter = measure(options, 300, 10);
+
+    EXPECT_NEAR(quarter.txs_per_block / full.txs_per_block, 0.25, 0.08);
+}
+
+TEST(WorkloadStats, SpendAgeIsYoungBiased) {
+    GeneratorOptions options;
+    options.seed = 7;
+    options.signed_mode = false;
+    options.params.coinbase_maturity = 5;
+    options.schedule = EraSchedule::flat(8.0, 1.7, 2.1);  // young prob 0.8, window 20
+    options.height_scale = 1.0;
+    options.intensity = 1.0;
+
+    const ChainStats stats = measure(options, 500, /*young_window=*/40);
+    ASSERT_GT(stats.total_spends, 500u);
+    const double young_fraction = static_cast<double>(stats.young_spends) /
+                                  static_cast<double>(stats.total_spends);
+    // The schedule asks for ~80% young spends; sampling is approximate.
+    EXPECT_GT(young_fraction, 0.6);
+}
+
+TEST(WorkloadStats, ScriptMixFollowsEra) {
+    GeneratorOptions options;
+    options.seed = 8;
+    options.signed_mode = false;
+    options.params.coinbase_maturity = 5;
+    // Early mainnet era: p2pk-heavy.
+    options.schedule = EraSchedule::bitcoin_mainnet();
+    options.height_scale = 1.0;  // stay at real height ~0-500
+    options.intensity = 3.0;
+
+    const ChainStats early = measure(options, 400, 10);
+    EXPECT_GT(early.p2pk_fraction, 0.4);  // era table says 0.7 at height 0
+
+    // Late era: p2pkh + a little multisig.
+    options.height_scale = 1500.0;  // blocks 0..400 span to 600k real
+    const ChainStats late = measure(options, 400, 10);
+    EXPECT_LT(late.p2pk_fraction, 0.2);
+    EXPECT_GT(late.multisig_fraction, 0.005);
+}
+
+TEST(WorkloadStats, UtxoGrowthRespondsToConsolidationEra) {
+    GeneratorOptions options;
+    options.seed = 9;
+    options.signed_mode = false;
+    options.params.coinbase_maturity = 5;
+    options.schedule = EraSchedule::bitcoin_mainnet();
+    options.height_scale = 650'000.0 / 650;  // 650 blocks over the full history
+    options.intensity = 1.0;
+
+    ChainGenerator gen(options);
+    std::size_t pool_at_500k = 0;
+    std::size_t pool_at_550k = 0;
+    for (int i = 0; i < 650; ++i) {
+        gen.next_block();
+        if (i == 500) pool_at_500k = gen.utxo_pool_size();
+        if (i == 550) pool_at_550k = gen.utxo_pool_size();
+    }
+    // Consolidation era: the pool stops growing (and typically shrinks).
+    EXPECT_LT(static_cast<double>(pool_at_550k),
+              static_cast<double>(pool_at_500k) * 1.05);
+}
+
+}  // namespace
+}  // namespace ebv::workload

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "chain/node.hpp"
+#include "workload/era.hpp"
+#include "workload/generator.hpp"
+#include "workload/stats.hpp"
+
+namespace ebv::workload {
+namespace {
+
+GeneratorOptions small_options(bool signed_mode) {
+    GeneratorOptions options;
+    options.seed = 1234;
+    options.params.coinbase_maturity = 5;
+    options.schedule = EraSchedule::flat(4.0, 1.5, 2.0);
+    options.height_scale = 1.0;
+    options.intensity = 1.0;
+    options.signed_mode = signed_mode;
+    options.key_pool_size = 8;
+    return options;
+}
+
+TEST(EraSchedule, InterpolatesBetweenAnchors) {
+    const EraSchedule schedule = EraSchedule::bitcoin_mainnet();
+    const EraPoint early = schedule.at(0);
+    const EraPoint mid = schedule.at(50'000);
+    const EraPoint late = schedule.at(650'000);
+
+    EXPECT_LT(early.tx_per_block, late.tx_per_block);
+    EXPECT_GT(mid.tx_per_block, early.tx_per_block);
+    EXPECT_LT(mid.tx_per_block, schedule.at(100'000).tx_per_block);
+    // Beyond the last anchor the curve is flat.
+    EXPECT_EQ(schedule.at(900'000).tx_per_block, late.tx_per_block);
+}
+
+TEST(EraSchedule, ConsolidationEraShrinksOutputs) {
+    const EraSchedule schedule = EraSchedule::bitcoin_mainnet();
+    const EraPoint normal = schedule.at(400'000);
+    const EraPoint consolidation = schedule.at(540'000);
+    EXPECT_GT(normal.outputs_per_tx, normal.inputs_per_tx);
+    EXPECT_LT(consolidation.outputs_per_tx, consolidation.inputs_per_tx);
+}
+
+TEST(ChainGenerator, DeterministicForSameSeed) {
+    ChainGenerator a(small_options(false));
+    ChainGenerator b(small_options(false));
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(a.next_block().header.hash(), b.next_block().header.hash()) << i;
+    }
+}
+
+TEST(ChainGenerator, DifferentSeedsDiffer) {
+    auto options = small_options(false);
+    ChainGenerator a(options);
+    options.seed = 999;
+    ChainGenerator c(options);
+    for (int i = 0; i < 5; ++i) a.next_block();
+    ChainGenerator a2(small_options(false));
+    bool any_diff = false;
+    for (int i = 0; i < 5; ++i) {
+        if (a2.next_block().header.hash() != c.next_block().header.hash()) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ChainGenerator, BlocksChainTogether) {
+    ChainGenerator gen(small_options(false));
+    crypto::Hash256 prev;
+    for (int i = 0; i < 10; ++i) {
+        const chain::Block block = gen.next_block();
+        EXPECT_EQ(block.header.prev_hash, prev);
+        EXPECT_EQ(block.header.merkle_root, block.compute_merkle_root());
+        EXPECT_TRUE(block.txs[0].is_coinbase());
+        prev = block.header.hash();
+    }
+}
+
+TEST(ChainGenerator, UtxoPoolGrowsWhenOutputsExceedInputs) {
+    ChainGenerator gen(small_options(false));
+    for (int i = 0; i < 30; ++i) gen.next_block();
+    const auto mid = gen.utxo_pool_size();
+    for (int i = 0; i < 30; ++i) gen.next_block();
+    EXPECT_GT(gen.utxo_pool_size(), mid);
+}
+
+TEST(ChainGenerator, SignedChainPassesFullValidation) {
+    // The crucial property: generated blocks are *valid*, signatures and
+    // all, under the baseline validator.
+    ChainGenerator gen(small_options(true));
+    chain::BitcoinNodeOptions node_options;
+    node_options.params = gen.options().params;
+    chain::BitcoinNode node(node_options);
+
+    for (int i = 0; i < 25; ++i) {
+        const chain::Block block = gen.next_block();
+        auto r = node.submit_block(block);
+        ASSERT_TRUE(r.has_value()) << "height " << i << ": " << r.error().describe();
+    }
+    EXPECT_EQ(node.next_height(), 25u);
+}
+
+TEST(ChainGenerator, UnsignedChainPassesWithSvDisabled) {
+    ChainGenerator gen(small_options(false));
+    chain::BitcoinNodeOptions node_options;
+    node_options.params = gen.options().params;
+    node_options.validator.verify_scripts = false;
+    chain::BitcoinNode node(node_options);
+
+    for (int i = 0; i < 40; ++i) {
+        const chain::Block block = gen.next_block();
+        auto r = node.submit_block(block);
+        ASSERT_TRUE(r.has_value()) << "height " << i << ": " << r.error().describe();
+    }
+}
+
+TEST(ChainGenerator, EraScheduleDrivesBlockFill) {
+    GeneratorOptions options = small_options(false);
+    options.schedule = EraSchedule::bitcoin_mainnet();
+    options.height_scale = 10'000.0;  // 65 blocks ≈ the whole history
+    options.intensity = 0.1;
+    ChainGenerator gen(options);
+
+    std::size_t early_txs = 0;
+    std::size_t late_txs = 0;
+    for (int i = 0; i < 30; ++i) early_txs += gen.next_block().txs.size();
+    for (int i = 30; i < 60; ++i) late_txs += gen.next_block().txs.size();
+    EXPECT_GT(late_txs, early_txs);
+}
+
+TEST(Stats, QuarterMapping) {
+    EXPECT_EQ(real_height_for_quarter(2009, 1), 0u);
+    const auto h2015 = real_height_for_quarter(2015, 1);
+    const auto h2021 = real_height_for_quarter(2021, 2);
+    EXPECT_GT(h2021, h2015);
+    EXPECT_EQ(quarter_label_for_height(h2015 + 100), "15-Q1");
+    EXPECT_EQ(quarter_label_for_height(real_height_for_quarter(2017, 3) + 100), "17-Q3");
+}
+
+}  // namespace
+}  // namespace ebv::workload
