@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_accumulator.dir/compare_accumulator.cpp.o"
+  "CMakeFiles/compare_accumulator.dir/compare_accumulator.cpp.o.d"
+  "compare_accumulator"
+  "compare_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

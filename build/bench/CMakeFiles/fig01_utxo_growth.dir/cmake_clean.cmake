@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_utxo_growth.dir/fig01_utxo_growth.cpp.o"
+  "CMakeFiles/fig01_utxo_growth.dir/fig01_utxo_growth.cpp.o.d"
+  "fig01_utxo_growth"
+  "fig01_utxo_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_utxo_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

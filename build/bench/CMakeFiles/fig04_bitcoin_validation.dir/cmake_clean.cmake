@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_bitcoin_validation.dir/fig04_bitcoin_validation.cpp.o"
+  "CMakeFiles/fig04_bitcoin_validation.dir/fig04_bitcoin_validation.cpp.o.d"
+  "fig04_bitcoin_validation"
+  "fig04_bitcoin_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bitcoin_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

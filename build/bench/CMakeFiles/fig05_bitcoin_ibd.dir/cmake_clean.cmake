@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bitcoin_ibd.dir/fig05_bitcoin_ibd.cpp.o"
+  "CMakeFiles/fig05_bitcoin_ibd.dir/fig05_bitcoin_ibd.cpp.o.d"
+  "fig05_bitcoin_ibd"
+  "fig05_bitcoin_ibd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bitcoin_ibd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ebv_inputs.dir/fig15_ebv_inputs.cpp.o"
+  "CMakeFiles/fig15_ebv_inputs.dir/fig15_ebv_inputs.cpp.o.d"
+  "fig15_ebv_inputs"
+  "fig15_ebv_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ebv_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

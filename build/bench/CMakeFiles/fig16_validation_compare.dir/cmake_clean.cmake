@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_validation_compare.dir/fig16_validation_compare.cpp.o"
+  "CMakeFiles/fig16_validation_compare.dir/fig16_validation_compare.cpp.o.d"
+  "fig16_validation_compare"
+  "fig16_validation_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_validation_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ibd_compare.dir/fig17_ibd_compare.cpp.o"
+  "CMakeFiles/fig17_ibd_compare.dir/fig17_ibd_compare.cpp.o.d"
+  "fig17_ibd_compare"
+  "fig17_ibd_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ibd_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

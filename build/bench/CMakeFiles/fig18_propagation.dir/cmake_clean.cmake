@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_propagation.dir/fig18_propagation.cpp.o"
+  "CMakeFiles/fig18_propagation.dir/fig18_propagation.cpp.o.d"
+  "fig18_propagation"
+  "fig18_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_restart.dir/snapshot_restart.cpp.o"
+  "CMakeFiles/snapshot_restart.dir/snapshot_restart.cpp.o.d"
+  "snapshot_restart"
+  "snapshot_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_cli.dir/ebv_cli.cpp.o"
+  "CMakeFiles/ebv_cli.dir/ebv_cli.cpp.o.d"
+  "ebv_cli"
+  "ebv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_network.dir/propagation_network.cpp.o"
+  "CMakeFiles/propagation_network.dir/propagation_network.cpp.o.d"
+  "propagation_network"
+  "propagation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

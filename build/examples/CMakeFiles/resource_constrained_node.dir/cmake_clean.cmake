@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_constrained_node.dir/resource_constrained_node.cpp.o"
+  "CMakeFiles/resource_constrained_node.dir/resource_constrained_node.cpp.o.d"
+  "resource_constrained_node"
+  "resource_constrained_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_constrained_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

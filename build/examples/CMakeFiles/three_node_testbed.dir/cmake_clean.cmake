@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_node_testbed.dir/three_node_testbed.cpp.o"
+  "CMakeFiles/three_node_testbed.dir/three_node_testbed.cpp.o.d"
+  "three_node_testbed"
+  "three_node_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_node_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

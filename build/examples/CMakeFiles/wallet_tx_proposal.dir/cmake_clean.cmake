@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallet_tx_proposal.dir/wallet_tx_proposal.cpp.o"
+  "CMakeFiles/wallet_tx_proposal.dir/wallet_tx_proposal.cpp.o.d"
+  "wallet_tx_proposal"
+  "wallet_tx_proposal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallet_tx_proposal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

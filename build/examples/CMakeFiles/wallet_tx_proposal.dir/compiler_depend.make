@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wallet_tx_proposal.
+# This may be replaced when dependencies are built.

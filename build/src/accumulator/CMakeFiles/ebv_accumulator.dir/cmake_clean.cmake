@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_accumulator.dir/forest.cpp.o"
+  "CMakeFiles/ebv_accumulator.dir/forest.cpp.o.d"
+  "libebv_accumulator.a"
+  "libebv_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

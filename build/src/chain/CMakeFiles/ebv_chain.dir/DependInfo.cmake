@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/ebv_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/miner.cpp" "src/chain/CMakeFiles/ebv_chain.dir/miner.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/miner.cpp.o.d"
+  "/root/repo/src/chain/node.cpp" "src/chain/CMakeFiles/ebv_chain.dir/node.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/node.cpp.o.d"
+  "/root/repo/src/chain/pow.cpp" "src/chain/CMakeFiles/ebv_chain.dir/pow.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/pow.cpp.o.d"
+  "/root/repo/src/chain/reorg.cpp" "src/chain/CMakeFiles/ebv_chain.dir/reorg.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/reorg.cpp.o.d"
+  "/root/repo/src/chain/sighash.cpp" "src/chain/CMakeFiles/ebv_chain.dir/sighash.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/sighash.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/ebv_chain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/transaction.cpp.o.d"
+  "/root/repo/src/chain/utxo_set.cpp" "src/chain/CMakeFiles/ebv_chain.dir/utxo_set.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/utxo_set.cpp.o.d"
+  "/root/repo/src/chain/validation.cpp" "src/chain/CMakeFiles/ebv_chain.dir/validation.cpp.o" "gcc" "src/chain/CMakeFiles/ebv_chain.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/script/CMakeFiles/ebv_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ebv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ebv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

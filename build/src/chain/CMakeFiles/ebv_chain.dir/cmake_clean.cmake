@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_chain.dir/block.cpp.o"
+  "CMakeFiles/ebv_chain.dir/block.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/miner.cpp.o"
+  "CMakeFiles/ebv_chain.dir/miner.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/node.cpp.o"
+  "CMakeFiles/ebv_chain.dir/node.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/pow.cpp.o"
+  "CMakeFiles/ebv_chain.dir/pow.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/reorg.cpp.o"
+  "CMakeFiles/ebv_chain.dir/reorg.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/sighash.cpp.o"
+  "CMakeFiles/ebv_chain.dir/sighash.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/transaction.cpp.o"
+  "CMakeFiles/ebv_chain.dir/transaction.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/utxo_set.cpp.o"
+  "CMakeFiles/ebv_chain.dir/utxo_set.cpp.o.d"
+  "CMakeFiles/ebv_chain.dir/validation.cpp.o"
+  "CMakeFiles/ebv_chain.dir/validation.cpp.o.d"
+  "libebv_chain.a"
+  "libebv_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitvector.cpp" "src/core/CMakeFiles/ebv_core.dir/bitvector.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/bitvector.cpp.o.d"
+  "/root/repo/src/core/bitvector_set.cpp" "src/core/CMakeFiles/ebv_core.dir/bitvector_set.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/bitvector_set.cpp.o.d"
+  "/root/repo/src/core/chain_archive.cpp" "src/core/CMakeFiles/ebv_core.dir/chain_archive.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/chain_archive.cpp.o.d"
+  "/root/repo/src/core/ebv_transaction.cpp" "src/core/CMakeFiles/ebv_core.dir/ebv_transaction.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/ebv_transaction.cpp.o.d"
+  "/root/repo/src/core/ebv_validator.cpp" "src/core/CMakeFiles/ebv_core.dir/ebv_validator.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/ebv_validator.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/ebv_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/reorg.cpp" "src/core/CMakeFiles/ebv_core.dir/reorg.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/reorg.cpp.o.d"
+  "/root/repo/src/core/tx_pool.cpp" "src/core/CMakeFiles/ebv_core.dir/tx_pool.cpp.o" "gcc" "src/core/CMakeFiles/ebv_core.dir/tx_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/ebv_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/ebv_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ebv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ebv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

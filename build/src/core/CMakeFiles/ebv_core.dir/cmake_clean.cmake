@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_core.dir/bitvector.cpp.o"
+  "CMakeFiles/ebv_core.dir/bitvector.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/bitvector_set.cpp.o"
+  "CMakeFiles/ebv_core.dir/bitvector_set.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/chain_archive.cpp.o"
+  "CMakeFiles/ebv_core.dir/chain_archive.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/ebv_transaction.cpp.o"
+  "CMakeFiles/ebv_core.dir/ebv_transaction.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/ebv_validator.cpp.o"
+  "CMakeFiles/ebv_core.dir/ebv_validator.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/node.cpp.o"
+  "CMakeFiles/ebv_core.dir/node.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/reorg.cpp.o"
+  "CMakeFiles/ebv_core.dir/reorg.cpp.o.d"
+  "CMakeFiles/ebv_core.dir/tx_pool.cpp.o"
+  "CMakeFiles/ebv_core.dir/tx_pool.cpp.o.d"
+  "libebv_core.a"
+  "libebv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

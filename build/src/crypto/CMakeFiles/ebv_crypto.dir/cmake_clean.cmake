@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_crypto.dir/base58.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/base58.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/hash_types.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/hash_types.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/ebv_crypto.dir/u256.cpp.o"
+  "CMakeFiles/ebv_crypto.dir/u256.cpp.o.d"
+  "libebv_crypto.a"
+  "libebv_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libebv_crypto.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_intermediary.dir/converter.cpp.o"
+  "CMakeFiles/ebv_intermediary.dir/converter.cpp.o.d"
+  "libebv_intermediary.a"
+  "libebv_intermediary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_intermediary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_net.dir/backends.cpp.o"
+  "CMakeFiles/ebv_net.dir/backends.cpp.o.d"
+  "CMakeFiles/ebv_net.dir/message.cpp.o"
+  "CMakeFiles/ebv_net.dir/message.cpp.o.d"
+  "CMakeFiles/ebv_net.dir/protocol_node.cpp.o"
+  "CMakeFiles/ebv_net.dir/protocol_node.cpp.o.d"
+  "libebv_net.a"
+  "libebv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

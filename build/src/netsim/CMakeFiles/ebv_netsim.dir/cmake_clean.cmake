@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_netsim.dir/gossip.cpp.o"
+  "CMakeFiles/ebv_netsim.dir/gossip.cpp.o.d"
+  "libebv_netsim.a"
+  "libebv_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/interpreter.cpp" "src/script/CMakeFiles/ebv_script.dir/interpreter.cpp.o" "gcc" "src/script/CMakeFiles/ebv_script.dir/interpreter.cpp.o.d"
+  "/root/repo/src/script/script.cpp" "src/script/CMakeFiles/ebv_script.dir/script.cpp.o" "gcc" "src/script/CMakeFiles/ebv_script.dir/script.cpp.o.d"
+  "/root/repo/src/script/standard.cpp" "src/script/CMakeFiles/ebv_script.dir/standard.cpp.o" "gcc" "src/script/CMakeFiles/ebv_script.dir/standard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/ebv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_script.dir/interpreter.cpp.o"
+  "CMakeFiles/ebv_script.dir/interpreter.cpp.o.d"
+  "CMakeFiles/ebv_script.dir/script.cpp.o"
+  "CMakeFiles/ebv_script.dir/script.cpp.o.d"
+  "CMakeFiles/ebv_script.dir/standard.cpp.o"
+  "CMakeFiles/ebv_script.dir/standard.cpp.o.d"
+  "libebv_script.a"
+  "libebv_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

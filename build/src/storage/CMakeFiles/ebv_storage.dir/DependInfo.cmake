@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_hash_table.cpp" "src/storage/CMakeFiles/ebv_storage.dir/disk_hash_table.cpp.o" "gcc" "src/storage/CMakeFiles/ebv_storage.dir/disk_hash_table.cpp.o.d"
+  "/root/repo/src/storage/mem_kvstore.cpp" "src/storage/CMakeFiles/ebv_storage.dir/mem_kvstore.cpp.o" "gcc" "src/storage/CMakeFiles/ebv_storage.dir/mem_kvstore.cpp.o.d"
+  "/root/repo/src/storage/page_cache.cpp" "src/storage/CMakeFiles/ebv_storage.dir/page_cache.cpp.o" "gcc" "src/storage/CMakeFiles/ebv_storage.dir/page_cache.cpp.o.d"
+  "/root/repo/src/storage/paged_file.cpp" "src/storage/CMakeFiles/ebv_storage.dir/paged_file.cpp.o" "gcc" "src/storage/CMakeFiles/ebv_storage.dir/paged_file.cpp.o.d"
+  "/root/repo/src/storage/status_db.cpp" "src/storage/CMakeFiles/ebv_storage.dir/status_db.cpp.o" "gcc" "src/storage/CMakeFiles/ebv_storage.dir/status_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ebv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_storage.dir/disk_hash_table.cpp.o"
+  "CMakeFiles/ebv_storage.dir/disk_hash_table.cpp.o.d"
+  "CMakeFiles/ebv_storage.dir/mem_kvstore.cpp.o"
+  "CMakeFiles/ebv_storage.dir/mem_kvstore.cpp.o.d"
+  "CMakeFiles/ebv_storage.dir/page_cache.cpp.o"
+  "CMakeFiles/ebv_storage.dir/page_cache.cpp.o.d"
+  "CMakeFiles/ebv_storage.dir/paged_file.cpp.o"
+  "CMakeFiles/ebv_storage.dir/paged_file.cpp.o.d"
+  "CMakeFiles/ebv_storage.dir/status_db.cpp.o"
+  "CMakeFiles/ebv_storage.dir/status_db.cpp.o.d"
+  "libebv_storage.a"
+  "libebv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_util.dir/hex.cpp.o"
+  "CMakeFiles/ebv_util.dir/hex.cpp.o.d"
+  "CMakeFiles/ebv_util.dir/log.cpp.o"
+  "CMakeFiles/ebv_util.dir/log.cpp.o.d"
+  "CMakeFiles/ebv_util.dir/rng.cpp.o"
+  "CMakeFiles/ebv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ebv_util.dir/serialize.cpp.o"
+  "CMakeFiles/ebv_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/ebv_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ebv_util.dir/thread_pool.cpp.o.d"
+  "libebv_util.a"
+  "libebv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/era.cpp" "src/workload/CMakeFiles/ebv_workload.dir/era.cpp.o" "gcc" "src/workload/CMakeFiles/ebv_workload.dir/era.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/ebv_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/ebv_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/stats.cpp" "src/workload/CMakeFiles/ebv_workload.dir/stats.cpp.o" "gcc" "src/workload/CMakeFiles/ebv_workload.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/ebv_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/ebv_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ebv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ebv_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

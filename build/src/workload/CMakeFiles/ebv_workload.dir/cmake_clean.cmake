@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_workload.dir/era.cpp.o"
+  "CMakeFiles/ebv_workload.dir/era.cpp.o.d"
+  "CMakeFiles/ebv_workload.dir/generator.cpp.o"
+  "CMakeFiles/ebv_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ebv_workload.dir/stats.cpp.o"
+  "CMakeFiles/ebv_workload.dir/stats.cpp.o.d"
+  "libebv_workload.a"
+  "libebv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

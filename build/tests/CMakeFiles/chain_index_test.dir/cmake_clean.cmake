@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_index_test.dir/chain_index_test.cpp.o"
+  "CMakeFiles/chain_index_test.dir/chain_index_test.cpp.o.d"
+  "chain_index_test"
+  "chain_index_test.pdb"
+  "chain_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

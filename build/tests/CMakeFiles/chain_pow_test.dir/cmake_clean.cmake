@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_pow_test.dir/chain_pow_test.cpp.o"
+  "CMakeFiles/chain_pow_test.dir/chain_pow_test.cpp.o.d"
+  "chain_pow_test"
+  "chain_pow_test.pdb"
+  "chain_pow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_pow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bitvector_test.dir/core_bitvector_test.cpp.o"
+  "CMakeFiles/core_bitvector_test.dir/core_bitvector_test.cpp.o.d"
+  "core_bitvector_test"
+  "core_bitvector_test.pdb"
+  "core_bitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

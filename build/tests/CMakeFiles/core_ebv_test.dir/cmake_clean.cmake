@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ebv_test.dir/core_ebv_test.cpp.o"
+  "CMakeFiles/core_ebv_test.dir/core_ebv_test.cpp.o.d"
+  "core_ebv_test"
+  "core_ebv_test.pdb"
+  "core_ebv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ebv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_base58_test.cpp" "tests/CMakeFiles/crypto_base58_test.dir/crypto_base58_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_base58_test.dir/crypto_base58_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ebv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/accumulator/CMakeFiles/ebv_accumulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/intermediary/CMakeFiles/ebv_intermediary.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ebv_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ebv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ebv_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/ebv_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ebv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ebv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

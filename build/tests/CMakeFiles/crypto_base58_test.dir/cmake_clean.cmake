@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_base58_test.dir/crypto_base58_test.cpp.o"
+  "CMakeFiles/crypto_base58_test.dir/crypto_base58_test.cpp.o.d"
+  "crypto_base58_test"
+  "crypto_base58_test.pdb"
+  "crypto_base58_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_base58_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

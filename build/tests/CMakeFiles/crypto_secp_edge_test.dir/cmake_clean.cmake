@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_secp_edge_test.dir/crypto_secp_edge_test.cpp.o"
+  "CMakeFiles/crypto_secp_edge_test.dir/crypto_secp_edge_test.cpp.o.d"
+  "crypto_secp_edge_test"
+  "crypto_secp_edge_test.pdb"
+  "crypto_secp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_secp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebv_mutation_test.dir/ebv_mutation_test.cpp.o"
+  "CMakeFiles/ebv_mutation_test.dir/ebv_mutation_test.cpp.o.d"
+  "ebv_mutation_test"
+  "ebv_mutation_test.pdb"
+  "ebv_mutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebv_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

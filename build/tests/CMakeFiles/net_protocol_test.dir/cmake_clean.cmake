@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_protocol_test.dir/net_protocol_test.cpp.o"
+  "CMakeFiles/net_protocol_test.dir/net_protocol_test.cpp.o.d"
+  "net_protocol_test"
+  "net_protocol_test.pdb"
+  "net_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

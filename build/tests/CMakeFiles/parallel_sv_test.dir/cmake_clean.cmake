@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sv_test.dir/parallel_sv_test.cpp.o"
+  "CMakeFiles/parallel_sv_test.dir/parallel_sv_test.cpp.o.d"
+  "parallel_sv_test"
+  "parallel_sv_test.pdb"
+  "parallel_sv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_p2sh_test.dir/script_p2sh_test.cpp.o"
+  "CMakeFiles/script_p2sh_test.dir/script_p2sh_test.cpp.o.d"
+  "script_p2sh_test"
+  "script_p2sh_test.pdb"
+  "script_p2sh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_p2sh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

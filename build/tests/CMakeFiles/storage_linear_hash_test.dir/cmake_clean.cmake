@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_linear_hash_test.dir/storage_linear_hash_test.cpp.o"
+  "CMakeFiles/storage_linear_hash_test.dir/storage_linear_hash_test.cpp.o.d"
+  "storage_linear_hash_test"
+  "storage_linear_hash_test.pdb"
+  "storage_linear_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_linear_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tx_pool_test.dir/tx_pool_test.cpp.o"
+  "CMakeFiles/tx_pool_test.dir/tx_pool_test.cpp.o.d"
+  "tx_pool_test"
+  "tx_pool_test.pdb"
+  "tx_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
