@@ -15,6 +15,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("compare_accumulator");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1200));
     const std::uint32_t period = blocks / 12;
 

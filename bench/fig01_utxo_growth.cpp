@@ -12,6 +12,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig01_utxo_growth");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 3250));
 
     workload::GeneratorOptions options;

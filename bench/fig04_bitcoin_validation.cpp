@@ -12,6 +12,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig04_bitcoin_validation");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1000));
     const std::uint32_t measured = 10;
 
@@ -55,6 +56,9 @@ int main() {
         std::printf("%-8u %8zu %10.2f %10.2f %10.2f %10.2f %7.1f%%\n", i, t.inputs,
                     bench::ms(t.dbo), bench::ms(t.sv), bench::ms(t.other), total,
                     total > 0 ? 100.0 * bench::ms(t.dbo) / total : 0.0);
+        report.row("{\"height\":%u,\"inputs\":%zu,\"dbo_ms\":%.3f,\"sv_ms\":%.3f,"
+                   "\"total_ms\":%.3f}",
+                   i, t.inputs, bench::ms(t.dbo), bench::ms(t.sv), total);
     }
 
     bench::print_rule(70);

@@ -12,6 +12,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig05_bitcoin_ibd");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1300));
     const std::uint32_t periods = 13;
     const std::uint32_t period_len = blocks / periods;

@@ -12,6 +12,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig14_memory");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 3250));
 
     workload::GeneratorOptions options;

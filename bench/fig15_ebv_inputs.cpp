@@ -10,6 +10,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig15_ebv_inputs");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1000));
     const std::uint32_t measured = 10;
 

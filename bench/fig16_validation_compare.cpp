@@ -10,6 +10,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig16_validation_compare");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1000));
     const std::uint32_t measured = 10;
 
@@ -53,6 +54,10 @@ int main() {
         best_reduction = std::max(best_reduction, reduction);
         std::printf("%-8u %8zu %12.2f %12.2f %11.1f%%\n", i, rb->inputs, btc_ms, ebv_ms,
                     reduction);
+        report.row("{\"height\":%u,\"inputs\":%zu,\"btc_ms\":%.3f,\"ebv_ms\":%.3f,"
+                   "\"ev_ms\":%.4f,\"uv_ms\":%.4f,\"sv_ms\":%.4f}",
+                   i, rb->inputs, btc_ms, ebv_ms, bench::ms(re->ev),
+                   bench::ms(re->uv), bench::ms(re->sv));
         ebv_rows.push_back(*re);
     }
 

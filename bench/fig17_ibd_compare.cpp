@@ -13,6 +13,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("fig17_ibd_compare");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1300));
     const auto reps = static_cast<std::uint32_t>(bench::env_u64("EBV_REPS", 3));
     const std::uint32_t periods = 13;
@@ -88,6 +89,9 @@ int main() {
         std::snprintf(label, sizeof label, "%uk", (p + 1) * 50);
         std::printf("%-10s %10.0f %10.0f %10.0f %10.0f %10.0f %10.0f %9.1f%%\n", label,
                     b.min, b.median, b.max, e.min, e.median, e.max, reduction);
+        report.row("{\"period\":\"%s\",\"btc_median_ms\":%.1f,\"ebv_median_ms\":%.1f,"
+                   "\"reduction_pct\":%.1f}",
+                   label, b.median, e.median, reduction);
     }
 
     std::printf("\nFig 17b — EBV IBD time breakdown (ms, repetition 1)\n");

@@ -30,6 +30,7 @@ struct DelayDistribution {
 }  // namespace
 
 int main() {
+    bench::JsonReport report("fig18_propagation");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 1000));
     const auto reps = static_cast<std::uint32_t>(bench::env_u64("EBV_REPS", 5));
     const std::uint32_t measured = 30;

@@ -8,10 +8,15 @@
 //                     UTXO payload (default mirrors the paper's
 //                     500 MB : 4.3 GB ≈ 0.116)
 //   EBV_DEVICE     hdd | ssd | none  (disk latency model for the baseline)
+//   EBV_BENCH_JSON <path>  write machine-readable telemetry: per-period rows
+//                  the bench reports plus a final obs-registry snapshot, as
+//                  one JSON document (see docs/OBSERVABILITY.md)
 #pragma once
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,6 +27,9 @@
 #include "chain/node.hpp"
 #include "core/node.hpp"
 #include "intermediary/converter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "workload/generator.hpp"
 #include "workload/stats.hpp"
 
@@ -141,6 +149,60 @@ inline std::vector<core::EbvBlock> convert_chain(const ChainData& chain) {
 }
 
 inline double ms(util::TimeCost cost) { return util::to_ms(cost.total_ns()); }
+
+/// Machine-readable bench telemetry, activated by EBV_BENCH_JSON=<path>.
+/// Benches append per-period rows (small JSON objects they format
+/// themselves); on destruction (or an explicit write()) one JSON document
+/// lands at the path:
+///   {"bench":"<name>","rows":[...],"metrics":<registry snapshot>}
+/// so CI can archive a perf trajectory across PRs (BENCH_<name>.json).
+class JsonReport {
+public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {
+        if (const char* path = std::getenv("EBV_BENCH_JSON")) path_ = path;
+    }
+    JsonReport(const JsonReport&) = delete;
+    JsonReport& operator=(const JsonReport&) = delete;
+    ~JsonReport() { write(); }
+
+    [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+    /// Append one row; `fmt` must produce a complete JSON object.
+    void row(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+        if (!enabled()) return;
+        char buffer[512];
+        va_list args;
+        va_start(args, fmt);
+        const int n = std::vsnprintf(buffer, sizeof buffer, fmt, args);
+        va_end(args);
+        if (n > 0) rows_.emplace_back(buffer, std::min<std::size_t>(n, sizeof buffer - 1));
+    }
+
+    void write() {
+        if (!enabled() || written_) return;
+        written_ = true;
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            EBV_LOG_ERROR("EBV_BENCH_JSON: cannot open %s", path_.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\":\"%s\",\"rows\":[", bench_.c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "%s%s", i ? "," : "", rows_[i].c_str());
+        }
+        std::fprintf(f, "],\"metrics\":%s}\n",
+                     obs::Registry::global().to_json().c_str());
+        std::fclose(f);
+        EBV_LOG_INFO("EBV_BENCH_JSON: wrote %zu rows + registry snapshot to %s",
+                     rows_.size(), path_.c_str());
+    }
+
+private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::string> rows_;
+    bool written_ = false;
+};
 
 inline void print_rule(int width = 100) {
     for (int i = 0; i < width; ++i) std::putchar('-');

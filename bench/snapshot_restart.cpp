@@ -14,6 +14,7 @@
 using namespace ebv;
 
 int main() {
+    bench::JsonReport report("snapshot_restart");
     const auto blocks = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 800));
 
     workload::GeneratorOptions gen_options;

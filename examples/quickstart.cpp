@@ -8,6 +8,8 @@
 #include "chain/node.hpp"
 #include "core/node.hpp"
 #include "intermediary/converter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/generator.hpp"
 
 using namespace ebv;
@@ -86,5 +88,15 @@ int main() {
                 static_cast<unsigned long long>(btc_node.status_payload_bytes()));
     std::printf("status data held by EBV (bit-vector set):    %zu bytes\n",
                 ebv_node.status_memory_bytes());
+
+    // Everything above was also published to the process-wide metrics
+    // registry; any tool can scrape it (docs/OBSERVABILITY.md).
+    obs::Registry& registry = obs::Registry::global();
+    std::printf("\nobs registry: %llu EBV connects, p95 EBV block time %.0f us, "
+                "%llu spans traced\n",
+                static_cast<unsigned long long>(
+                    registry.counter("ebv.block.connects").value()),
+                registry.histogram("ebv.block.total_ns").percentile(95) / 1e3,
+                static_cast<unsigned long long>(obs::Tracer::global().recorded()));
     return 0;
 }

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "chain/sighash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ebv::chain {
 
@@ -57,9 +59,65 @@ util::TimeCost dbo_cost_of(const storage::DboStats& stats) {
     return stats.total_time();
 }
 
+/// Registry handles, resolved once; values survive Registry::reset().
+struct BtcMetrics {
+    obs::Counter& connects;
+    obs::Counter& rejects;
+    obs::Counter& txs;
+    obs::Counter& inputs;
+    obs::Counter& outputs;
+    obs::Histogram& dbo_ns;
+    obs::Histogram& sv_ns;
+    obs::Histogram& other_ns;
+    obs::Histogram& total_ns;
+
+    static BtcMetrics& get() {
+        static BtcMetrics m{
+            obs::Registry::global().counter("btc.block.connects"),
+            obs::Registry::global().counter("btc.block.rejects"),
+            obs::Registry::global().counter("btc.block.txs"),
+            obs::Registry::global().counter("btc.block.inputs"),
+            obs::Registry::global().counter("btc.block.outputs"),
+            obs::Registry::global().histogram("btc.block.dbo_ns"),
+            obs::Registry::global().histogram("btc.block.sv_ns"),
+            obs::Registry::global().histogram("btc.block.other_ns"),
+            obs::Registry::global().histogram("btc.block.total_ns"),
+        };
+        return m;
+    }
+};
+
 }  // namespace
 
 util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block(
+    const Block& block, std::uint32_t height, BlockUndo* undo) {
+    auto result = connect_block_impl(block, height, undo);
+    BtcMetrics& m = BtcMetrics::get();
+    if (!result) {
+        m.rejects.inc();
+        return result;
+    }
+
+    const BlockTimings& t = *result;
+    m.connects.inc();
+    m.txs.inc(block.txs.size());
+    m.inputs.inc(t.inputs);
+    m.outputs.inc(t.outputs);
+    m.dbo_ns.observe(t.dbo.total_ns());
+    m.sv_ns.observe(t.sv.total_ns());
+    m.other_ns.observe(t.other.total_ns());
+    m.total_ns.observe(t.total().total_ns());
+
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        tracer.record("btc.block.dbo", t.dbo);
+        tracer.record("btc.block.sv", t.sv);
+        tracer.record("btc.block.total", t.total());
+    }
+    return result;
+}
+
+util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block_impl(
     const Block& block, std::uint32_t height, BlockUndo* undo) {
     BlockTimings timings;
     timings.inputs = block.input_count();

@@ -85,6 +85,8 @@ public:
     /// Validate and connect a block at `height`. On success returns the
     /// phase timings; on failure the UTXO set is left unchanged. When
     /// `undo` is non-null the spent coins are recorded for disconnection.
+    /// Publishes per-stage histograms and per-block counters under
+    /// `btc.block.*` and emits one span per stage (docs/OBSERVABILITY.md).
     util::Result<BlockTimings, ValidationFailure> connect_block(const Block& block,
                                                                 std::uint32_t height,
                                                                 BlockUndo* undo = nullptr);
@@ -95,6 +97,9 @@ public:
     void disconnect_block(const Block& block, const BlockUndo& undo);
 
 private:
+    util::Result<BlockTimings, ValidationFailure> connect_block_impl(
+        const Block& block, std::uint32_t height, BlockUndo* undo);
+
     const ChainParams& params_;
     UtxoSet& utxo_;
     ValidatorOptions options_;

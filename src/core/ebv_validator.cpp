@@ -7,6 +7,8 @@
 
 #include "chain/amount.hpp"
 #include "crypto/ecdsa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ebv::core {
 
@@ -86,9 +88,82 @@ SpentKey spent_key(std::uint32_t height, std::uint32_t position) {
     return SpentKey{static_cast<std::uint64_t>(height) << 32 | position};
 }
 
+/// Registry handles, resolved once; values survive Registry::reset().
+struct EbvMetrics {
+    obs::Counter& connects;
+    obs::Counter& rejects;
+    obs::Counter& txs;
+    obs::Counter& inputs;
+    obs::Counter& outputs;
+    obs::Counter& proof_bytes;
+    obs::Histogram& ev_ns;
+    obs::Histogram& uv_ns;
+    obs::Histogram& sv_ns;
+    obs::Histogram& update_ns;
+    obs::Histogram& other_ns;
+    obs::Histogram& total_ns;
+
+    static EbvMetrics& get() {
+        static EbvMetrics m{
+            obs::Registry::global().counter("ebv.block.connects"),
+            obs::Registry::global().counter("ebv.block.rejects"),
+            obs::Registry::global().counter("ebv.block.txs"),
+            obs::Registry::global().counter("ebv.block.inputs"),
+            obs::Registry::global().counter("ebv.block.outputs"),
+            obs::Registry::global().counter("ebv.block.proof_bytes"),
+            obs::Registry::global().histogram("ebv.block.ev_ns"),
+            obs::Registry::global().histogram("ebv.block.uv_ns"),
+            obs::Registry::global().histogram("ebv.block.sv_ns"),
+            obs::Registry::global().histogram("ebv.block.update_ns"),
+            obs::Registry::global().histogram("ebv.block.other_ns"),
+            obs::Registry::global().histogram("ebv.block.total_ns"),
+        };
+        return m;
+    }
+};
+
 }  // namespace
 
 util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block(
+    const EbvBlock& block, std::uint32_t height) {
+    auto result = connect_block_impl(block, height);
+    EbvMetrics& m = EbvMetrics::get();
+    if (!result) {
+        m.rejects.inc();
+        return result;
+    }
+
+    const EbvTimings& t = *result;
+    m.connects.inc();
+    m.txs.inc(block.txs.size());
+    m.inputs.inc(t.inputs);
+    m.outputs.inc(t.outputs);
+    std::uint64_t proof_bytes = 0;
+    for (const EbvTransaction& tx : block.txs) {
+        for (const EbvInput& in : tx.inputs) {
+            proof_bytes += in.mbr.byte_size() + in.els.serialized_size();
+        }
+    }
+    m.proof_bytes.inc(proof_bytes);
+    m.ev_ns.observe(t.ev.total_ns());
+    m.uv_ns.observe(t.uv.total_ns());
+    m.sv_ns.observe(t.sv.total_ns());
+    m.update_ns.observe(t.update.total_ns());
+    m.other_ns.observe(t.other.total_ns());
+    m.total_ns.observe(t.total().total_ns());
+
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        tracer.record("ebv.block.ev", t.ev);
+        tracer.record("ebv.block.uv", t.uv);
+        tracer.record("ebv.block.sv", t.sv);
+        tracer.record("ebv.block.update", t.update);
+        tracer.record("ebv.block.total", t.total());
+    }
+    return result;
+}
+
+util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
     const EbvBlock& block, std::uint32_t height) {
     EbvTimings timings;
     timings.inputs = block.input_count();

@@ -106,11 +106,16 @@ public:
         : params_(params), headers_(headers), status_(status), options_(options) {}
 
     /// Validate the block at `height` and, on success, apply it to the
-    /// bit-vector set. The set is untouched on failure.
+    /// bit-vector set. The set is untouched on failure. Publishes per-stage
+    /// histograms and per-block counters under `ebv.block.*` and emits one
+    /// span per stage (see docs/OBSERVABILITY.md).
     util::Result<EbvTimings, EbvValidationFailure> connect_block(const EbvBlock& block,
                                                                  std::uint32_t height);
 
 private:
+    util::Result<EbvTimings, EbvValidationFailure> connect_block_impl(
+        const EbvBlock& block, std::uint32_t height);
+
     const chain::ChainParams& params_;
     const chain::HeaderIndex& headers_;
     BitVectorSet& status_;

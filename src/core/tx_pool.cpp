@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "script/interpreter.hpp"
 
 namespace ebv::core {
+
+namespace {
+
+struct TxPoolMetrics {
+    obs::Counter& submitted;
+    obs::Counter& accepted;
+    obs::Counter& rejected;
+    obs::Counter& evicted;
+    obs::Gauge& size;
+
+    static TxPoolMetrics& get() {
+        static TxPoolMetrics m{
+            obs::Registry::global().counter("txpool.submitted"),
+            obs::Registry::global().counter("txpool.accepted"),
+            obs::Registry::global().counter("txpool.rejected"),
+            obs::Registry::global().counter("txpool.evicted"),
+            obs::Registry::global().gauge("txpool.size"),
+        };
+        return m;
+    }
+};
+
+}  // namespace
 
 const char* to_string(TxAdmission a) {
     switch (a) {
@@ -71,6 +95,19 @@ TxAdmission validate_transaction(const EbvTransaction& tx,
 }
 
 TxAdmission TxPool::submit(const EbvTransaction& tx) {
+    TxPoolMetrics& m = TxPoolMetrics::get();
+    m.submitted.inc();
+    const TxAdmission verdict = submit_internal(tx);
+    if (verdict == TxAdmission::kAccepted) {
+        m.accepted.inc();
+    } else {
+        m.rejected.inc();
+    }
+    m.size.set(static_cast<std::int64_t>(pool_.size()));
+    return verdict;
+}
+
+TxAdmission TxPool::submit_internal(const EbvTransaction& tx) {
     const crypto::Hash256 leaf = tx.leaf_hash();
     if (pool_.count(leaf)) return TxAdmission::kDuplicate;
 
@@ -121,6 +158,7 @@ std::vector<EbvTransaction> TxPool::take_for_block(std::size_t max_txs) {
         }
         pool_.erase(tx.leaf_hash());
     }
+    TxPoolMetrics::get().size.set(static_cast<std::int64_t>(pool_.size()));
     return out;
 }
 
@@ -141,6 +179,8 @@ std::size_t TxPool::evict_confirmed_spends() {
         }
         pool_.erase(it);
     }
+    TxPoolMetrics::get().evicted.inc(doomed.size());
+    TxPoolMetrics::get().size.set(static_cast<std::int64_t>(pool_.size()));
     return doomed.size();
 }
 

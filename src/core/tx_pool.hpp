@@ -72,6 +72,8 @@ public:
     }
 
 private:
+    TxAdmission submit_internal(const EbvTransaction& tx);
+
     struct SpentKeyHasher {
         std::size_t operator()(const std::uint64_t& k) const {
             return std::hash<std::uint64_t>{}(k);

@@ -1,8 +1,44 @@
 #include "net/protocol_node.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace ebv::net {
+
+namespace {
+
+/// Wire/protocol metrics, aggregated across every ProtocolNode in the
+/// process (the simulators run many nodes in one address space).
+struct NetMetrics {
+    obs::Counter& messages_in;
+    obs::Counter& messages_out;
+    obs::Counter& bytes_in;
+    obs::Counter& bytes_out;
+    obs::Counter& blocks_connected;
+    obs::Counter& blocks_rejected;
+    obs::Counter& frames_dropped;
+    obs::Counter& orphans_stashed;
+    obs::Histogram& pending_blocks;  ///< download-queue depth per request round
+
+    static NetMetrics& get() {
+        static NetMetrics m{
+            obs::Registry::global().counter("net.messages_in"),
+            obs::Registry::global().counter("net.messages_out"),
+            obs::Registry::global().counter("net.bytes_in"),
+            obs::Registry::global().counter("net.bytes_out"),
+            obs::Registry::global().counter("net.blocks_connected"),
+            obs::Registry::global().counter("net.blocks_rejected"),
+            obs::Registry::global().counter("net.frames_dropped"),
+            obs::Registry::global().counter("net.orphans_stashed"),
+            obs::Registry::global().histogram(
+                "net.sync.pending_blocks",
+                obs::Histogram::exponential_bounds(1, 2.0, 16)),
+        };
+        return m;
+    }
+};
+
+}  // namespace
 
 ProtocolNode::ProtocolNode(SimNetwork& network, netsim::Region region,
                            ChainBackend& backend, std::string name)
@@ -30,17 +66,22 @@ void ProtocolNode::send(EndpointId to, const Message& m) {
     util::Bytes wire = encode_message(m);
     ++stats_.messages_out;
     stats_.bytes_out += wire.size();
+    NetMetrics::get().messages_out.inc();
+    NetMetrics::get().bytes_out.inc(wire.size());
     network_.send(id_, to, std::move(wire));
 }
 
 void ProtocolNode::on_wire(EndpointId from, const util::Bytes& wire) {
     ++stats_.messages_in;
     stats_.bytes_in += wire.size();
+    NetMetrics::get().messages_in.inc();
+    NetMetrics::get().bytes_in.inc(wire.size());
 
     std::size_t offset = 0;
     while (offset < wire.size()) {
         auto decoded = decode_message(util::ByteSpan(wire).subspan(offset));
         if (!decoded) {
+            NetMetrics::get().frames_dropped.inc();
             EBV_LOG_WARN("%s: dropping frame from %u: %s", name_.c_str(), from,
                          to_string(decoded.error()));
             return;
@@ -83,6 +124,8 @@ void ProtocolNode::handle(EndpointId from, const VerAckMsg&) {
     if (it == peers_.end() || !it->second.version_received) return;
     if (it->second.handshaken) return;
     it->second.handshaken = true;
+    EBV_LOG_DEBUG("%s: handshake complete with peer %u (best height %u)",
+                  name_.c_str(), from, it->second.best_height);
     maybe_start_sync(from);
 
     // Tell the new peer about our tip: combined with the orphan-triggered
@@ -99,6 +142,9 @@ void ProtocolNode::handle(EndpointId from, const VerAckMsg&) {
 void ProtocolNode::maybe_start_sync(EndpointId peer_id) {
     const PeerState& peer = peers_.at(peer_id);
     if (peer.best_height > backend_.block_count()) {
+        EBV_LOG_DEBUG("%s: starting header sync from peer %u (%u -> %u)",
+                      name_.c_str(), peer_id, backend_.block_count(),
+                      peer.best_height);
         send(peer_id, GetHeadersMsg{backend_.block_count(), kHeaderBatch});
     }
 }
@@ -139,6 +185,9 @@ void ProtocolNode::handle(EndpointId from, const HeadersMsg& m) {
 
 void ProtocolNode::request_more_blocks(EndpointId peer_id) {
     PeerState& peer = peers_.at(peer_id);
+    if (!peer.pending_blocks.empty()) {
+        NetMetrics::get().pending_blocks.observe(peer.pending_blocks.size());
+    }
     GetDataMsg request;
     while (peer.inflight < kMaxInflight && !peer.pending_blocks.empty()) {
         const crypto::Hash256 hash = peer.pending_blocks.front();
@@ -189,6 +238,7 @@ void ProtocolNode::handle(EndpointId from, const BlockMsg& m) {
 
     // Stash; try_connect_pending connects everything that now links up.
     orphans_[*prev] = m.payload;
+    NetMetrics::get().orphans_stashed.inc();
     try_connect_pending();
 
     if (it != peers_.end()) {
@@ -220,9 +270,12 @@ void ProtocolNode::try_connect_pending() {
         const auto cost = backend_.accept_block(payload);
         if (!cost) {
             ++stats_.blocks_rejected;
+            NetMetrics::get().blocks_rejected.inc();
+            EBV_LOG_DEBUG("%s: rejected block at height %u", name_.c_str(), next);
             continue;  // a later orphan may still fit
         }
         ++stats_.blocks_connected;
+        NetMetrics::get().blocks_connected.inc();
         stats_.connect_times.push_back(network_.now());
 
         const auto hash = backend_.peek_hash(payload);

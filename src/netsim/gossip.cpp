@@ -2,10 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace ebv::netsim {
+
+namespace {
+
+struct GossipMetrics {
+    obs::Counter& propagations;
+    obs::Counter& deliveries;
+    obs::Counter& relays;
+    obs::Histogram& receive_ns;  ///< simulated first-receive time per node
+
+    static GossipMetrics& get() {
+        static GossipMetrics m{
+            obs::Registry::global().counter("netsim.gossip.propagations"),
+            obs::Registry::global().counter("netsim.gossip.deliveries"),
+            obs::Registry::global().counter("netsim.gossip.relays"),
+            obs::Registry::global().histogram("netsim.gossip.receive_ns"),
+        };
+        return m;
+    }
+};
+
+}  // namespace
 
 SimTime PropagationResult::time_to_fraction(double fraction) const {
     std::vector<SimTime> reached;
@@ -67,6 +89,7 @@ PropagationResult GossipNetwork::propagate(std::size_t origin,
     // deliver(node, t): the block arrives at `node` at time t. If it is the
     // first copy, the node validates it and relays to all neighbours.
     std::function<void(std::size_t)> relay = [&](std::size_t node) {
+        GossipMetrics::get().relays.inc();
         for (std::size_t neighbor : adjacency_[node]) {
             if (result.receive_time[neighbor] != PropagationResult::kUnreached) continue;
             const SimTime network = latency.sample(regions_[node], regions_[neighbor],
@@ -75,6 +98,9 @@ PropagationResult GossipNetwork::propagate(std::size_t origin,
             queue.schedule(queue.now() + network, [&, target] {
                 if (result.receive_time[target] != PropagationResult::kUnreached) return;
                 result.receive_time[target] = queue.now();
+                GossipMetrics::get().deliveries.inc();
+                GossipMetrics::get().receive_ns.observe(
+                    static_cast<std::uint64_t>(queue.now()));
                 const SimTime validation = delay(target);
                 queue.schedule(queue.now() + validation, [&, target] { relay(target); });
             });
@@ -82,6 +108,7 @@ PropagationResult GossipNetwork::propagate(std::size_t origin,
     };
 
     // The origin already has (and has validated) the block; it relays at t=0.
+    GossipMetrics::get().propagations.inc();
     result.receive_time[origin] = 0;
     queue.schedule(0, [&] { relay(origin); });
     queue.run();

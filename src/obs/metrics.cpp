@@ -1,0 +1,289 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ebv::obs {
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<std::uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+    EBV_EXPECTS(!bounds_.empty());
+    EBV_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(std::uint64_t value) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t Histogram::min() const {
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+double Histogram::percentile(double p) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the target observation, 1-based.
+    const double target =
+        std::max(1.0, (p / 100.0) * static_cast<double>(n));
+
+    std::uint64_t before = 0;
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+        const std::uint64_t in_bucket = bucket_count(b);
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(before + in_bucket) >= target) {
+            const double lower =
+                b == 0 ? 0.0 : static_cast<double>(bounds_[b - 1]);
+            const double upper = b < bounds_.size()
+                                     ? static_cast<double>(bounds_[b])
+                                     : static_cast<double>(max());
+            const double fraction =
+                (target - static_cast<double>(before)) /
+                static_cast<double>(in_bucket);
+            const double estimate = lower + (upper - lower) * fraction;
+            return std::clamp(estimate, static_cast<double>(min()),
+                              static_cast<double>(max()));
+        }
+        before += in_bucket;
+    }
+    return static_cast<double>(max());
+}
+
+void Histogram::reset() {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::exponential_bounds(std::uint64_t first,
+                                                         double factor,
+                                                         std::size_t count) {
+    EBV_EXPECTS(first > 0 && factor > 1.0 && count > 0);
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(count);
+    double bound = static_cast<double>(first);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto rounded = static_cast<std::uint64_t>(bound);
+        if (!bounds.empty() && rounded <= bounds.back()) {
+            bounds.push_back(bounds.back() + 1);
+        } else {
+            bounds.push_back(rounded);
+        }
+        bound *= factor;
+    }
+    return bounds;
+}
+
+const std::vector<std::uint64_t>& Histogram::default_time_bounds() {
+    static const std::vector<std::uint64_t> bounds =
+        exponential_bounds(256, 2.0, 33);  // 256 ns .. ~1100 s
+    return bounds;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string(name),
+                               std::make_unique<Counter>(std::string(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::string(name),
+                             std::make_unique<Gauge>(std::string(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+    return histogram(name, Histogram::default_time_bounds());
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<std::uint64_t>& bounds) {
+    std::lock_guard lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(std::string(name), bounds))
+                 .first;
+    }
+    return *it->second;
+}
+
+void Registry::reset() {
+    std::lock_guard lock(mutex_);
+    for (auto& [_, c] : counters_) c->reset();
+    for (auto& [_, g] : gauges_) g->reset();
+    for (auto& [_, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+        if (c == '.' || c == '-' || c == '/') c = '_';
+    }
+    return out;
+}
+
+void append_format(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void append_format(std::string& out, const char* fmt, ...) {
+    char buffer[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buffer, sizeof buffer, fmt, args);
+    va_end(args);
+    if (n > 0) out.append(buffer, std::min<std::size_t>(n, sizeof buffer - 1));
+}
+
+void append_histogram_json(std::string& out, const Histogram& h) {
+    append_format(out,
+                  "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                  ",\"max\":%" PRIu64 ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,"
+                  "\"buckets\":[",
+                  h.count(), h.sum(), h.min(), h.max(), h.percentile(50),
+                  h.percentile(95), h.percentile(99));
+    bool first = true;
+    for (std::size_t b = 0; b <= h.bounds().size(); ++b) {
+        const std::uint64_t c = h.bucket_count(b);
+        if (c == 0) continue;  // sparse output: zero buckets add no information
+        if (!first) out += ',';
+        first = false;
+        if (b < h.bounds().size()) {
+            append_format(out, "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+                          h.bounds()[b], c);
+        } else {
+            append_format(out, "{\"le\":null,\"count\":%" PRIu64 "}", c);
+        }
+    }
+    out += "]}";
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    for (const auto& [name, c] : counters_) {
+        const std::string id = sanitize(name);
+        append_format(out, "# TYPE %s counter\n%s %" PRIu64 "\n", id.c_str(),
+                      id.c_str(), c->value());
+    }
+    for (const auto& [name, g] : gauges_) {
+        const std::string id = sanitize(name);
+        append_format(out, "# TYPE %s gauge\n%s %lld\n", id.c_str(), id.c_str(),
+                      static_cast<long long>(g->value()));
+    }
+    for (const auto& [name, h] : histograms_) {
+        const std::string id = sanitize(name);
+        append_format(out, "# TYPE %s histogram\n", id.c_str());
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h->bounds().size(); ++b) {
+            cumulative += h->bucket_count(b);
+            append_format(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                          id.c_str(), h->bounds()[b], cumulative);
+        }
+        cumulative += h->bucket_count(h->bounds().size());
+        append_format(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", id.c_str(),
+                      cumulative);
+        append_format(out, "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+                      id.c_str(), h->sum(), id.c_str(), h->count());
+    }
+    return out;
+}
+
+std::string Registry::to_json() const {
+    std::lock_guard lock(mutex_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        if (!first) out += ',';
+        first = false;
+        append_format(out, "\"%s\":%" PRIu64, name.c_str(), c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        if (!first) out += ',';
+        first = false;
+        append_format(out, "\"%s\":%lld", name.c_str(),
+                      static_cast<long long>(g->value()));
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        if (!first) out += ',';
+        first = false;
+        append_format(out, "\"%s\":", name.c_str());
+        append_histogram_json(out, *h);
+    }
+    out += "}}";
+    return out;
+}
+
+std::string Registry::to_jsonl() const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    for (const auto& [name, c] : counters_) {
+        append_format(out,
+                      "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%" PRIu64
+                      "}\n",
+                      name.c_str(), c->value());
+    }
+    for (const auto& [name, g] : gauges_) {
+        append_format(out, "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%lld}\n",
+                      name.c_str(), static_cast<long long>(g->value()));
+    }
+    for (const auto& [name, h] : histograms_) {
+        append_format(out, "{\"type\":\"histogram\",\"name\":\"%s\",\"value\":",
+                      name.c_str());
+        append_histogram_json(out, *h);
+        out += "}\n";
+    }
+    return out;
+}
+
+}  // namespace ebv::obs

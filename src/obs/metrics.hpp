@@ -1,0 +1,151 @@
+// Process-wide metrics registry (`ebv::obs`): monotonic counters, gauges,
+// and fixed-bucket histograms with percentile extraction. Recording is
+// lock-free (relaxed atomics) so the parallel-SV thread pool and every
+// storage instance can publish without contention; only instrument
+// *creation* and snapshot export take the registry mutex.
+//
+// Usage pattern on hot paths: resolve the instrument once (it is stable for
+// the life of the process) and keep the reference:
+//
+//   static obs::Counter& hits =
+//       obs::Registry::global().counter("storage.page_cache.hits");
+//   hits.inc();
+//
+// `Registry::reset()` zeroes every instrument in place (references stay
+// valid), so benches and tests can measure deltas from a clean slate.
+// Snapshots export as Prometheus text, a single JSON object, or JSONL
+// (one metric per line). See docs/OBSERVABILITY.md for the name catalogue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ebv::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(std::uint64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::string name_;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, resident bytes, ...).
+class Gauge {
+public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    void set(std::int64_t value) { value_.store(value, std::memory_order_relaxed); }
+    void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::string name_;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations with
+/// `value <= bounds[i]` (and above the previous bound); one extra overflow
+/// bucket catches everything beyond the last bound. Percentiles are
+/// estimated by linear interpolation inside the containing bucket, clamped
+/// to the observed [min, max].
+class Histogram {
+public:
+    Histogram(std::string name, std::vector<std::uint64_t> bounds);
+
+    void observe(std::uint64_t value);
+
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    /// 0 when empty.
+    [[nodiscard]] std::uint64_t min() const;
+    [[nodiscard]] std::uint64_t max() const {
+        return max_.load(std::memory_order_relaxed);
+    }
+    /// p in [0, 100]; 0 when empty.
+    [[nodiscard]] double percentile(double p) const;
+
+    [[nodiscard]] const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+    /// bounds().size() + 1 buckets; the last is the overflow bucket.
+    [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
+        return counts_[bucket].load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void reset();
+
+    /// `count` bounds starting at `first`, each `factor` times the previous.
+    static std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
+                                                         double factor,
+                                                         std::size_t count);
+    /// Default latency buckets: 256 ns doubling up to ~17 min (33 bounds).
+    static const std::vector<std::uint64_t>& default_time_bounds();
+
+private:
+    std::string name_;
+    std::vector<std::uint64_t> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{UINT64_MAX};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+class Registry {
+public:
+    /// The process-wide registry every subsystem publishes into.
+    static Registry& global();
+
+    /// Find-or-create by name. The returned reference is stable for the
+    /// registry's lifetime. Requesting an existing name with a different
+    /// instrument kind is a programming error (asserted).
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);  ///< default time bounds
+    Histogram& histogram(std::string_view name,
+                         const std::vector<std::uint64_t>& bounds);
+
+    /// Zero every instrument in place; registrations (and references)
+    /// survive. Benches call this to measure a phase in isolation.
+    void reset();
+
+    /// Prometheus text exposition (names are sanitized: '.' -> '_').
+    [[nodiscard]] std::string to_prometheus() const;
+    /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+    [[nodiscard]] std::string to_json() const;
+    /// One JSON object per metric per line (JSONL snapshot).
+    [[nodiscard]] std::string to_jsonl() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ebv::obs

@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace ebv::obs {
+
+namespace {
+
+std::uint64_t this_thread_id() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    (void)trace_epoch();  // pin the epoch no later than first use
+    return tracer;
+}
+
+util::Nanoseconds Tracer::now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - trace_epoch())
+        .count();
+}
+
+void Tracer::set_capacity(std::size_t spans) {
+    std::lock_guard lock(mutex_);
+    capacity_ = spans;
+    while (spans_.size() > capacity_) {
+        spans_.pop_front();
+        ++dropped_;
+    }
+}
+
+void Tracer::record(Span span) {
+    if (!enabled_) return;
+    if (span.thread_id == 0) span.thread_id = this_thread_id();
+    std::lock_guard lock(mutex_);
+    ++recorded_;
+    spans_.push_back(std::move(span));
+    while (spans_.size() > capacity_) {
+        spans_.pop_front();
+        ++dropped_;
+    }
+}
+
+void Tracer::record(std::string_view name, util::TimeCost cost) {
+    if (!enabled_) return;
+    Span span;
+    span.name = std::string(name);
+    span.wall_ns = cost.wall_ns;
+    span.sim_ns = cost.simulated_ns;
+    span.start_ns = now_ns() - cost.wall_ns;
+    record(std::move(span));
+}
+
+std::vector<Span> Tracer::snapshot() const {
+    std::lock_guard lock(mutex_);
+    return {spans_.begin(), spans_.end()};
+}
+
+std::uint64_t Tracer::recorded() const {
+    std::lock_guard lock(mutex_);
+    return recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+    std::lock_guard lock(mutex_);
+    return dropped_;
+}
+
+void Tracer::clear() {
+    std::lock_guard lock(mutex_);
+    spans_.clear();
+    recorded_ = 0;
+    dropped_ = 0;
+}
+
+std::string Tracer::to_jsonl() const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    char line[256];
+    for (const Span& span : spans_) {
+        const int n = std::snprintf(
+            line, sizeof line,
+            "{\"name\":\"%s\",\"start_ns\":%" PRId64 ",\"wall_ns\":%" PRId64
+            ",\"sim_ns\":%" PRId64 ",\"thread\":%" PRIu64 "}\n",
+            span.name.c_str(), span.start_ns, span.wall_ns, span.sim_ns,
+            span.thread_id);
+        if (n > 0) out.append(line, std::min<std::size_t>(n, sizeof line - 1));
+    }
+    return out;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, const util::SimTimeLedger* ledger,
+                       Tracer& tracer)
+    : tracer_(tracer), name_(name), ledger_(ledger), start_(Tracer::now_ns()) {
+    if (ledger_ != nullptr) sim_start_ = ledger_->total_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+    Span span;
+    span.name = std::move(name_);
+    span.start_ns = start_;
+    span.wall_ns = Tracer::now_ns() - start_;
+    if (ledger_ != nullptr) span.sim_ns = ledger_->total_ns() - sim_start_;
+    tracer_.record(std::move(span));
+}
+
+}  // namespace ebv::obs

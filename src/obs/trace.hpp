@@ -1,0 +1,86 @@
+// Span tracer for the validation pipeline. A span is a named interval
+// carrying both wall-clock time and modelled (SimTimeLedger) device time —
+// the same split util::TimeCost uses — so a trace of a block shows where
+// real CPU went *and* where a real HDD/SSD would have added latency.
+//
+// Spans land in a bounded in-memory ring (oldest dropped first, drop count
+// kept), guarded by a mutex: recording happens at block/stage granularity,
+// not per input, so contention is negligible. Export is JSONL, one span per
+// line, ordered oldest to newest.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <mutex>
+
+#include "util/stopwatch.hpp"
+
+namespace ebv::obs {
+
+struct Span {
+    std::string name;
+    util::Nanoseconds start_ns = 0;  ///< since process start (steady clock)
+    util::Nanoseconds wall_ns = 0;
+    util::Nanoseconds sim_ns = 0;    ///< modelled device time inside the span
+    std::uint64_t thread_id = 0;
+};
+
+class Tracer {
+public:
+    static Tracer& global();
+
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+    /// Ring capacity in spans (default 8192). Shrinking drops oldest spans.
+    void set_capacity(std::size_t spans);
+
+    void record(Span span);
+    /// Record an already-measured interval ending now (used to publish the
+    /// per-stage TimeCost aggregates a validator accumulates).
+    void record(std::string_view name, util::TimeCost cost);
+
+    [[nodiscard]] std::vector<Span> snapshot() const;
+    [[nodiscard]] std::uint64_t recorded() const;  ///< total, incl. dropped
+    [[nodiscard]] std::uint64_t dropped() const;
+    void clear();
+
+    /// One JSON object per span per line.
+    [[nodiscard]] std::string to_jsonl() const;
+
+    /// Nanoseconds since the process-wide trace epoch.
+    static util::Nanoseconds now_ns();
+
+private:
+    mutable std::mutex mutex_;
+    std::deque<Span> spans_;
+    std::size_t capacity_ = 8192;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    bool enabled_ = true;
+};
+
+/// RAII span: measures wall time from construction to destruction; when a
+/// ledger is supplied the modelled-time delta over the same interval is
+/// captured too.
+class ScopedSpan {
+public:
+    explicit ScopedSpan(std::string_view name,
+                        const util::SimTimeLedger* ledger = nullptr,
+                        Tracer& tracer = Tracer::global());
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    Tracer& tracer_;
+    std::string name_;
+    const util::SimTimeLedger* ledger_;
+    util::Nanoseconds start_;
+    util::Nanoseconds sim_start_ = 0;
+};
+
+}  // namespace ebv::obs

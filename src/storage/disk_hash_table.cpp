@@ -2,12 +2,32 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/endian.hpp"
 
 namespace ebv::storage {
 
 namespace {
+
+/// Registry view of the table's growth state (aggregated over instances for
+/// the counter; the gauges reflect the most recently updated instance).
+struct DhtMetrics {
+    obs::Counter& splits;
+    obs::Gauge& entries;
+    obs::Gauge& buckets;
+    obs::Gauge& pages;
+
+    static DhtMetrics& get() {
+        static DhtMetrics m{
+            obs::Registry::global().counter("storage.dht.splits"),
+            obs::Registry::global().gauge("storage.dht.entries"),
+            obs::Registry::global().gauge("storage.dht.buckets"),
+            obs::Registry::global().gauge("storage.dht.pages"),
+        };
+        return m;
+    }
+};
 
 constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
@@ -155,6 +175,7 @@ std::uint64_t DiskHashTable::bucket_of(util::ByteSpan key) const {
 void DiskHashTable::maybe_grow() {
     while (entry_count_ > directory_.size() * target_per_bucket_) {
         split_one_bucket();
+        DhtMetrics::get().splits.inc();
     }
 }
 
@@ -334,6 +355,11 @@ void DiskHashTable::put(util::ByteSpan key, util::ByteSpan value) {
     ++entry_count_;
     payload_bytes_ += key.size() + value.size();
     maybe_grow();
+
+    DhtMetrics& m = DhtMetrics::get();
+    m.entries.set(static_cast<std::int64_t>(entry_count_));
+    m.buckets.set(static_cast<std::int64_t>(directory_.size()));
+    m.pages.set(static_cast<std::int64_t>(file_->page_count()));
 }
 
 bool DiskHashTable::erase(util::ByteSpan key) {

@@ -1,6 +1,32 @@
 #include "storage/page_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ebv::storage {
+
+namespace {
+
+/// Global registry mirrors of CacheStats, aggregated over all instances.
+struct PageCacheMetrics {
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& os_hits;
+    obs::Counter& device_reads;
+    obs::Counter& write_backs;
+
+    static PageCacheMetrics& get() {
+        static PageCacheMetrics m{
+            obs::Registry::global().counter("storage.page_cache.hits"),
+            obs::Registry::global().counter("storage.page_cache.misses"),
+            obs::Registry::global().counter("storage.page_cache.os_hits"),
+            obs::Registry::global().counter("storage.page_cache.device_reads"),
+            obs::Registry::global().counter("storage.page_cache.write_backs"),
+        };
+        return m;
+    }
+};
+
+}  // namespace
 
 PageCache::PageCache(PagedFile& file, std::size_t budget_bytes, LatencyModel latency,
                      util::SimTimeLedger& ledger, std::size_t os_budget_bytes)
@@ -22,6 +48,7 @@ PageCache::PageCache(PagedFile& file, std::size_t budget_bytes, LatencyModel lat
                 latency_.charge_write(ledger_);
             }
             ++stats_.write_backs;
+            PageCacheMetrics::get().write_backs.inc();
         }
     });
 }
@@ -29,20 +56,25 @@ PageCache::PageCache(PagedFile& file, std::size_t budget_bytes, LatencyModel lat
 PageCache::~PageCache() { flush(); }
 
 PageCache::Page& PageCache::page(std::uint64_t index) {
+    PageCacheMetrics& metrics = PageCacheMetrics::get();
     if (auto* cached = cache_.get(index)) {
         ++stats_.hits;
+        metrics.hits.inc();
         return **cached;
     }
 
     ++stats_.misses;
+    metrics.misses.inc();
     auto loaded = std::make_unique<Page>();
     file_.read_page(index, loaded->data);
 
     if (os_cache_.budget() > 0 && os_cache_.get(index) != nullptr) {
         ++stats_.os_hits;
+        metrics.os_hits.inc();
         latency_.charge_os_hit(ledger_);
     } else {
         ++stats_.device_reads;
+        metrics.device_reads.inc();
         latency_.charge_read(ledger_);
         if (os_cache_.budget() > 0) os_cache_.put(index, 0, PagedFile::kPageSize);
     }

@@ -13,6 +13,9 @@
 
 namespace ebv::storage {
 
+/// Per-instance cache counters. Every increment is mirrored into the global
+/// obs registry (`storage.page_cache.*`), which aggregates across instances;
+/// invariant: os_hits + device_reads == misses.
 struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;       ///< application-cache misses

@@ -1,23 +1,66 @@
 #include "storage/status_db.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ebv::storage {
+
+namespace {
+
+/// Registry mirrors of DboStats: per-op counts plus per-op latency
+/// histograms (wall + modelled device time), aggregated over instances.
+struct StatusDbMetrics {
+    obs::Counter& fetches;
+    obs::Counter& inserts;
+    obs::Counter& deletes;
+    obs::Histogram& fetch_ns;
+    obs::Histogram& insert_ns;
+    obs::Histogram& delete_ns;
+
+    static StatusDbMetrics& get() {
+        static StatusDbMetrics m{
+            obs::Registry::global().counter("storage.status_db.fetches"),
+            obs::Registry::global().counter("storage.status_db.inserts"),
+            obs::Registry::global().counter("storage.status_db.deletes"),
+            obs::Registry::global().histogram("storage.status_db.fetch_ns"),
+            obs::Registry::global().histogram("storage.status_db.insert_ns"),
+            obs::Registry::global().histogram("storage.status_db.delete_ns"),
+        };
+        return m;
+    }
+};
+
+}  // namespace
 
 std::optional<util::Bytes> StatusDb::fetch(util::ByteSpan key) {
     ++dbo_.fetch_count;
-    return timed(dbo_.fetch_time, [&] { return store_.get(key); });
+    StatusDbMetrics::get().fetches.inc();
+    const util::TimeCost before = dbo_.fetch_time;
+    auto result = timed(dbo_.fetch_time, [&] { return store_.get(key); });
+    StatusDbMetrics::get().fetch_ns.observe(
+        (dbo_.fetch_time.total_ns() - before.total_ns()));
+    return result;
 }
 
 void StatusDb::insert(util::ByteSpan key, util::ByteSpan value) {
     ++dbo_.insert_count;
+    StatusDbMetrics::get().inserts.inc();
+    const util::TimeCost before = dbo_.insert_time;
     timed(dbo_.insert_time, [&] {
         store_.put(key, value);
         return true;
     });
+    StatusDbMetrics::get().insert_ns.observe(
+        (dbo_.insert_time.total_ns() - before.total_ns()));
 }
 
 bool StatusDb::erase(util::ByteSpan key) {
     ++dbo_.delete_count;
-    return timed(dbo_.delete_time, [&] { return store_.erase(key); });
+    StatusDbMetrics::get().deletes.inc();
+    const util::TimeCost before = dbo_.delete_time;
+    const bool erased = timed(dbo_.delete_time, [&] { return store_.erase(key); });
+    StatusDbMetrics::get().delete_ns.observe(
+        (dbo_.delete_time.total_ns() - before.total_ns()));
+    return erased;
 }
 
 }  // namespace ebv::storage

@@ -2,11 +2,31 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace ebv::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Startup verbosity: EBV_LOG_LEVEL=debug|info|warn|error (or 0-3) wins;
+/// any non-zero EBV_VERBOSE means debug; default stays warnings-and-up.
+/// Parsed exactly once, before main; set_log_level() still overrides.
+LogLevel level_from_env() {
+    if (const char* v = std::getenv("EBV_LOG_LEVEL")) {
+        if (!std::strcmp(v, "debug") || !std::strcmp(v, "0")) return LogLevel::kDebug;
+        if (!std::strcmp(v, "info") || !std::strcmp(v, "1")) return LogLevel::kInfo;
+        if (!std::strcmp(v, "warn") || !std::strcmp(v, "2")) return LogLevel::kWarn;
+        if (!std::strcmp(v, "error") || !std::strcmp(v, "3")) return LogLevel::kError;
+        std::fprintf(stderr, "[ebv WARN] unknown EBV_LOG_LEVEL '%s' ignored\n", v);
+    }
+    if (const char* v = std::getenv("EBV_VERBOSE")) {
+        if (v[0] != '\0' && std::strcmp(v, "0") != 0) return LogLevel::kDebug;
+    }
+    return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 
 const char* level_name(LogLevel l) {
     switch (l) {

@@ -1,5 +1,7 @@
 // Minimal leveled logger for the library. Quiet by default (warnings and
-// up); benches and examples can raise verbosity.
+// up); benches and examples can raise verbosity. The startup level comes
+// from the environment, parsed once before main: EBV_LOG_LEVEL=debug|info|
+// warn|error (or 0-3), or EBV_VERBOSE=1 as a shorthand for debug.
 #pragma once
 
 #include <cstdarg>

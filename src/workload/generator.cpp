@@ -4,6 +4,7 @@
 
 #include "chain/miner.hpp"
 #include "chain/sighash.hpp"
+#include "obs/metrics.hpp"
 #include "script/standard.hpp"
 #include "util/assert.hpp"
 
@@ -206,6 +207,16 @@ chain::Block ChainGenerator::next_block() {
 
     tip_hash_ = block.header.hash();
     ++next_height_;
+
+    static obs::Counter& blocks_generated =
+        obs::Registry::global().counter("workload.blocks_generated");
+    static obs::Counter& txs_generated =
+        obs::Registry::global().counter("workload.txs_generated");
+    static obs::Gauge& pool_size =
+        obs::Registry::global().gauge("workload.utxo_pool_size");
+    blocks_generated.inc();
+    txs_generated.inc(block.txs.size());
+    pool_size.set(static_cast<std::int64_t>(pool_.size()));
     return block;
 }
 

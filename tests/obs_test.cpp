@@ -1,0 +1,302 @@
+// The ebv::obs subsystem: counters/gauges/histograms (including concurrent
+// recording from the thread pool), percentile extraction, span tracing, the
+// exporters, and the CacheStats invariant enforced through registry
+// counters.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "storage/disk_hash_table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ebv;
+
+TEST(ObsCounterTest, IncrementAndReset) {
+    obs::Counter counter("test.counter");
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.inc(41);
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsCounterTest, ConcurrentIncrementsFromThreadPool) {
+    obs::Counter counter("test.concurrent");
+    util::ThreadPool pool(4);
+    constexpr std::size_t kTasks = 64;
+    constexpr std::uint64_t kPerTask = 10'000;
+    pool.parallel_for(kTasks, [&](std::size_t) {
+        for (std::uint64_t i = 0; i < kPerTask; ++i) counter.inc();
+    });
+    EXPECT_EQ(counter.value(), kTasks * kPerTask);
+}
+
+TEST(ObsGaugeTest, SetAddReset) {
+    obs::Gauge gauge("test.gauge");
+    gauge.set(10);
+    gauge.add(-3);
+    EXPECT_EQ(gauge.value(), 7);
+    gauge.reset();
+    EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(ObsHistogramTest, PercentilesOfKnownDistribution) {
+    // Linear 10-wide buckets over [0, 1000]; observe 1..1000 uniformly, so
+    // every percentile is known to within one bucket width.
+    std::vector<std::uint64_t> bounds;
+    for (std::uint64_t b = 10; b <= 1000; b += 10) bounds.push_back(b);
+    obs::Histogram h("test.uniform", bounds);
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.sum(), 500'500u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.percentile(50), 500.0, 10.0);
+    EXPECT_NEAR(h.percentile(95), 950.0, 10.0);
+    EXPECT_NEAR(h.percentile(99), 990.0, 10.0);
+    EXPECT_NEAR(h.percentile(100), 1000.0, 10.0);
+    EXPECT_LE(h.percentile(0), 10.0);
+}
+
+TEST(ObsHistogramTest, OverflowBucketUsesObservedMax) {
+    obs::Histogram h("test.overflow", {10, 100});
+    h.observe(5);
+    h.observe(5000);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.max(), 5000u);
+    EXPECT_EQ(h.bucket_count(2), 1u);  // the overflow bucket
+    EXPECT_LE(h.percentile(99), 5000.0);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramIsZero) {
+    obs::Histogram h("test.empty", {10});
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(ObsHistogramTest, ConcurrentObserve) {
+    obs::Histogram h("test.parallel", obs::Histogram::default_time_bounds());
+    util::ThreadPool pool(4);
+    constexpr std::size_t kTasks = 32;
+    constexpr std::uint64_t kPerTask = 5'000;
+    pool.parallel_for(kTasks, [&](std::size_t t) {
+        for (std::uint64_t i = 0; i < kPerTask; ++i) h.observe(t * 1000 + i);
+    });
+    EXPECT_EQ(h.count(), kTasks * kPerTask);
+}
+
+TEST(ObsHistogramTest, ExponentialBoundsAreStrictlyIncreasing) {
+    const auto bounds = obs::Histogram::exponential_bounds(1, 1.3, 40);
+    ASSERT_EQ(bounds.size(), 40u);
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        EXPECT_GT(bounds[i], bounds[i - 1]);
+    }
+}
+
+TEST(ObsRegistryTest, SameNameReturnsSameInstrument) {
+    obs::Registry& r = obs::Registry::global();
+    obs::Counter& a = r.counter("test.registry.same");
+    obs::Counter& b = r.counter("test.registry.same");
+    EXPECT_EQ(&a, &b);
+    obs::Histogram& h1 = r.histogram("test.registry.hist");
+    obs::Histogram& h2 = r.histogram("test.registry.hist");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistryTest, ResetZeroesButKeepsReferences) {
+    obs::Registry& r = obs::Registry::global();
+    obs::Counter& c = r.counter("test.registry.reset");
+    c.inc(5);
+    r.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    EXPECT_EQ(r.counter("test.registry.reset").value(), 1u);
+}
+
+TEST(ObsRegistryTest, PrometheusExport) {
+    obs::Registry& r = obs::Registry::global();
+    r.counter("test.export.counter").inc(7);
+    r.gauge("test.export.gauge").set(-3);
+    r.histogram("test.export.hist", {100, 200}).observe(150);
+
+    const std::string text = r.to_prometheus();
+    EXPECT_NE(text.find("# TYPE test_export_counter counter"), std::string::npos);
+    EXPECT_NE(text.find("test_export_counter 7"), std::string::npos);
+    EXPECT_NE(text.find("test_export_gauge -3"), std::string::npos);
+    EXPECT_NE(text.find("test_export_hist_bucket{le=\"+Inf\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("test_export_hist_count 1"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, JsonExportIsBalancedAndContainsMetrics) {
+    obs::Registry& r = obs::Registry::global();
+    r.counter("test.json.counter").inc(3);
+    r.histogram("test.json.hist", {100}).observe(50);
+
+    const std::string json = r.to_json();
+    EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.hist\":{\"count\":1"), std::string::npos);
+
+    int depth = 0;
+    bool in_string = false;
+    for (char ch : json) {
+        if (ch == '"') in_string = !in_string;
+        if (in_string) continue;
+        if (ch == '{' || ch == '[') ++depth;
+        if (ch == '}' || ch == ']') --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(ObsRegistryTest, JsonlExportOneObjectPerLine) {
+    obs::Registry& r = obs::Registry::global();
+    r.counter("test.jsonl.counter").inc();
+    const std::string jsonl = r.to_jsonl();
+    ASSERT_FALSE(jsonl.empty());
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    while (start < jsonl.size()) {
+        const std::size_t end = jsonl.find('\n', start);
+        ASSERT_NE(end, std::string::npos);
+        EXPECT_EQ(jsonl[start], '{');
+        EXPECT_EQ(jsonl[end - 1], '}');
+        ++lines;
+        start = end + 1;
+    }
+    EXPECT_GT(lines, 0u);
+}
+
+TEST(ObsTracerTest, ScopedSpanRecordsWallTime) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    { obs::ScopedSpan span("test.span"); }
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "test.span");
+    EXPECT_GE(spans[0].wall_ns, 0);
+    EXPECT_EQ(spans[0].sim_ns, 0);
+    EXPECT_NE(spans[0].thread_id, 0u);
+}
+
+TEST(ObsTracerTest, ScopedSpanCapturesLedgerDelta) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    util::SimTimeLedger ledger;
+    {
+        obs::ScopedSpan span("test.sim", &ledger);
+        ledger.charge(12'345);
+    }
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].sim_ns, 12'345);
+}
+
+TEST(ObsTracerTest, TimeCostSpansAndJsonl) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.record("test.cost", util::TimeCost{1000, 500});
+    const std::string jsonl = tracer.to_jsonl();
+    EXPECT_NE(jsonl.find("\"name\":\"test.cost\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"wall_ns\":1000"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"sim_ns\":500"), std::string::npos);
+}
+
+TEST(ObsTracerTest, MultiThreadedRecordingAndRingBound) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.set_capacity(64);
+    util::ThreadPool pool(4);
+    constexpr std::size_t kSpans = 500;
+    pool.parallel_for(kSpans, [&](std::size_t i) {
+        obs::ScopedSpan span(i % 2 ? "test.mt.odd" : "test.mt.even");
+    });
+    EXPECT_EQ(tracer.recorded(), kSpans);
+    EXPECT_EQ(tracer.snapshot().size(), 64u);
+    EXPECT_EQ(tracer.dropped(), kSpans - 64);
+    tracer.set_capacity(8192);
+    tracer.clear();
+}
+
+TEST(ObsTracerTest, DisabledTracerRecordsNothing) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.set_enabled(false);
+    { obs::ScopedSpan span("test.disabled"); }
+    tracer.set_enabled(true);
+    EXPECT_EQ(tracer.snapshot().size(), 0u);
+}
+
+class ObsCacheStatsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("ebv_obs_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::filesystem::path dir_;
+};
+
+/// The CacheStats invariant — every application-cache miss is served either
+/// by the modelled OS cache or by a device read — checked through the
+/// global registry counters the page cache now publishes.
+TEST_F(ObsCacheStatsTest, RegistryCountersSatisfyMissInvariant) {
+    obs::Registry& r = obs::Registry::global();
+    obs::Counter& hits = r.counter("storage.page_cache.hits");
+    obs::Counter& misses = r.counter("storage.page_cache.misses");
+    obs::Counter& os_hits = r.counter("storage.page_cache.os_hits");
+    obs::Counter& device_reads = r.counter("storage.page_cache.device_reads");
+
+    const std::uint64_t hits0 = hits.value();
+    const std::uint64_t misses0 = misses.value();
+    const std::uint64_t os0 = os_hits.value();
+    const std::uint64_t dev0 = device_reads.value();
+
+    storage::DiskHashTable::Options options;
+    options.cache_budget_bytes = 16 * storage::PagedFile::kPageSize;
+    options.os_cache_multiplier = 2;
+    options.device = storage::DeviceProfile::hdd();
+    storage::DiskHashTable table((dir_ / "table.db").string(), options);
+
+    auto key_of = [](std::uint64_t i) {
+        util::Bytes k(36);
+        for (int b = 0; b < 8; ++b) k[b] = static_cast<std::uint8_t>(i >> (8 * b));
+        return k;
+    };
+    for (std::uint64_t i = 0; i < 4000; ++i) {
+        table.put(key_of(i), util::Bytes(40, 1));
+    }
+    for (std::uint64_t i = 0; i < 4000; i += 7) {
+        (void)table.get(key_of(i));
+    }
+
+    const std::uint64_t d_hits = hits.value() - hits0;
+    const std::uint64_t d_misses = misses.value() - misses0;
+    const std::uint64_t d_os = os_hits.value() - os0;
+    const std::uint64_t d_dev = device_reads.value() - dev0;
+
+    EXPECT_GT(d_hits + d_misses, 0u);
+    EXPECT_GT(d_misses, 0u) << "cache budget too large for the working set";
+    EXPECT_EQ(d_os + d_dev, d_misses);
+
+    // The registry mirrors the per-instance CacheStats exactly (one table
+    // instance was live during the interval).
+    const storage::CacheStats& stats = table.cache_stats();
+    EXPECT_EQ(stats.misses, d_misses);
+    EXPECT_EQ(stats.os_hits + stats.device_reads, stats.misses);
+}
+
+}  // namespace
