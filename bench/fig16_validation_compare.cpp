@@ -76,5 +76,34 @@ int main() {
     std::printf("best per-block reduction: %.1f%% (paper: 93.5%% on its outlier block);\n"
                 "EV+UV are negligible and SV dominates EBV time, as in the paper.\n",
                 best_reduction);
+
+    // ---- Thread-count sweep: fused parallel EV+SV -------------------------
+    // A fresh node per thread count replays the prefix, then the same ten
+    // measured blocks; ev_sv_ms sums the proof-bound (parallelized) phases.
+    std::printf("\nEBV thread-count sweep — EV+SV wall time over the measured blocks\n");
+    std::printf("%-8s %12s %10s\n", "threads", "ev_sv_ms", "speedup");
+    bench::print_rule(32);
+
+    double base_ev_sv_ms = 0;
+    for (const std::size_t threads : bench::env_thread_sweep()) {
+        util::ThreadPool pool(threads);
+        core::EbvNodeOptions sweep_options = ebv_options;
+        sweep_options.validator.script_pool = &pool;
+        core::EbvNode sweep_node(sweep_options);
+        for (std::uint32_t i = 0; i + measured < blocks; ++i)
+            if (!sweep_node.submit_block(ebv_chain[i])) return 1;
+
+        double ev_sv_ms = 0;
+        for (std::uint32_t i = blocks - measured; i < blocks; ++i) {
+            auto r = sweep_node.submit_block(ebv_chain[i]);
+            if (!r) return 1;
+            ev_sv_ms += bench::ms(r->ev) + bench::ms(r->sv);
+        }
+        if (threads == 1) base_ev_sv_ms = ev_sv_ms;
+        const double speedup = ev_sv_ms > 0 ? base_ev_sv_ms / ev_sv_ms : 0.0;
+        std::printf("%-8zu %12.2f %9.2fx\n", threads, ev_sv_ms, speedup);
+        report.row("{\"threads\":%zu,\"ev_sv_ms\":%.3f,\"speedup\":%.3f}", threads,
+                   ev_sv_ms, speedup);
+    }
     return 0;
 }

@@ -8,6 +8,7 @@
 //                     UTXO payload (default mirrors the paper's
 //                     500 MB : 4.3 GB ≈ 0.116)
 //   EBV_DEVICE     hdd | ssd | none  (disk latency model for the baseline)
+//   EBV_THREADS    extra thread count for parallel-validation sweeps
 //   EBV_BENCH_JSON <path>  write machine-readable telemetry: per-period rows
 //                  the bench reports plus a final obs-registry snapshot, as
 //                  one JSON document (see docs/OBSERVABILITY.md)
@@ -21,6 +22,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chain/coin.hpp"
@@ -43,6 +45,20 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 inline double env_double(const char* name, double fallback) {
     const char* v = std::getenv(name);
     return v ? std::strtod(v, nullptr) : fallback;
+}
+
+/// Thread counts for a parallel-validation sweep: 1/2/4 plus the machine's
+/// hardware concurrency, plus EBV_THREADS when set — deduplicated and
+/// ascending.
+inline std::vector<std::size_t> env_thread_sweep() {
+    std::vector<std::size_t> counts{1, 2, 4};
+    if (const std::size_t hw = std::thread::hardware_concurrency(); hw > 0)
+        counts.push_back(hw);
+    if (const std::uint64_t env = env_u64("EBV_THREADS", 0); env > 0)
+        counts.push_back(static_cast<std::size_t>(env));
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    return counts;
 }
 
 inline storage::DeviceProfile env_device() {

@@ -70,6 +70,7 @@ util::Result<Block, util::DecodeError> Block::deserialize(util::Reader& r) {
 }
 
 std::vector<crypto::Hash256> Block::merkle_leaves() const {
+    Transaction::prime_txids(txs);
     std::vector<crypto::Hash256> leaves;
     leaves.reserve(txs.size());
     for (const Transaction& tx : txs) leaves.push_back(tx.txid());

@@ -1,5 +1,7 @@
 #include "chain/transaction.hpp"
 
+#include "crypto/sha256.hpp"
+
 namespace ebv::chain {
 
 namespace {
@@ -84,10 +86,42 @@ const crypto::Hash256& Transaction::txid() const {
     return *txid_cache_;
 }
 
+void Transaction::prime_txids(const std::vector<Transaction>& txs) {
+    std::vector<const Transaction*> pending;
+    pending.reserve(txs.size());
+    for (const Transaction& tx : txs)
+        if (!tx.txid_cache_) pending.push_back(&tx);
+    if (pending.empty()) return;
+
+    std::vector<util::Bytes> bufs(pending.size());
+    std::vector<util::ByteSpan> spans(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        util::Writer w(pending[i]->serialized_size());
+        pending[i]->serialize(w);
+        bufs[i] = w.take();
+        spans[i] = {bufs[i].data(), bufs[i].size()};
+    }
+    std::vector<crypto::Sha256::Digest> digests(pending.size());
+    crypto::sha256d_many(spans.data(), digests.data(), pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        pending[i]->txid_cache_ =
+            crypto::Hash256::from_span({digests[i].data(), digests[i].size()});
+    }
+}
+
 std::size_t Transaction::serialized_size() const {
-    util::Writer w;
-    serialize(w);
-    return w.size();
+    std::size_t size = 4 /* version */ + util::compact_size_length(vin.size());
+    for (const TxIn& in : vin) {
+        size += 36 /* prevout */ +
+                util::compact_size_length(in.unlock_script.size()) +
+                in.unlock_script.size() + 4 /* sequence */;
+    }
+    size += util::compact_size_length(vout.size());
+    for (const TxOut& out : vout) {
+        size += 8 /* value */ + util::compact_size_length(out.lock_script.size()) +
+                out.lock_script.size();
+    }
+    return size + 4 /* locktime */;
 }
 
 Amount Transaction::total_output_value() const {

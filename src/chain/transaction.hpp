@@ -48,6 +48,11 @@ public:
     /// Drop the cached txid after mutating the transaction.
     void invalidate_cache() { txid_cache_.reset(); }
 
+    /// Fill the txid caches of every transaction through the batched
+    /// double-SHA256 path (already-cached entries are skipped). Miners and
+    /// Merkle-leaf construction call this before per-tx txid() lookups.
+    static void prime_txids(const std::vector<Transaction>& txs);
+
     [[nodiscard]] std::size_t serialized_size() const;
     [[nodiscard]] Amount total_output_value() const;
 

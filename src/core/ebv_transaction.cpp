@@ -1,5 +1,7 @@
 #include "core/ebv_transaction.hpp"
 
+#include "crypto/sha256.hpp"
+
 namespace ebv::core {
 
 namespace {
@@ -23,6 +25,16 @@ util::Result<chain::TxOut, util::DecodeError> deserialize_txout(util::Reader& r)
     if (!script) return util::Unexpected{script.error()};
     out.lock_script = std::move(*script);
     return out;
+}
+
+std::size_t txout_size(const chain::TxOut& out) {
+    return 8 + util::compact_size_length(out.lock_script.size()) + out.lock_script.size();
+}
+
+std::size_t txouts_size(const std::vector<chain::TxOut>& outs) {
+    std::size_t size = util::compact_size_length(outs.size());
+    for (const auto& out : outs) size += txout_size(out);
+    return size;
 }
 
 }  // namespace
@@ -89,9 +101,13 @@ crypto::Hash256 TidyTransaction::leaf_hash() const {
 }
 
 std::size_t TidyTransaction::serialized_size() const {
-    util::Writer w;
-    serialize(w);
-    return w.size();
+    // Analytic mirror of serialize(): leaf_hash() and proof-byte accounting
+    // call this on hot paths, so no throwaway serialization pass.
+    return 4 /* version */
+           + util::compact_size_length(input_hashes.size()) + 32 * input_hashes.size()
+           + txouts_size(outputs) + 4 /* locktime */
+           + util::compact_size_length(coinbase_data.size()) + coinbase_data.size()
+           + 4 /* stake_position */;
 }
 
 // --------------------------------------------------------------- Input ----
@@ -145,9 +161,11 @@ crypto::Hash256 EbvInput::input_hash() const {
 }
 
 std::size_t EbvInput::serialized_size() const {
-    util::Writer w;
-    serialize(w);
-    return w.size();
+    return 36 /* prevout */ + 4 /* sequence */ + 4 /* height */ + 2 /* out_index */
+           + util::compact_size_length(unlock_script.size()) + unlock_script.size()
+           + els.serialized_size()
+           + util::compact_size_length(mbr.siblings.size()) + 32 * mbr.siblings.size() +
+           4 /* mbr.index */;
 }
 
 // --------------------------------------------------------- Transaction ----
@@ -218,9 +236,12 @@ util::Result<EbvTransaction, util::DecodeError> EbvTransaction::deserialize(
 }
 
 std::size_t EbvTransaction::serialized_size() const {
-    util::Writer w;
-    serialize(w);
-    return w.size();
+    std::size_t size = 4 /* version */ + util::compact_size_length(inputs.size());
+    for (const auto& in : inputs) size += in.serialized_size();
+    size += txouts_size(outputs) + 4 /* locktime */
+            + util::compact_size_length(coinbase_data.size()) + coinbase_data.size()
+            + 4 /* stake_position */;
+    return size;
 }
 
 chain::Amount EbvTransaction::total_output_value() const {
@@ -255,9 +276,56 @@ crypto::Hash256 ebv_signature_hash(const EbvTransaction& tx, std::size_t input_i
 // --------------------------------------------------------------- Block ----
 
 std::vector<crypto::Hash256> EbvBlock::merkle_leaves() const {
-    std::vector<crypto::Hash256> leaves;
-    leaves.reserve(txs.size());
-    for (const auto& tx : txs) leaves.push_back(tx.leaf_hash());
+    const std::size_t n = txs.size();
+    std::vector<crypto::Hash256> leaves(n);
+    if (n == 0) return leaves;
+
+    // Stage 1: all input-body hashes across the block in one batch.
+    std::size_t total_inputs = 0;
+    for (const auto& tx : txs) total_inputs += tx.inputs.size();
+    std::vector<util::Bytes> input_bufs;
+    std::vector<util::ByteSpan> spans;
+    input_bufs.reserve(total_inputs);
+    spans.reserve(total_inputs);
+    for (const auto& tx : txs) {
+        for (const auto& in : tx.inputs) {
+            util::Writer w(in.serialized_size());
+            in.serialize(w);
+            input_bufs.push_back(w.take());
+            spans.emplace_back(input_bufs.back().data(), input_bufs.back().size());
+        }
+    }
+    std::vector<crypto::Sha256::Digest> input_digests(total_inputs);
+    crypto::sha256d_many(spans.data(), input_digests.data(), total_inputs);
+
+    // Stage 2: tidy serializations over the precomputed hashes, then all
+    // leaf hashes in a second batch.
+    std::vector<util::Bytes> leaf_bufs(n);
+    std::vector<util::ByteSpan> leaf_spans(n);
+    std::size_t cursor = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+        const EbvTransaction& tx = txs[t];
+        TidyTransaction tidy;
+        tidy.version = tx.version;
+        tidy.input_hashes.reserve(tx.inputs.size());
+        for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+            const auto& d = input_digests[cursor++];
+            tidy.input_hashes.push_back(crypto::Hash256::from_span({d.data(), d.size()}));
+        }
+        tidy.outputs = tx.outputs;
+        tidy.locktime = tx.locktime;
+        tidy.coinbase_data = tx.coinbase_data;
+        tidy.stake_position = tx.stake_position;
+
+        util::Writer w(tidy.serialized_size());
+        tidy.serialize(w);
+        leaf_bufs[t] = w.take();
+        leaf_spans[t] = {leaf_bufs[t].data(), leaf_bufs[t].size()};
+    }
+    std::vector<crypto::Sha256::Digest> leaf_digests(n);
+    crypto::sha256d_many(leaf_spans.data(), leaf_digests.data(), n);
+    for (std::size_t t = 0; t < n; ++t)
+        leaves[t] = crypto::Hash256::from_span({leaf_digests[t].data(), leaf_digests[t].size()});
     return leaves;
 }
 

@@ -1,8 +1,6 @@
 #include "core/ebv_validator.hpp"
 
 #include <atomic>
-#include <mutex>
-#include <optional>
 #include <unordered_set>
 
 #include "chain/amount.hpp"
@@ -96,12 +94,15 @@ struct EbvMetrics {
     obs::Counter& inputs;
     obs::Counter& outputs;
     obs::Counter& proof_bytes;
+    obs::Counter& pool_tasks;
     obs::Histogram& ev_ns;
     obs::Histogram& uv_ns;
     obs::Histogram& sv_ns;
     obs::Histogram& update_ns;
     obs::Histogram& other_ns;
     obs::Histogram& total_ns;
+    obs::Histogram& pool_steal_ns;
+    obs::Histogram& sv_parallel_ns;
 
     static EbvMetrics& get() {
         static EbvMetrics m{
@@ -111,12 +112,15 @@ struct EbvMetrics {
             obs::Registry::global().counter("ebv.block.inputs"),
             obs::Registry::global().counter("ebv.block.outputs"),
             obs::Registry::global().counter("ebv.block.proof_bytes"),
+            obs::Registry::global().counter("ebv.pool.tasks"),
             obs::Registry::global().histogram("ebv.block.ev_ns"),
             obs::Registry::global().histogram("ebv.block.uv_ns"),
             obs::Registry::global().histogram("ebv.block.sv_ns"),
             obs::Registry::global().histogram("ebv.block.update_ns"),
             obs::Registry::global().histogram("ebv.block.other_ns"),
             obs::Registry::global().histogram("ebv.block.total_ns"),
+            obs::Registry::global().histogram("ebv.pool.steal_ns"),
+            obs::Registry::global().histogram("ebv.block.sv_parallel_ns"),
         };
         return m;
     }
@@ -208,69 +212,202 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         }
     }
 
-    // ---- Input checking: EV, UV, value rules ------------------------------
+    // ---- Fused parallel proof checking: EV + SV per input ------------------
+    // One job per input runs the whole proof-bound pipeline (leaf hash →
+    // fold_branch → root compare → verify_script); UV, double-spend, and
+    // value rules stay serial below because they touch shared state and are
+    // cheap. Failure reporting is deterministic: verdicts are recorded per
+    // input and resolved in input order after the barrier, so 1-thread and
+    // N-thread runs reject with identical (tx, input, error) tuples.
+    struct InputJob {
+        std::size_t tx_index;
+        std::size_t input_index;
+        const EbvTransaction* tx;
+        const EbvInput* in;
+    };
+    std::vector<InputJob> jobs;
+    jobs.reserve(timings.inputs);
+    for (std::size_t t = 1; t < block.txs.size(); ++t) {
+        const EbvTransaction& tx = block.txs[t];
+        for (std::size_t i = 0; i < tx.inputs.size(); ++i)
+            jobs.push_back(InputJob{t, i, &tx, &tx.inputs[i]});
+    }
+
+    enum class EvStatus : std::uint8_t { kOk, kUnknownHeight, kBadOutIndex, kExistenceFailed };
+    struct InputResult {
+        EvStatus ev = EvStatus::kOk;
+        script::ScriptError script = script::ScriptError::kOk;
+    };
+    std::vector<InputResult> results(jobs.size());
+
+    // Lowest failing job index per phase, maintained with a CAS-min. A job
+    // may be skipped only when its index is above the current EV minimum:
+    // the minimum only ever decreases, so every job below the final minimum
+    // was fully evaluated and the resolution below is thread-count-invariant.
+    std::atomic<std::size_t> first_ev_fail{jobs.size()};
+    std::atomic<std::size_t> first_sv_fail{jobs.size()};
+    const auto cas_min = [](std::atomic<std::size_t>& target, std::size_t value) {
+        std::size_t cur = target.load(std::memory_order_relaxed);
+        while (value < cur &&
+               !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+        }
+    };
+
+    const bool verify_scripts = options_.verify_scripts;
+    const std::size_t slots =
+        options_.script_pool != nullptr ? options_.script_pool->thread_count() : 1;
+    // Per-slot busy time: each slot is owned by one thread at a time, so no
+    // synchronization is needed; used to apportion the pass's wall time.
+    std::vector<std::uint64_t> ev_busy(slots, 0);
+    std::vector<std::uint64_t> sv_busy(slots, 0);
+
+    const auto check_input = [&](std::size_t slot, std::size_t j) {
+        if (j > first_ev_fail.load(std::memory_order_relaxed)) return;
+        const InputJob& job = jobs[j];
+        const EbvInput& in = *job.in;
+
+        // EV: the referenced output must exist in a stored block.
+        util::Stopwatch watch;
+        const chain::BlockHeader* header = headers_.at(in.height);
+        if (header == nullptr || in.height >= height) {
+            results[j].ev = EvStatus::kUnknownHeight;
+            cas_min(first_ev_fail, j);
+            ev_busy[slot] += watch.elapsed_ns();
+            return;
+        }
+        if (in.out_index >= in.els.outputs.size()) {
+            results[j].ev = EvStatus::kBadOutIndex;
+            cas_min(first_ev_fail, j);
+            ev_busy[slot] += watch.elapsed_ns();
+            return;
+        }
+        const crypto::Hash256 folded = crypto::fold_branch(in.els.leaf_hash(), in.mbr);
+        if (folded != header->merkle_root) {
+            results[j].ev = EvStatus::kExistenceFailed;
+            cas_min(first_ev_fail, j);
+            ev_busy[slot] += watch.elapsed_ns();
+            return;
+        }
+        ev_busy[slot] += watch.elapsed_ns();
+
+        // SV, fused into the same job while the input is cache-hot.
+        if (!verify_scripts || j > first_sv_fail.load(std::memory_order_relaxed)) return;
+        watch.restart();
+        EbvSignatureChecker checker(*job.tx, job.input_index);
+        const script::ScriptError err = script::verify_script(
+            in.unlock_script, in.els.outputs[in.out_index].lock_script, checker);
+        if (err != script::ScriptError::kOk) {
+            results[j].script = err;
+            cas_min(first_sv_fail, j);
+        }
+        sv_busy[slot] += watch.elapsed_ns();
+    };
+
+    util::PoolStats pool_before{};
+    if (options_.script_pool != nullptr) pool_before = options_.script_pool->stats();
+    util::Stopwatch pass_watch;
+    if (options_.script_pool != nullptr) {
+        options_.script_pool->parallel_for_slots(jobs.size(), check_input);
+    } else {
+        for (std::size_t j = 0; j < jobs.size(); ++j) check_input(0, j);
+    }
+    const util::Nanoseconds pass_wall = pass_watch.elapsed_ns();
+
+    // Apportion the pass's wall time between EV and SV in proportion to the
+    // per-slot busy time, so EbvTimings::total() stays wall-clock and the
+    // parallel speedup is visible in the per-phase figures.
+    {
+        std::uint64_t ev_total = 0;
+        std::uint64_t sv_total = 0;
+        for (std::size_t s = 0; s < slots; ++s) {
+            ev_total += ev_busy[s];
+            sv_total += sv_busy[s];
+        }
+        if (ev_total + sv_total > 0) {
+            const auto ev_share = static_cast<util::Nanoseconds>(
+                static_cast<double>(pass_wall) * static_cast<double>(ev_total) /
+                static_cast<double>(ev_total + sv_total));
+            timings.ev.wall_ns += ev_share;
+            timings.sv.wall_ns += pass_wall - ev_share;
+        } else {
+            timings.ev.wall_ns += pass_wall;
+        }
+    }
+
+    {
+        EbvMetrics& m = EbvMetrics::get();
+        if (options_.script_pool != nullptr) {
+            const util::PoolStats pool_after = options_.script_pool->stats();
+            m.pool_tasks.inc(pool_after.tasks - pool_before.tasks);
+            m.pool_steal_ns.observe(
+                static_cast<std::int64_t>(pool_after.steal_wait_ns - pool_before.steal_wait_ns));
+        }
+        for (std::size_t s = 0; s < slots; ++s)
+            if (sv_busy[s] > 0) m.sv_parallel_ns.observe(static_cast<std::int64_t>(sv_busy[s]));
+    }
+
+    // ---- Serial resolution: UV, double-spend, value rules, verdicts --------
+    // Walks inputs in order, interleaving the parallel pass's EV verdicts
+    // with the shared-state checks, so the reported failure is exactly the
+    // one the serial pipeline would hit first.
     std::unordered_set<SpentKey, SpentKeyHasher> spent_in_block;
     chain::Amount total_fees = 0;
 
-    for (std::size_t t = 1; t < block.txs.size(); ++t) {
-        const EbvTransaction& tx = block.txs[t];
-        chain::Amount value_in = 0;
+    {
+        std::size_t j = 0;
+        for (std::size_t t = 1; t < block.txs.size(); ++t) {
+            const EbvTransaction& tx = block.txs[t];
+            chain::Amount value_in = 0;
 
-        for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
-            const EbvInput& in = tx.inputs[i];
+            for (std::size_t i = 0; i < tx.inputs.size(); ++i, ++j) {
+                const EbvInput& in = tx.inputs[i];
 
-            // EV: the referenced output must exist in a stored block.
-            {
-                PhaseTimer timer(timings.ev);
-                const chain::BlockHeader* header = headers_.at(in.height);
-                if (header == nullptr || in.height >= height) {
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kUnknownHeight, t, i}};
+                switch (results[j].ev) {
+                    case EvStatus::kOk: break;
+                    case EvStatus::kUnknownHeight:
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kUnknownHeight, t, i}};
+                    case EvStatus::kBadOutIndex:
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kBadOutIndex, t, i}};
+                    case EvStatus::kExistenceFailed:
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kExistenceFailed, t, i}};
                 }
-                if (in.out_index >= in.els.outputs.size()) {
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kBadOutIndex, t, i}};
+
+                // UV: the bit at the (authenticated) absolute position must be 1.
+                {
+                    PhaseTimer timer(timings.uv);
+                    const std::uint32_t position = in.absolute_position();
+                    if (!spent_in_block.insert(spent_key(in.height, position)).second) {
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kDoubleSpendInBlock, t, i}};
+                    }
+                    if (auto status = status_.check_unspent(in.height, position); !status) {
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kUnspentFailed, t, i}};
+                    }
                 }
-                const crypto::Hash256 folded =
-                    crypto::fold_branch(in.els.leaf_hash(), in.mbr);
-                if (folded != header->merkle_root) {
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kExistenceFailed, t, i}};
+
+                // Value and maturity rules ("others").
+                {
+                    PhaseTimer timer(timings.other);
+                    if (in.els.is_coinbase() &&
+                        height < in.height + params_.coinbase_maturity) {
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kImmatureCoinbaseSpend, t, i}};
+                    }
+                    value_in += in.els.outputs[in.out_index].value;
                 }
             }
 
-            // UV: the bit at the (authenticated) absolute position must be 1.
-            {
-                PhaseTimer timer(timings.uv);
-                const std::uint32_t position = in.absolute_position();
-                if (!spent_in_block.insert(spent_key(in.height, position)).second) {
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kDoubleSpendInBlock, t, i}};
-                }
-                if (auto status = status_.check_unspent(in.height, position); !status) {
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kUnspentFailed, t, i}};
-                }
-            }
-
-            // Value and maturity rules ("others").
             {
                 PhaseTimer timer(timings.other);
-                if (in.els.is_coinbase() &&
-                    height < in.height + params_.coinbase_maturity) {
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kImmatureCoinbaseSpend, t, i}};
-                }
-                value_in += in.els.outputs[in.out_index].value;
+                const chain::Amount value_out = tx.total_output_value();
+                if (value_in < value_out)
+                    return util::Unexpected{EbvValidationFailure{EbvError::kNegativeFee, t}};
+                total_fees += value_in - value_out;
             }
-        }
-
-        {
-            PhaseTimer timer(timings.other);
-            const chain::Amount value_out = tx.total_output_value();
-            if (value_in < value_out)
-                return util::Unexpected{EbvValidationFailure{EbvError::kNegativeFee, t}};
-            total_fees += value_in - value_out;
         }
     }
 
@@ -282,49 +419,15 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
                 EbvValidationFailure{EbvError::kCoinbaseValueTooHigh, 0}};
     }
 
-    // ---- SV ----------------------------------------------------------------
-    if (options_.verify_scripts) {
-        PhaseTimer timer(timings.sv);
-
-        struct Job {
-            std::size_t tx_index;
-            std::size_t input_index;
-        };
-        std::vector<Job> jobs;
-        jobs.reserve(timings.inputs);
-        for (std::size_t t = 1; t < block.txs.size(); ++t) {
-            for (std::size_t i = 0; i < block.txs[t].inputs.size(); ++i)
-                jobs.push_back(Job{t, i});
+    // SV verdicts form their own phase after all EV/UV/value checks, keeping
+    // the historical phase order of the serial pipeline.
+    if (verify_scripts) {
+        const std::size_t j = first_sv_fail.load(std::memory_order_relaxed);
+        if (j < jobs.size()) {
+            return util::Unexpected{EbvValidationFailure{
+                EbvError::kScriptFailure, jobs[j].tx_index, jobs[j].input_index,
+                results[j].script}};
         }
-
-        std::atomic<bool> failed{false};
-        std::optional<EbvValidationFailure> failure;
-        std::mutex failure_mutex;
-
-        auto check_one = [&](std::size_t j) {
-            if (failed.load(std::memory_order_relaxed)) return;
-            const Job& job = jobs[j];
-            const EbvTransaction& tx = block.txs[job.tx_index];
-            const EbvInput& in = tx.inputs[job.input_index];
-            EbvSignatureChecker checker(tx, job.input_index);
-            const script::ScriptError err = script::verify_script(
-                in.unlock_script, in.els.outputs[in.out_index].lock_script, checker);
-            if (err != script::ScriptError::kOk) {
-                failed.store(true, std::memory_order_relaxed);
-                std::lock_guard lock(failure_mutex);
-                if (!failure) {
-                    failure = EbvValidationFailure{EbvError::kScriptFailure, job.tx_index,
-                                                   job.input_index, err};
-                }
-            }
-        };
-
-        if (options_.script_pool != nullptr) {
-            options_.script_pool->parallel_for(jobs.size(), check_one);
-        } else {
-            for (std::size_t j = 0; j < jobs.size(); ++j) check_one(j);
-        }
-        if (failure) return util::Unexpected{*failure};
     }
 
     // ---- Block storage: update the bit-vector set (§IV-E1) -----------------

@@ -1,5 +1,7 @@
 #include "crypto/merkle.hpp"
 
+#include <cstring>
+
 #include "crypto/sha256.hpp"
 #include "util/assert.hpp"
 
@@ -7,33 +9,39 @@ namespace ebv::crypto {
 
 namespace {
 
+// The in-place level reduction below reinterprets vector<Hash256> storage as
+// a flat byte run of concatenated 32-byte nodes.
+static_assert(sizeof(Hash256) == 32, "Hash256 must be exactly its 32 bytes");
+
 Hash256 hash_pair(const Hash256& left, const Hash256& right) {
-    Sha256 h;
-    h.update(left.span());
-    h.update(right.span());
-    const auto first = h.finalize();
-    return Hash256::from_span(
-        util::ByteSpan{Sha256::hash({first.data(), first.size()}).data(), 32});
+    std::uint8_t pair[64];
+    std::memcpy(pair, left.bytes().data(), 32);
+    std::memcpy(pair + 32, right.bytes().data(), 32);
+    Hash256 out;
+    sha256d64_many(out.bytes().data(), pair, 1);
+    return out;
 }
 
-/// One level up: pairs hashed together, odd tail duplicated.
-std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
-    std::vector<Hash256> up;
-    up.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i < level.size(); i += 2) {
-        const Hash256& left = level[i];
-        const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-        up.push_back(hash_pair(left, right));
-    }
-    return up;
+/// Reduce `level` one step in place: pairs hashed together (batched through
+/// sha256d64_many), odd tail duplicated. Writing digest i at offset 32*i
+/// never overtakes the pair read at offset 64*i, and each SIMD lane group
+/// consumes all its input before storing, so in-place is safe.
+void reduce_level(std::vector<Hash256>& level) {
+    if (level.size() & 1) level.push_back(level.back());
+    const std::size_t pairs = level.size() / 2;
+    auto* bytes = reinterpret_cast<std::uint8_t*>(level.data());
+    sha256d64_many(bytes, bytes, pairs);
+    level.resize(pairs);
 }
 
 }  // namespace
 
 Hash256 merkle_root(const std::vector<Hash256>& leaves) {
     if (leaves.empty()) return Hash256{};
-    std::vector<Hash256> level = leaves;
-    while (level.size() > 1) level = next_level(level);
+    std::vector<Hash256> level;
+    level.reserve(leaves.size() + 1);  // +1 for a duplicated odd tail
+    level.assign(leaves.begin(), leaves.end());
+    while (level.size() > 1) reduce_level(level);
     return level[0];
 }
 
@@ -42,13 +50,20 @@ MerkleBranch merkle_branch(const std::vector<Hash256>& leaves, std::uint32_t ind
     MerkleBranch branch;
     branch.index = index;
 
-    std::vector<Hash256> level = leaves;
+    // ceil(log2(n)) sibling slots.
+    std::size_t depth = 0;
+    while ((std::size_t{1} << depth) < leaves.size()) ++depth;
+    branch.siblings.reserve(depth);
+
+    std::vector<Hash256> level;
+    level.reserve(leaves.size() + 1);
+    level.assign(leaves.begin(), leaves.end());
     std::uint32_t pos = index;
     while (level.size() > 1) {
         const std::uint32_t sibling = pos ^ 1;
         // A duplicated odd tail is its own sibling.
         branch.siblings.push_back(sibling < level.size() ? level[sibling] : level[pos]);
-        level = next_level(level);
+        reduce_level(level);
         pos >>= 1;
     }
     return branch;

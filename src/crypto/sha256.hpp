@@ -1,9 +1,12 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus
-// one-shot helpers; the chain layer builds double-SHA256 on top.
+// one-shot helpers; the chain layer builds double-SHA256 on top. Batched
+// double-SHA256 entry points (4-way SSE2 / 8-way AVX2, runtime-dispatched
+// with a scalar fallback) feed the Merkle layer's hot paths.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 #include "util/span.hpp"
 
@@ -36,5 +39,71 @@ private:
 
 /// SHA-256(SHA-256(data)) — the chain's canonical hash.
 Sha256::Digest double_sha256(util::ByteSpan data);
+
+// ---- Batched double-SHA256 ---------------------------------------------
+
+/// Double-SHA256 of `n` independent 64-byte messages (the Merkle
+/// interior-node case): reads n*64 bytes at `in`, writes n*32 bytes at
+/// `out`. In-place operation (out == in) is supported: each lane group
+/// reads all of its input before storing any output, and an output never
+/// overtakes a later group's input.
+void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n);
+
+/// Double-SHA256 of `n` variable-length messages (the Merkle leaf case).
+/// Messages with equal padded block counts are batched through the SIMD
+/// transform; stragglers take the scalar path. Output i is byte-identical
+/// to double_sha256(inputs[i]).
+void sha256d_many(const util::ByteSpan* inputs, Sha256::Digest* outputs,
+                  std::size_t n);
+
+/// Name of the active batch implementation: "scalar", "sse2", or "avx2".
+/// Selection honors the EBV_SHA256_IMPL environment knob (read once).
+[[nodiscard]] const char* sha256_batch_impl();
+
+/// Force a specific implementation ("scalar", "sse2", "avx2", or "auto" to
+/// re-detect). Returns false — leaving the selection unchanged — when the
+/// CPU or build lacks support. Not thread-safe against in-flight hashing;
+/// intended for tests and startup configuration.
+bool sha256_force_batch_impl(std::string_view name);
+
+namespace detail {
+
+inline constexpr std::uint32_t kSha256Init[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+inline constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+/// One compression round over a single 64-byte block (shared by the
+/// streaming hasher and the scalar batch path).
+void sha256_transform(std::uint32_t state[8], const std::uint8_t* block);
+
+// Per-ISA batch cores over *pre-padded* messages. `blocks[b * lanes + l]`
+// points at 64-byte block b of lane l; every lane has exactly `nblocks`
+// blocks (padding included). Writes `lanes` 32-byte double-SHA256 digests
+// to `out`. Exposed individually so tests can cross-check each dispatch
+// path against the streaming implementation.
+void sha256d_batch_scalar(std::uint8_t* out, const std::uint8_t* const* blocks,
+                          std::size_t nblocks, std::size_t lanes);
+inline constexpr std::size_t kSse2Lanes = 4;
+inline constexpr std::size_t kAvx2Lanes = 8;
+[[nodiscard]] bool have_sse2();
+[[nodiscard]] bool have_avx2();
+void sha256d_batch_sse2(std::uint8_t* out, const std::uint8_t* const* blocks,
+                        std::size_t nblocks);  ///< 4 lanes; only if have_sse2()
+void sha256d_batch_avx2(std::uint8_t* out, const std::uint8_t* const* blocks,
+                        std::size_t nblocks);  ///< 8 lanes; only if have_avx2()
+
+}  // namespace detail
 
 }  // namespace ebv::crypto

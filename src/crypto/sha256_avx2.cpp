@@ -1,0 +1,67 @@
+// 8-way AVX2 batch double-SHA256. Compiled with -mavx2 (see
+// crypto/CMakeLists.txt); the dispatcher in sha256_batch.cpp only calls in
+// here after have_avx2() confirms CPU support at runtime.
+#include "crypto/sha256.hpp"
+
+#if defined(EBV_CRYPTO_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include "crypto/sha256_multiway.hpp"
+#include "util/endian.hpp"
+
+namespace ebv::crypto::detail {
+
+namespace {
+
+struct Avx2Ops {
+    static constexpr std::size_t kLanes = 8;
+    using Reg = __m256i;
+
+    static Reg set1(std::uint32_t x) { return _mm256_set1_epi32(static_cast<int>(x)); }
+    static Reg add(Reg a, Reg b) { return _mm256_add_epi32(a, b); }
+    static Reg xor_(Reg a, Reg b) { return _mm256_xor_si256(a, b); }
+    static Reg and_(Reg a, Reg b) { return _mm256_and_si256(a, b); }
+    static Reg or_(Reg a, Reg b) { return _mm256_or_si256(a, b); }
+    static Reg shr(Reg a, int n) { return _mm256_srli_epi32(a, n); }
+    static Reg rotr(Reg a, int n) {
+        return _mm256_or_si256(_mm256_srli_epi32(a, n), _mm256_slli_epi32(a, 32 - n));
+    }
+    /// Gather big-endian word `i` of the current block from each lane.
+    static Reg load_word(const std::uint8_t* const* lane_blocks, int i) {
+        return _mm256_set_epi32(static_cast<int>(util::load_be32(lane_blocks[7] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[6] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[5] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[4] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[3] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[2] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[1] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[0] + 4 * i)));
+    }
+    static void store(std::uint32_t out[kLanes], Reg r) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), r);
+    }
+};
+
+}  // namespace
+
+bool have_avx2() { return __builtin_cpu_supports("avx2"); }
+
+void sha256d_batch_avx2(std::uint8_t* out, const std::uint8_t* const* blocks,
+                        std::size_t nblocks) {
+    multiway::sha256d_batch<Avx2Ops>(out, blocks, nblocks);
+}
+
+}  // namespace ebv::crypto::detail
+
+#else  // !EBV_CRYPTO_AVX2
+
+namespace ebv::crypto::detail {
+
+bool have_avx2() { return false; }
+
+void sha256d_batch_avx2(std::uint8_t*, const std::uint8_t* const*, std::size_t) {}
+
+}  // namespace ebv::crypto::detail
+
+#endif

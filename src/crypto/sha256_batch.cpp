@@ -1,0 +1,178 @@
+// Batched double-SHA256: scalar core, runtime ISA dispatch, and the public
+// sha256d64_many / sha256d_many entry points used by the Merkle layer.
+#include "crypto/sha256.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/endian.hpp"
+
+namespace ebv::crypto {
+
+namespace detail {
+
+void sha256d_batch_scalar(std::uint8_t* out, const std::uint8_t* const* blocks,
+                          std::size_t nblocks, std::size_t lanes) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+        std::uint32_t state[8];
+        for (int k = 0; k < 8; ++k) state[k] = kSha256Init[k];
+        for (std::size_t b = 0; b < nblocks; ++b) sha256_transform(state, blocks[b * lanes + l]);
+
+        // Second hash: the 32-byte digest padded into one fixed block.
+        std::uint8_t second[64];
+        for (int k = 0; k < 8; ++k) util::store_be32(second + 4 * k, state[k]);
+        second[32] = 0x80;
+        std::memset(second + 33, 0, 29);
+        second[62] = 0x01;  // 256 bits, big-endian
+        second[63] = 0x00;
+
+        for (int k = 0; k < 8; ++k) state[k] = kSha256Init[k];
+        sha256_transform(state, second);
+        for (int k = 0; k < 8; ++k) util::store_be32(out + 32 * l + 4 * k, state[k]);
+    }
+}
+
+}  // namespace detail
+
+namespace {
+
+struct BatchImpl {
+    const char* name;
+    std::size_t lanes;
+    // Fixed-lane SIMD core, or nullptr for the scalar fallback.
+    void (*batch)(std::uint8_t* out, const std::uint8_t* const* blocks, std::size_t nblocks);
+};
+
+constexpr BatchImpl kScalarImpl{"scalar", 1, nullptr};
+constexpr BatchImpl kSse2Impl{"sse2", detail::kSse2Lanes, &detail::sha256d_batch_sse2};
+constexpr BatchImpl kAvx2Impl{"avx2", detail::kAvx2Lanes, &detail::sha256d_batch_avx2};
+
+const BatchImpl* detect_impl() {
+    if (detail::have_avx2()) return &kAvx2Impl;
+    if (detail::have_sse2()) return &kSse2Impl;
+    return &kScalarImpl;
+}
+
+const BatchImpl* initial_impl() {
+    if (const char* env = std::getenv("EBV_SHA256_IMPL")) {
+        const std::string_view want{env};
+        if (want == "scalar") return &kScalarImpl;
+        if (want == "sse2" && detail::have_sse2()) return &kSse2Impl;
+        if (want == "avx2" && detail::have_avx2()) return &kAvx2Impl;
+    }
+    return detect_impl();
+}
+
+const BatchImpl*& active_impl() {
+    static const BatchImpl* impl = initial_impl();
+    return impl;
+}
+
+}  // namespace
+
+const char* sha256_batch_impl() { return active_impl()->name; }
+
+bool sha256_force_batch_impl(std::string_view name) {
+    if (name == "auto") {
+        active_impl() = detect_impl();
+        return true;
+    }
+    if (name == "scalar") {
+        active_impl() = &kScalarImpl;
+        return true;
+    }
+    if (name == "sse2" && detail::have_sse2()) {
+        active_impl() = &kSse2Impl;
+        return true;
+    }
+    if (name == "avx2" && detail::have_avx2()) {
+        active_impl() = &kAvx2Impl;
+        return true;
+    }
+    return false;
+}
+
+void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
+    // A 64-byte message pads to two blocks; the pad block is constant
+    // (0x80, zeros, bit length 512) and shared across every lane.
+    static constexpr std::uint8_t kPad64[64] = {
+        0x80, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        0,    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        0,    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x02, 0x00};
+
+    const BatchImpl& impl = *active_impl();
+    const std::size_t w = impl.lanes;
+    std::size_t i = 0;
+    if (impl.batch != nullptr) {
+        // 8 lanes * 2 blocks max; blocks[b*W + l] = block b of lane l.
+        const std::uint8_t* blocks[2 * 8];
+        for (; i + w <= n; i += w) {
+            for (std::size_t l = 0; l < w; ++l) {
+                blocks[l] = in + 64 * (i + l);
+                blocks[w + l] = kPad64;
+            }
+            // Safe in-place: the group's 32-byte outputs land inside its own
+            // 64-byte inputs, which were fully consumed before any store.
+            impl.batch(out + 32 * i, blocks, 2);
+        }
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t* blocks[2] = {in + 64 * i, kPad64};
+        detail::sha256d_batch_scalar(out + 32 * i, blocks, 2, 1);
+    }
+}
+
+void sha256d_many(const util::ByteSpan* inputs, Sha256::Digest* outputs, std::size_t n) {
+    const BatchImpl& impl = *active_impl();
+    const std::size_t w = impl.lanes;
+
+    if (impl.batch == nullptr || n < w) {
+        for (std::size_t i = 0; i < n; ++i) outputs[i] = double_sha256(inputs[i]);
+        return;
+    }
+
+    // Group messages with equal padded block counts so each SIMD batch runs
+    // the same number of transforms in every lane. stable_sort keeps the
+    // grouping deterministic.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    const auto nblocks_of = [&](std::size_t i) { return (inputs[i].size() + 9 + 63) / 64; };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return nblocks_of(a) < nblocks_of(b); });
+
+    std::vector<std::uint8_t> scratch;
+    std::vector<const std::uint8_t*> blocks;
+    std::uint8_t digests[8 * 32];
+
+    std::size_t run = 0;
+    while (run < n) {
+        const std::size_t nblocks = nblocks_of(order[run]);
+        std::size_t run_end = run;
+        while (run_end < n && nblocks_of(order[run_end]) == nblocks) ++run_end;
+
+        std::size_t i = run;
+        for (; i + w <= run_end; i += w) {
+            scratch.assign(w * nblocks * 64, 0);
+            blocks.resize(w * nblocks);
+            for (std::size_t l = 0; l < w; ++l) {
+                const util::ByteSpan msg = inputs[order[i + l]];
+                std::uint8_t* lane = scratch.data() + l * nblocks * 64;
+                if (!msg.empty()) std::memcpy(lane, msg.data(), msg.size());
+                lane[msg.size()] = 0x80;
+                util::store_be64(lane + nblocks * 64 - 8,
+                                 static_cast<std::uint64_t>(msg.size()) * 8);
+                for (std::size_t b = 0; b < nblocks; ++b) blocks[b * w + l] = lane + b * 64;
+            }
+            impl.batch(digests, blocks.data(), nblocks);
+            for (std::size_t l = 0; l < w; ++l)
+                std::memcpy(outputs[order[i + l]].data(), digests + 32 * l, 32);
+        }
+        for (; i < run_end; ++i) outputs[order[i]] = double_sha256(inputs[order[i]]);
+        run = run_end;
+    }
+}
+
+}  // namespace ebv::crypto

@@ -1,0 +1,63 @@
+// 4-way SSE2 batch double-SHA256. Compiled with -msse2 (see
+// crypto/CMakeLists.txt); the dispatcher in sha256_batch.cpp only calls in
+// here after have_sse2() confirms CPU support at runtime.
+#include "crypto/sha256.hpp"
+
+#if defined(EBV_CRYPTO_SSE2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <emmintrin.h>
+
+#include "crypto/sha256_multiway.hpp"
+#include "util/endian.hpp"
+
+namespace ebv::crypto::detail {
+
+namespace {
+
+struct Sse2Ops {
+    static constexpr std::size_t kLanes = 4;
+    using Reg = __m128i;
+
+    static Reg set1(std::uint32_t x) { return _mm_set1_epi32(static_cast<int>(x)); }
+    static Reg add(Reg a, Reg b) { return _mm_add_epi32(a, b); }
+    static Reg xor_(Reg a, Reg b) { return _mm_xor_si128(a, b); }
+    static Reg and_(Reg a, Reg b) { return _mm_and_si128(a, b); }
+    static Reg or_(Reg a, Reg b) { return _mm_or_si128(a, b); }
+    static Reg shr(Reg a, int n) { return _mm_srli_epi32(a, n); }
+    static Reg rotr(Reg a, int n) {
+        return _mm_or_si128(_mm_srli_epi32(a, n), _mm_slli_epi32(a, 32 - n));
+    }
+    /// Gather big-endian word `i` of the current block from each lane.
+    static Reg load_word(const std::uint8_t* const* lane_blocks, int i) {
+        return _mm_set_epi32(static_cast<int>(util::load_be32(lane_blocks[3] + 4 * i)),
+                             static_cast<int>(util::load_be32(lane_blocks[2] + 4 * i)),
+                             static_cast<int>(util::load_be32(lane_blocks[1] + 4 * i)),
+                             static_cast<int>(util::load_be32(lane_blocks[0] + 4 * i)));
+    }
+    static void store(std::uint32_t out[kLanes], Reg r) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out), r);
+    }
+};
+
+}  // namespace
+
+bool have_sse2() { return __builtin_cpu_supports("sse2"); }
+
+void sha256d_batch_sse2(std::uint8_t* out, const std::uint8_t* const* blocks,
+                        std::size_t nblocks) {
+    multiway::sha256d_batch<Sse2Ops>(out, blocks, nblocks);
+}
+
+}  // namespace ebv::crypto::detail
+
+#else  // !EBV_CRYPTO_SSE2
+
+namespace ebv::crypto::detail {
+
+bool have_sse2() { return false; }
+
+void sha256d_batch_sse2(std::uint8_t*, const std::uint8_t* const*, std::size_t) {}
+
+}  // namespace ebv::crypto::detail
+
+#endif

@@ -39,6 +39,15 @@ private:
     Bytes buf_;
 };
 
+/// Encoded length of Writer::compact_size(v): lets types compute analytic
+/// serialized sizes without a throwaway serialization pass.
+[[nodiscard]] constexpr std::size_t compact_size_length(std::uint64_t v) {
+    if (v < 0xfd) return 1;
+    if (v <= 0xffff) return 3;
+    if (v <= 0xffffffff) return 5;
+    return 9;
+}
+
 enum class DecodeError {
     kTruncated,       ///< input ended before the field completed
     kOversizedField,  ///< a length prefix exceeds the sanity limit

@@ -1,10 +1,19 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
-#include <memory>
+#include <algorithm>
 #include <exception>
 
+#include "util/stopwatch.hpp"
+
 namespace ebv::util {
+
+namespace {
+
+/// Set while a thread executes pool chunks; re-entrant parallel_for from a
+/// body must not block on the submit mutex its outer call already holds.
+thread_local bool t_inside_pool_work = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) {
@@ -16,7 +25,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.reserve(spawn);
     for (std::size_t i = 0; i < spawn; ++i) {
         try {
-            workers_.emplace_back([this] { worker_loop(); });
+            // Slot 0 is the submitting thread; workers take 1..spawn.
+            workers_.emplace_back([this, slot = i + 1] { worker_loop(slot); });
         } catch (const std::system_error&) {
             // Restricted environments (containers, sandboxes) may refuse
             // thread creation; degrade to whatever parallelism we got —
@@ -31,93 +41,151 @@ ThreadPool::~ThreadPool() {
         std::lock_guard lock(mutex_);
         stopping_ = true;
     }
-    cv_.notify_all();
+    work_cv_.notify_all();
     for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-    {
-        std::lock_guard lock(mutex_);
-        tasks_.push(std::move(task));
+void ThreadPool::run_chunks(std::size_t slot) {
+    Job& job = job_;
+    const bool was_inside = t_inside_pool_work;
+    t_inside_pool_work = true;
+    std::uint64_t chunks_run = 0;
+    for (;;) {
+        // Claim first, examine afterwards: a straggler attached to an
+        // already-finished job touches only the atomics and leaves without
+        // dereferencing ctx/cancel (which may belong to a caller that has
+        // long since returned).
+        const std::size_t begin = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+        if (begin >= job.total) break;
+        const std::size_t end = std::min(begin + job.chunk, job.total);
+        const bool skip = job.has_error.load(std::memory_order_relaxed) ||
+                          (job.cancel != nullptr && job.cancel->cancelled());
+        if (!skip) {
+            try {
+                job.invoke(job.ctx, slot, begin, end);
+                ++chunks_run;
+            } catch (...) {
+                std::lock_guard lock(mutex_);
+                if (!job.has_error.load(std::memory_order_relaxed)) {
+                    job.error = std::current_exception();
+                    job.has_error.store(true, std::memory_order_relaxed);
+                }
+            }
+        }
+        const std::size_t done_before =
+            job.completed.fetch_add(end - begin, std::memory_order_acq_rel);
+        if (done_before + (end - begin) == job.total) {
+            // Completion must be signalled under the lock so the final
+            // increment cannot slip between the submitter's predicate check
+            // and its sleep.
+            std::lock_guard lock(mutex_);
+            done_cv_.notify_all();
+        }
     }
-    cv_.notify_one();
+    t_inside_pool_work = was_inside;
+    if (chunks_run > 0) tasks_.fetch_add(chunks_run, std::memory_order_relaxed);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+    std::uint64_t seen_generation = 0;
     for (;;) {
-        std::function<void()> task;
         {
             std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-            if (stopping_ && tasks_.empty()) return;
-            task = std::move(tasks_.front());
-            tasks_.pop();
+            work_cv_.wait(lock, [&] {
+                return stopping_ || generation_ != seen_generation;
+            });
+            if (stopping_) return;
+            seen_generation = generation_;
+            ++workers_attached_;
         }
-        task();
+        run_chunks(slot);
+        {
+            std::lock_guard lock(mutex_);
+            --workers_attached_;
+            if (workers_attached_ == 0) done_cv_.notify_all();
+        }
     }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+void ThreadPool::run(std::size_t n, Invoke invoke, void* ctx, CancelToken* cancel) {
     if (n == 0) return;
-    const std::size_t parts = std::min<std::size_t>(workers_.size() + 1, n);
-    if (parts == 1) {
-        for (std::size_t i = 0; i < n; ++i) body(i);
+    parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+
+    // Serial fast path: no workers, trivially small jobs, or a re-entrant
+    // call from inside a body (blocking on submit_mutex_ there would
+    // deadlock against our own outer barrier). Still chunked so a
+    // CancelToken fired from inside the body stops the remaining chunks.
+    if (workers_.empty() || n == 1 || t_inside_pool_work) {
+        const std::size_t chunk = std::max<std::size_t>(1, n / 8);
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            if (cancel != nullptr && cancel->cancelled()) break;
+            invoke(ctx, 0, begin, std::min(begin + chunk, n));  // may throw
+            tasks_.fetch_add(1, std::memory_order_relaxed);
+        }
         return;
     }
 
-    // Shared completion state: workers hold their own reference, so the
-    // caller returning cannot destroy the condition variable out from under
-    // a late notify.
-    struct SharedState {
-        std::atomic<std::size_t> next{0};
-        std::atomic<std::size_t> done{0};
-        std::size_t total;
-        std::size_t chunk;
-        const std::function<void(std::size_t)>* body;
-        std::exception_ptr first_error;
-        std::mutex mutex;
-        std::condition_variable cv;
-    };
-
-    auto state = std::make_shared<SharedState>();
-    state->total = n;
-    // Dynamic scheduling in small chunks: script-validation costs per item
-    // are highly non-uniform, so static partitioning would straggle.
-    state->chunk = std::max<std::size_t>(1, n / (parts * 8));
-    state->body = &body;
-
-    auto run_chunks = [](const std::shared_ptr<SharedState>& s) {
-        std::size_t completed = 0;
-        for (;;) {
-            const std::size_t begin = s->next.fetch_add(s->chunk);
-            if (begin >= s->total) break;
-            const std::size_t end = std::min(begin + s->chunk, s->total);
-            try {
-                for (std::size_t i = begin; i < end; ++i) (*s->body)(i);
-            } catch (...) {
-                std::lock_guard lock(s->mutex);
-                if (!s->first_error) s->first_error = std::current_exception();
-            }
-            completed += end - begin;
-        }
-        if (completed > 0) {
-            // Publish under the lock so the final increment cannot slip
-            // between the waiter's predicate check and its sleep.
-            std::lock_guard lock(s->mutex);
-            s->done.fetch_add(completed);
-            s->cv.notify_one();
-        }
-    };
-
-    for (std::size_t p = 1; p < parts; ++p) {
-        submit([state, run_chunks] { run_chunks(state); });
+    std::lock_guard submit_lock(submit_mutex_);
+    {
+        std::unique_lock lock(mutex_);
+        // Wait out stragglers from the previous generation before rewriting
+        // the job descriptor they may still be reading.
+        done_cv_.wait(lock, [&] { return workers_attached_ == 0; });
+        job_.invoke = invoke;
+        job_.ctx = ctx;
+        job_.total = n;
+        // Dynamic scheduling in smallish chunks: per-item costs (script
+        // validation, Merkle folds) are highly non-uniform, so static
+        // partitioning would straggle.
+        job_.chunk = std::max<std::size_t>(1, n / (thread_count() * 8));
+        job_.cancel = cancel;
+        job_.next.store(0, std::memory_order_relaxed);
+        job_.completed.store(0, std::memory_order_relaxed);
+        job_.has_error.store(false, std::memory_order_relaxed);
+        job_.error = nullptr;
+        ++generation_;
     }
-    run_chunks(state);
+    work_cv_.notify_all();
 
-    std::unique_lock lock(state->mutex);
-    state->cv.wait(lock, [&] { return state->done.load() >= n; });
+    run_chunks(/*slot=*/0);
 
-    if (state->first_error) std::rethrow_exception(state->first_error);
+    std::exception_ptr error;
+    {
+        Stopwatch wait_watch;
+        std::unique_lock lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return job_.completed.load(std::memory_order_acquire) >= job_.total;
+        });
+        const auto waited = wait_watch.elapsed_ns();
+        if (waited > 0)
+            steal_wait_ns_.fetch_add(static_cast<std::uint64_t>(waited),
+                                     std::memory_order_relaxed);
+        error = job_.error;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, FunctionRef<void(std::size_t)> body,
+                              CancelToken* cancel) {
+    run(
+        n,
+        [](void* ctx, std::size_t, std::size_t begin, std::size_t end) {
+            auto& f = *static_cast<FunctionRef<void(std::size_t)>*>(ctx);
+            for (std::size_t i = begin; i < end; ++i) f(i);
+        },
+        &body, cancel);
+}
+
+void ThreadPool::parallel_for_slots(std::size_t n,
+                                    FunctionRef<void(std::size_t, std::size_t)> body,
+                                    CancelToken* cancel) {
+    run(
+        n,
+        [](void* ctx, std::size_t slot, std::size_t begin, std::size_t end) {
+            auto& f = *static_cast<FunctionRef<void(std::size_t, std::size_t)>*>(ctx);
+            for (std::size_t i = begin; i < end; ++i) f(slot, i);
+        },
+        &body, cancel);
 }
 
 }  // namespace ebv::util

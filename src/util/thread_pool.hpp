@@ -1,44 +1,158 @@
-// A small owned thread pool used for parallel script validation (the
-// paper's SV step dominates EBV's remaining cost; Bitcoin Core parallelizes
-// exactly this). Work is submitted as ranges, MPI/OpenMP-style: the caller
-// partitions, the pool executes, parallel_for is a barrier.
+// A low-overhead owned thread pool for the parallel proof-checking pipeline
+// (fused EV+SV) and parallel script validation. Work is submitted as index
+// ranges, OpenMP-style: the caller publishes one job, persistent workers
+// claim contiguous chunks off a shared atomic counter, and parallel_for is
+// a barrier. There is no per-task allocation and no task queue: one job
+// descriptor lives in the pool and is broadcast by bumping a generation
+// counter.
+//
+// Determinism note: the pool itself makes no ordering promises — chunks run
+// in whatever order threads claim them. Callers that need deterministic
+// results (the EBV validator's failure reporting) must resolve them from
+// per-index results after the barrier; see docs/PARALLELISM.md.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ebv::util {
 
+/// Non-owning reference to a callable. parallel_for is synchronous, so the
+/// referenced callable only needs to outlive the call — a temporary lambda
+/// argument is fine. Avoids std::function's possible heap allocation on the
+/// submission path.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+public:
+    template <typename F,
+              std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef>, int> = 0>
+    FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+private:
+    void* obj_;
+    R (*call_)(void*, Args...);
+};
+
+/// Cooperative early-exit flag. Checked by the pool between chunks: once
+/// cancelled, remaining chunks are claimed but their bodies are skipped, so
+/// parallel_for still returns promptly (and deterministically terminates).
+class CancelToken {
+public:
+    void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+    [[nodiscard]] bool cancelled() const noexcept {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/// Cumulative pool counters (relaxed atomics; snapshot via stats()).
+/// `steal_wait_ns` is the time submitting threads spent blocked after
+/// finishing their own chunks, waiting for workers to drain the rest — a
+/// straggler/load-imbalance indicator (exported as `ebv.pool.steal_ns`).
+struct PoolStats {
+    std::uint64_t parallel_fors = 0;
+    std::uint64_t tasks = 0;  ///< chunks executed (across all threads)
+    std::uint64_t steal_wait_ns = 0;
+};
+
 class ThreadPool {
 public:
-    /// threads == 0 selects hardware_concurrency (min 1).
+    /// threads == 0 selects hardware_concurrency (min 1). The calling
+    /// thread participates in parallel_for, so `threads` is the total
+    /// parallelism: N means the caller plus N-1 spawned workers.
     explicit ThreadPool(std::size_t threads = 0);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+    /// Total execution slots: spawned workers + the calling thread.
+    [[nodiscard]] std::size_t thread_count() const { return workers_.size() + 1; }
 
-    /// Run body(i) for i in [0, n), partitioned into contiguous chunks
-    /// across the pool plus the calling thread. Blocks until all complete.
-    /// Exceptions thrown by body are rethrown on the caller (first one wins).
-    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+    /// Run body(i) for i in [0, n), partitioned into chunks claimed off an
+    /// atomic counter by the pool plus the calling thread. Blocks until all
+    /// chunks complete. The first exception thrown by a body is rethrown on
+    /// the caller (exactly once); remaining chunks are skipped. If `cancel`
+    /// is provided and fires, chunks not yet started are skipped.
+    /// Re-entrant calls (from inside a body) degrade to serial execution.
+    void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> body,
+                      CancelToken* cancel = nullptr);
+
+    /// As parallel_for, but body(slot, i) also receives the executing slot
+    /// index in [0, thread_count()): slot 0 is the calling thread, slots
+    /// 1..N-1 are pool workers. Each slot runs on exactly one thread at a
+    /// time, so callers can keep per-slot partial results (timings, sums)
+    /// without any synchronization.
+    void parallel_for_slots(std::size_t n,
+                            FunctionRef<void(std::size_t, std::size_t)> body,
+                            CancelToken* cancel = nullptr);
+
+    [[nodiscard]] PoolStats stats() const {
+        return PoolStats{parallel_fors_.load(std::memory_order_relaxed),
+                         tasks_.load(std::memory_order_relaxed),
+                         steal_wait_ns_.load(std::memory_order_relaxed)};
+    }
 
 private:
-    void submit(std::function<void()> task);
-    void worker_loop();
+    /// Type-erased chunk invoker: run body over [begin, end) on `slot`.
+    using Invoke = void (*)(void* ctx, std::size_t slot, std::size_t begin,
+                            std::size_t end);
+
+    /// The one in-flight job. Plain fields are written by the submitter
+    /// under mutex_ while no worker is attached (workers_attached_ == 0)
+    /// and read by workers after they observe the new generation under the
+    /// same mutex, so they need no atomicity of their own.
+    struct Job {
+        Invoke invoke = nullptr;
+        void* ctx = nullptr;
+        std::size_t total = 0;
+        std::size_t chunk = 1;
+        CancelToken* cancel = nullptr;
+        std::atomic<std::size_t> next{0};       ///< first unclaimed index
+        std::atomic<std::size_t> completed{0};  ///< indices claimed AND finished
+        std::atomic<bool> has_error{false};
+        std::exception_ptr error;  ///< first error; guarded by mutex_
+    };
+
+    void run(std::size_t n, Invoke invoke, void* ctx, CancelToken* cancel);
+    void run_chunks(std::size_t slot);
+    void worker_loop(std::size_t slot);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
+    std::mutex submit_mutex_;  ///< serializes concurrent submitters
+
     std::mutex mutex_;
-    std::condition_variable cv_;
+    std::condition_variable work_cv_;  ///< workers: new generation or stop
+    std::condition_variable done_cv_;  ///< submitter: completion / detach
+    Job job_;
+    std::uint64_t generation_ = 0;
+    std::size_t workers_attached_ = 0;  ///< workers currently touching job_
     bool stopping_ = false;
+
+    std::atomic<std::uint64_t> parallel_fors_{0};
+    std::atomic<std::uint64_t> tasks_{0};
+    std::atomic<std::uint64_t> steal_wait_ns_{0};
 };
 
 }  // namespace ebv::util

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+std::vector<std::string> available_impls() {
+    std::vector<std::string> impls{"scalar"};
+    if (detail::have_sse2()) impls.emplace_back("sse2");
+    if (detail::have_avx2()) impls.emplace_back("avx2");
+    return impls;
+}
+
+/// Restores the auto-detected implementation when a test ends.
+struct ImplGuard {
+    ~ImplGuard() { sha256_force_batch_impl("auto"); }
+};
+
+TEST(Sha256Batch, ForceImplRejectsUnknownNames) {
+    ImplGuard guard;
+    const std::string before = sha256_batch_impl();
+    EXPECT_FALSE(sha256_force_batch_impl("sha-ni"));
+    EXPECT_FALSE(sha256_force_batch_impl(""));
+    EXPECT_EQ(before, sha256_batch_impl());
+    EXPECT_TRUE(sha256_force_batch_impl("scalar"));
+    EXPECT_STREQ(sha256_batch_impl(), "scalar");
+    EXPECT_TRUE(sha256_force_batch_impl("auto"));
+}
+
+TEST(Sha256Batch, Sha256d64MatchesSingleShotOnEveryImpl) {
+    ImplGuard guard;
+    util::Rng rng(7);
+    // Cover lane remainders around every dispatch width: 0..17 messages.
+    for (const auto& impl : available_impls()) {
+        ASSERT_TRUE(sha256_force_batch_impl(impl)) << impl;
+        for (std::size_t n = 0; n <= 17; ++n) {
+            std::vector<std::uint8_t> in(n * 64);
+            rng.fill(in);
+            std::vector<std::uint8_t> out(n * 32);
+            sha256d64_many(out.data(), in.data(), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto want = double_sha256({in.data() + 64 * i, 64});
+                EXPECT_EQ(0, std::memcmp(out.data() + 32 * i, want.data(), 32))
+                    << impl << " n=" << n << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(Sha256Batch, Sha256d64InPlace) {
+    ImplGuard guard;
+    util::Rng rng(11);
+    for (const auto& impl : available_impls()) {
+        ASSERT_TRUE(sha256_force_batch_impl(impl)) << impl;
+        const std::size_t n = 13;
+        std::vector<std::uint8_t> buf(n * 64);
+        rng.fill(buf);
+        std::vector<std::uint8_t> expected(n * 32);
+        sha256d64_many(expected.data(), buf.data(), n);
+        sha256d64_many(buf.data(), buf.data(), n);  // in place
+        EXPECT_EQ(0, std::memcmp(buf.data(), expected.data(), n * 32)) << impl;
+    }
+}
+
+TEST(Sha256Batch, VariableLengthMatchesDoubleSha256OnEveryImpl) {
+    ImplGuard guard;
+    util::Rng rng(23);
+    // Mixed lengths spanning 1..6 padded blocks, plus empty messages, in a
+    // shuffled order so the equal-block-count grouping has real work to do.
+    std::vector<std::vector<std::uint8_t>> msgs;
+    for (std::size_t len : {0u, 1u, 31u, 55u, 56u, 64u, 100u, 119u, 120u, 128u, 200u, 300u}) {
+        for (int copies = 0; copies < 3; ++copies) {
+            msgs.emplace_back(len + copies);
+            rng.fill(msgs.back());
+        }
+    }
+    std::vector<util::ByteSpan> spans;
+    spans.reserve(msgs.size());
+    for (const auto& m : msgs) spans.emplace_back(m.data(), m.size());
+
+    std::vector<Sha256::Digest> expected(msgs.size());
+    for (std::size_t i = 0; i < msgs.size(); ++i) expected[i] = double_sha256(spans[i]);
+
+    for (const auto& impl : available_impls()) {
+        ASSERT_TRUE(sha256_force_batch_impl(impl)) << impl;
+        std::vector<Sha256::Digest> got(msgs.size());
+        sha256d_many(spans.data(), got.data(), msgs.size());
+        for (std::size_t i = 0; i < msgs.size(); ++i)
+            EXPECT_EQ(expected[i], got[i]) << impl << " i=" << i;
+    }
+}
+
+TEST(Sha256Batch, ScalarBatchCoreMatchesStreaming) {
+    // Drive detail::sha256d_batch_scalar directly with hand-padded blocks.
+    util::Rng rng(31);
+    std::uint8_t msg[64];
+    rng.fill(msg);
+    std::uint8_t pad[64] = {0x80};
+    pad[62] = 0x02;  // 512-bit length, big-endian
+    const std::uint8_t* blocks[2] = {msg, pad};
+    std::uint8_t out[32];
+    detail::sha256d_batch_scalar(out, blocks, 2, 1);
+    const auto want = double_sha256({msg, 64});
+    EXPECT_EQ(0, std::memcmp(out, want.data(), 32));
+}
+
+}  // namespace
+}  // namespace ebv::crypto

@@ -3,6 +3,9 @@
 // must be identical to serial validation, including failure reporting.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
 #include "chain/node.hpp"
 #include "core/node.hpp"
 #include "intermediary/converter.hpp"
@@ -97,6 +100,112 @@ TEST(ParallelSv, EbvPooledRejectsBadSignatureLikeSerial) {
     }
     EXPECT_TRUE(tampered_one);
     EXPECT_EQ(serial_node.status().memory_bytes(), pooled_node.status().memory_bytes());
+}
+
+// Regression for the parallel failure-reporting race: whatever mix of
+// corrupted proofs and signatures a block carries, every thread count must
+// report exactly the failure the serial pipeline reports — same error, same
+// (tx_index, input_index), same script error.
+class ParallelSvDeterminism : public ::testing::Test {
+protected:
+    void SetUp() override {
+        gen_options_ = options_for(5);
+        workload::ChainGenerator gen(gen_options_);
+        intermediary::Converter converter;
+        for (int i = 0; i < 40 && !victim_; ++i) {
+            const auto block = gen.next_block();
+            auto converted = converter.convert_block(block);
+            ASSERT_TRUE(converted.has_value());
+            if (converted->input_count() >= 4) {
+                victim_ = *converted;
+            } else {
+                prefix_.push_back(*converted);
+            }
+        }
+        ASSERT_TRUE(victim_.has_value()) << "workload never produced a 4-input block";
+    }
+
+    /// Replay the good prefix on a fresh node, then submit `bad` and return
+    /// the reported failure.
+    core::EbvValidationFailure failure_with(util::ThreadPool* pool,
+                                            const core::EbvBlock& bad) {
+        core::EbvNodeOptions options;
+        options.params = gen_options_.params;
+        options.validator.script_pool = pool;
+        core::EbvNode node(options);
+        for (const auto& b : prefix_) EXPECT_TRUE(node.submit_block(b).has_value());
+        auto result = node.submit_block(bad);
+        if (result.has_value()) {
+            ADD_FAILURE() << "tampered block was accepted";
+            return core::EbvValidationFailure{};
+        }
+        return result.error();
+    }
+
+    void expect_identical_across_thread_counts(const core::EbvBlock& bad) {
+        const core::EbvValidationFailure want = failure_with(nullptr, bad);
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            util::ThreadPool pool(threads);
+            for (int rep = 0; rep < 3; ++rep) {
+                const core::EbvValidationFailure got = failure_with(&pool, bad);
+                EXPECT_EQ(want.error, got.error) << "threads=" << threads;
+                EXPECT_EQ(want.tx_index, got.tx_index) << "threads=" << threads;
+                EXPECT_EQ(want.input_index, got.input_index) << "threads=" << threads;
+                EXPECT_EQ(want.script_error, got.script_error) << "threads=" << threads;
+            }
+        }
+    }
+
+    workload::GeneratorOptions gen_options_;
+    std::vector<core::EbvBlock> prefix_;
+    std::optional<core::EbvBlock> victim_;
+};
+
+TEST_F(ParallelSvDeterminism, MultipleBadSignatures) {
+    core::EbvBlock bad = *victim_;
+    // Corrupt every other input's signature: several inputs fail SV and the
+    // lowest (tx, input) must win under every thread count.
+    std::size_t global = 0;
+    for (auto& tx : bad.txs) {
+        for (auto& in : tx.inputs) {
+            if (global++ % 2 == 1 && in.unlock_script.size() > 6)
+                in.unlock_script[5] ^= 0x11;
+        }
+    }
+    bad.assign_stake_positions();
+    const auto failure = failure_with(nullptr, bad);
+    ASSERT_EQ(failure.error, core::EbvError::kScriptFailure);
+    expect_identical_across_thread_counts(bad);
+}
+
+TEST_F(ParallelSvDeterminism, ProofTamperOutranksEarlierBadSignature) {
+    core::EbvBlock bad = *victim_;
+    // Corrupt the first input's signature and the last input's Merkle
+    // branch. EV verdicts resolve before SV verdicts, so every run must
+    // report the existence failure at the *later* input.
+    core::EbvInput* first = nullptr;
+    core::EbvInput* last = nullptr;
+    for (auto& tx : bad.txs) {
+        for (auto& in : tx.inputs) {
+            if (first == nullptr) first = &in;
+            last = &in;
+        }
+    }
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(first, last);
+    ASSERT_GT(first->unlock_script.size(), 6u);
+    first->unlock_script[5] ^= 0x11;
+    if (!last->mbr.siblings.empty()) {
+        last->mbr.siblings[0].bytes()[0] ^= 0x01;
+    } else {
+        // Single-leaf source tree: no siblings to corrupt, so break the
+        // leaf commitment itself.
+        last->els.locktime ^= 1;
+    }
+    bad.assign_stake_positions();
+    const auto failure = failure_with(nullptr, bad);
+    ASSERT_EQ(failure.error, core::EbvError::kExistenceFailed);
+    expect_identical_across_thread_counts(bad);
 }
 
 }  // namespace

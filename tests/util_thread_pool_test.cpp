@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ebv::util {
+namespace {
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+
+    CancelToken cancel;
+    cancel.cancel();
+    pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); }, &cancel);
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        for (std::size_t n : {1u, 2u, 7u, 64u, 1000u}) {
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, BodyExceptionRethrownExactlyOnce) {
+    ThreadPool pool(4);
+    for (int repeat = 0; repeat < 20; ++repeat) {
+        std::atomic<int> ran{0};
+        int caught = 0;
+        try {
+            pool.parallel_for(256, [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 17) throw std::runtime_error("boom");
+            });
+        } catch (const std::runtime_error& e) {
+            ++caught;
+            EXPECT_STREQ(e.what(), "boom");
+        }
+        EXPECT_EQ(caught, 1);
+        // The pool must stay usable after an exception.
+        std::atomic<int> after{0};
+        pool.parallel_for(64, [&](std::size_t) { after.fetch_add(1); });
+        EXPECT_EQ(after.load(), 64);
+    }
+}
+
+TEST(ThreadPool, PreCancelledTokenSkipsAllBodies) {
+    ThreadPool pool(4);
+    CancelToken cancel;
+    cancel.cancel();
+    std::atomic<int> ran{0};
+    pool.parallel_for(1000, [&](std::size_t) { ran.fetch_add(1); }, &cancel);
+    EXPECT_EQ(ran.load(), 0);
+
+    cancel.reset();
+    pool.parallel_for(10, [&](std::size_t) { ran.fetch_add(1); }, &cancel);
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, MidRunCancellationStopsRemainingChunks) {
+    for (std::size_t threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        CancelToken cancel;
+        std::atomic<int> ran{0};
+        const std::size_t n = 100000;
+        pool.parallel_for(n, [&](std::size_t) {
+            if (ran.fetch_add(1) == 10) cancel.cancel();
+        }, &cancel);
+        // Everything after the in-flight chunks must be skipped. The exact
+        // count depends on chunking; it just must be far below n.
+        EXPECT_GE(ran.load(), 11);
+        EXPECT_LT(static_cast<std::size_t>(ran.load()), n / 2) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, SlotsAreWithinRangeAndStable) {
+    ThreadPool pool(4);
+    const std::size_t n = 4096;
+    std::vector<std::size_t> slot_of(n, SIZE_MAX);
+    pool.parallel_for_slots(n, [&](std::size_t slot, std::size_t i) {
+        ASSERT_LT(slot, pool.thread_count());
+        slot_of[i] = slot;  // each index visited once; no race
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_NE(slot_of[i], SIZE_MAX);
+    // Slot 0 is the calling thread and always participates.
+    EXPECT_NE(std::count(slot_of.begin(), slot_of.end(), 0u), 0);
+}
+
+TEST(ThreadPool, PerSlotPartialsNeedNoSynchronization) {
+    ThreadPool pool(4);
+    const std::size_t n = 100000;
+    std::vector<std::uint64_t> partial(pool.thread_count(), 0);
+    pool.parallel_for_slots(n, [&](std::size_t slot, std::size_t i) { partial[slot] += i; });
+    const std::uint64_t sum = std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsSerially) {
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    pool.parallel_for(8, [&](std::size_t) {
+        pool.parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, StressTinyAndHugeChunkCounts) {
+    ThreadPool pool(8);
+    // Many tiny jobs: exercises submit/broadcast churn.
+    for (int round = 0; round < 500; ++round) {
+        std::atomic<int> ran{0};
+        pool.parallel_for(3, [&](std::size_t) { ran.fetch_add(1); });
+        ASSERT_EQ(ran.load(), 3);
+    }
+    // One huge job: exercises counter claiming under contention.
+    const std::size_t n = 1 << 20;
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(n, [&](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, StatsAccumulate) {
+    ThreadPool pool(2);
+    const PoolStats before = pool.stats();
+    pool.parallel_for(1000, [](std::size_t) {});
+    pool.parallel_for(1000, [](std::size_t) {});
+    const PoolStats after = pool.stats();
+    EXPECT_EQ(after.parallel_fors, before.parallel_fors + 2);
+    EXPECT_GT(after.tasks, before.tasks);
+}
+
+}  // namespace
+}  // namespace ebv::util
