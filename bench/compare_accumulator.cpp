@@ -60,17 +60,26 @@ int main() {
     for (std::uint32_t i = 0; i < blocks; ++i) {
         const chain::Block block = generator.next_block();
         auto converted = converter.convert_block(block);
-        if (!converted) return 1;
+        if (!converted) {
+            report.aborted("conversion failed");
+            return 1;
+        }
 
         // --- accumulator side -------------------------------------------
         for (const auto& tx : block.txs) {
             if (!tx.is_coinbase()) {
                 for (const auto& in : tx.vin) {
                     const auto it = leaf_of.find(in.prevout);
-                    if (it == leaf_of.end()) return 1;
+                    if (it == leaf_of.end()) {
+                        report.aborted("accumulator lost a live leaf");
+                        return 1;
+                    }
                     // Proposer supplies a fresh proof; validator verifies.
                     const auto proof = forest.prove(it->second);
-                    if (!proof || !forest.verify(*proof)) return 1;
+                    if (!proof || !forest.verify(*proof)) {
+                        report.aborted("accumulator proof failed verification");
+                        return 1;
+                    }
                     acc_proof_bytes += proof->byte_size();
                     ++acc_proof_count;
                     forest.remove(it->second);
@@ -93,7 +102,10 @@ int main() {
                 ++ebv_proof_count;
             }
         }
-        if (!ebv_node.submit_block(*converted)) return 1;
+        if (!ebv_node.submit_block(*converted)) {
+            report.aborted("block rejected during replay");
+            return 1;
+        }
 
         // Hold a random live proof at the start of each period...
         if (i % period == 0 && !leaf_of.empty()) {

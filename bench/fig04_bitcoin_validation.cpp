@@ -36,6 +36,7 @@ int main() {
         auto r = node.submit_block(chain.blocks[i]);
         if (!r) {
             std::fprintf(stderr, "block %u rejected: %s\n", i, r.error().describe().c_str());
+            report.aborted("block rejected during warm-up");
             return 1;
         }
     }
@@ -49,6 +50,7 @@ int main() {
         auto r = node.submit_block(chain.blocks[i]);
         if (!r) {
             std::fprintf(stderr, "block %u rejected: %s\n", i, r.error().describe().c_str());
+            report.aborted("block rejected during measurement");
             return 1;
         }
         const chain::BlockTimings& t = *r;

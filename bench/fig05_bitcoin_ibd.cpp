@@ -43,6 +43,7 @@ int main() {
             if (!r) {
                 std::fprintf(stderr, "block %u rejected: %s\n", i,
                              r.error().describe().c_str());
+                report.aborted("block rejected during IBD");
                 return 1;
             }
             period += *r;

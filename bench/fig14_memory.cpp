@@ -68,12 +68,14 @@ int main() {
         auto converted = converter.convert_block(block);
         if (!converted) {
             std::fprintf(stderr, "conversion failed at %u\n", i);
+            report.aborted("conversion failed");
             return 1;
         }
         auto r = ebv_node.submit_block(*converted);
         if (!r) {
             std::fprintf(stderr, "ebv rejected block %u: %s\n", i,
                          r.error().describe().c_str());
+            report.aborted("block rejected during IBD");
             return 1;
         }
 

@@ -33,6 +33,7 @@ int main() {
         auto r = node.submit_block(ebv_chain[i]);
         if (!r) {
             std::fprintf(stderr, "block %u rejected: %s\n", i, r.error().describe().c_str());
+            report.aborted("block rejected during warm-up");
             return 1;
         }
     }
@@ -45,6 +46,7 @@ int main() {
         auto r = node.submit_block(ebv_chain[i]);
         if (!r) {
             std::fprintf(stderr, "block %u rejected: %s\n", i, r.error().describe().c_str());
+            report.aborted("block rejected during measurement");
             return 1;
         }
         const double total = bench::ms(r->total());

@@ -33,8 +33,11 @@ int main() {
     core::EbvNode ebv_node(ebv_options);
 
     for (std::uint32_t i = 0; i + measured < blocks; ++i) {
-        if (!btc_node.submit_block(chain.blocks[i])) return 1;
-        if (!ebv_node.submit_block(ebv_chain[i])) return 1;
+        if (!btc_node.submit_block(chain.blocks[i]) ||
+            !ebv_node.submit_block(ebv_chain[i])) {
+            report.aborted("block rejected during warm-up");
+            return 1;
+        }
     }
 
     std::printf("Fig 16a — per-block validation time (ms), baseline vs EBV\n");
@@ -47,7 +50,10 @@ int main() {
     for (std::uint32_t i = blocks - measured; i < blocks; ++i) {
         auto rb = btc_node.submit_block(chain.blocks[i]);
         auto re = ebv_node.submit_block(ebv_chain[i]);
-        if (!rb || !re) return 1;
+        if (!rb || !re) {
+            report.aborted("block rejected during measurement");
+            return 1;
+        }
         const double btc_ms = bench::ms(rb->total());
         const double ebv_ms = bench::ms(re->total());
         const double reduction = btc_ms > 0 ? 100.0 * (1.0 - ebv_ms / btc_ms) : 0.0;
@@ -91,12 +97,18 @@ int main() {
         sweep_options.validator.script_pool = &pool;
         core::EbvNode sweep_node(sweep_options);
         for (std::uint32_t i = 0; i + measured < blocks; ++i)
-            if (!sweep_node.submit_block(ebv_chain[i])) return 1;
+            if (!sweep_node.submit_block(ebv_chain[i])) {
+                report.aborted("block rejected during thread sweep");
+                return 1;
+            }
 
         double ev_sv_ms = 0;
         for (std::uint32_t i = blocks - measured; i < blocks; ++i) {
             auto r = sweep_node.submit_block(ebv_chain[i]);
-            if (!r) return 1;
+            if (!r) {
+                report.aborted("block rejected during thread sweep");
+                return 1;
+            }
             ev_sv_ms += bench::ms(r->ev) + bench::ms(r->sv);
         }
         if (threads == 1) base_ev_sv_ms = ev_sv_ms;

@@ -60,7 +60,10 @@ int main() {
         for (std::uint32_t i = 0; i < blocks; ++i) {
             auto rb = btc_node.submit_block(chain.blocks[i]);
             auto re = ebv_node.submit_block(ebv_chain[i]);
-            if (!rb || !re) return 1;
+            if (!rb || !re) {
+                report.aborted("block rejected during replay");
+                return 1;
+            }
             if (i + measured >= blocks) {
                 btc_delays.samples.push_back(rb->total().total_ns());
                 ebv_delays.samples.push_back(re->total().total_ns());

@@ -194,6 +194,16 @@ public:
         if (n > 0) rows_.emplace_back(buffer, std::min<std::size_t>(n, sizeof buffer - 1));
     }
 
+    /// Mark the run as stopped early (block rejection, setup failure) and
+    /// flush immediately: CI still gets the rows produced so far, flagged
+    /// "aborted" so trend tooling won't mistake a partial run for a full one.
+    /// `reason` must not contain characters needing JSON escaping.
+    void aborted(std::string reason) {
+        aborted_ = true;
+        abort_reason_ = std::move(reason);
+        write();
+    }
+
     void write() {
         if (!enabled() || written_) return;
         written_ = true;
@@ -206,7 +216,9 @@ public:
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             std::fprintf(f, "%s%s", i ? "," : "", rows_[i].c_str());
         }
-        std::fprintf(f, "],\"metrics\":%s}\n",
+        std::fprintf(f, "],\"aborted\":%s", aborted_ ? "true" : "false");
+        if (aborted_) std::fprintf(f, ",\"abort_reason\":\"%s\"", abort_reason_.c_str());
+        std::fprintf(f, ",\"metrics\":%s}\n",
                      obs::Registry::global().to_json().c_str());
         std::fclose(f);
         EBV_LOG_INFO("EBV_BENCH_JSON: wrote %zu rows + registry snapshot to %s",
@@ -218,6 +230,8 @@ private:
     std::string path_;
     std::vector<std::string> rows_;
     bool written_ = false;
+    bool aborted_ = false;
+    std::string abort_reason_;
 };
 
 inline void print_rule(int width = 100) {

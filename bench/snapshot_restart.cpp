@@ -36,7 +36,10 @@ int main() {
     core::EbvTimings total{};
     for (const auto& block : ebv_chain) {
         auto r = node.submit_block(block);
-        if (!r) return 1;
+        if (!r) {
+            report.aborted("block rejected during IBD");
+            return 1;
+        }
         total += *r;
     }
     const double ibd_ms = util::to_ms(ibd_watch.elapsed_ns());
@@ -55,7 +58,10 @@ int main() {
     auto restored = core::EbvNode::load_snapshot(path, options);
     const double load_ms = util::to_ms(load_watch.elapsed_ns());
     std::filesystem::remove(path);
-    if (!restored || (*restored)->next_height() != blocks) return 1;
+    if (!restored || (*restored)->next_height() != blocks) {
+        report.aborted("snapshot reload failed");
+        return 1;
+    }
 
     std::printf("EBV newcomer startup: full IBD vs snapshot bootstrap (%u blocks)\n",
                 blocks);

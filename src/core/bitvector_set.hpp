@@ -3,12 +3,27 @@
 // snapshot persistence. Fully-spent vectors are deleted (§IV-E1); the
 // optimized/unoptimized memory totals are maintained incrementally so the
 // Fig 14 bench is O(1) per sample.
+//
+// The set is internally sharded by height (height mod kShardCount): each
+// shard owns its own map and memory accounting, so spent-bit application
+// can run from inside a parallel region — the IBD pipeline (`ebv::ibd`)
+// partitions a window's validated spends by shard and applies distinct
+// shards concurrently (`spend_shard`), which is what lets block storage
+// ("stage 3") join the fused EV+SV parallel pass instead of running
+// serially after it. All single-call methods remain single-threaded
+// mutators; only spend_shard on *distinct* shards may overlap.
 #pragma once
 
+#include <array>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/bitvector.hpp"
+
+namespace ebv::util {
+class ThreadPool;
+}
 
 namespace ebv::core {
 
@@ -22,6 +37,21 @@ enum class UvError {
 
 class BitVectorSet {
 public:
+    /// Shard fan-out for parallel spent-bit application. A power of two so
+    /// shard_of is a mask; 16 keeps per-shard batches meaty even for small
+    /// windows while exceeding any realistic commit-thread count.
+    static constexpr std::size_t kShardCount = 16;
+
+    /// One UV-validated spend awaiting application.
+    struct SpentRecord {
+        std::uint32_t height;
+        std::uint32_t position;
+    };
+
+    [[nodiscard]] static constexpr std::size_t shard_of(std::uint32_t height) {
+        return height & (kShardCount - 1);
+    }
+
     /// Register a newly-connected block's outputs (all unspent).
     void insert_block(std::uint32_t height, std::uint32_t output_count);
 
@@ -33,6 +63,17 @@ public:
     /// Mark spent (block-storage step). Deletes the vector when it empties.
     util::Status<UvError> spend(std::uint32_t height, std::uint32_t position);
 
+    /// Apply a batch of UV-validated spends for one shard. Every record
+    /// must satisfy shard_of(height) == shard and target a set bit
+    /// (asserted). Calls on *distinct* shards may run concurrently — they
+    /// touch disjoint maps and disjoint accounting.
+    void spend_shard(std::size_t shard, const SpentRecord* records, std::size_t count);
+
+    /// Partition `spends` by shard and apply them, one parallel task per
+    /// populated shard when `pool` is given (serially otherwise).
+    void spend_batch(const std::vector<SpentRecord>& spends,
+                     util::ThreadPool* pool = nullptr);
+
     /// Reorg support: set a bit back to unspent. `vector_size` recreates
     /// the vector if it had been deleted as fully spent (all other bits are
     /// then provably zero). Returns false if the bit was already set.
@@ -41,17 +82,17 @@ public:
     /// Reorg support: drop the vector of a disconnected block entirely.
     void remove_block(std::uint32_t height);
 
-    [[nodiscard]] std::size_t vector_count() const { return vectors_.size(); }
+    [[nodiscard]] std::size_t vector_count() const;
     [[nodiscard]] bool has_vector(std::uint32_t height) const {
-        return vectors_.count(height) != 0;
+        return shards_[shard_of(height)].vectors.count(height) != 0;
     }
 
     /// Current memory requirement with the sparse-vector optimization
     /// (Fig 14 "EBV").
-    [[nodiscard]] std::size_t memory_bytes() const { return optimized_bytes_; }
+    [[nodiscard]] std::size_t memory_bytes() const;
     /// Memory if every vector stayed a dense bitmap (Fig 14 "EBV w/o
     /// optimization").
-    [[nodiscard]] std::size_t dense_memory_bytes() const { return dense_bytes_; }
+    [[nodiscard]] std::size_t dense_memory_bytes() const;
 
     /// Snapshot persistence (one record per surviving vector).
     void save(const std::string& path) const;
@@ -64,12 +105,18 @@ public:
     friend bool operator==(const BitVectorSet&, const BitVectorSet&);
 
 private:
-    void account_remove(const BitVector& v);
-    void account_add(const BitVector& v);
+    /// One height-partition: its vectors plus incremental Fig 14 byte
+    /// accounting. No shared state between shards, by construction.
+    struct Shard {
+        std::unordered_map<std::uint32_t, BitVector> vectors;
+        std::size_t optimized_bytes = 0;
+        std::size_t dense_bytes = 0;
+    };
 
-    std::unordered_map<std::uint32_t, BitVector> vectors_;
-    std::size_t optimized_bytes_ = 0;
-    std::size_t dense_bytes_ = 0;
+    static void account_remove(Shard& s, const BitVector& v);
+    static void account_add(Shard& s, const BitVector& v);
+
+    std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace ebv::core

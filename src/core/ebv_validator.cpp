@@ -5,6 +5,7 @@
 
 #include "chain/amount.hpp"
 #include "crypto/ecdsa.hpp"
+#include "util/assert.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -42,6 +43,68 @@ std::string EbvValidationFailure::describe() const {
     }
     out += ")";
     return out;
+}
+
+EbvError to_ebv_error(EvStatus status) {
+    switch (status) {
+        case EvStatus::kUnknownHeight: return EbvError::kUnknownHeight;
+        case EvStatus::kBadOutIndex: return EbvError::kBadOutIndex;
+        case EvStatus::kExistenceFailed: return EbvError::kExistenceFailed;
+        case EvStatus::kOk: break;
+    }
+    EBV_ASSERT(false);  // kOk is not an error
+    return EbvError::kExistenceFailed;
+}
+
+EvStatus ev_check_input(const EbvInput& in, const chain::BlockHeader* header,
+                        std::uint32_t spending_height) {
+    if (header == nullptr || in.height >= spending_height) return EvStatus::kUnknownHeight;
+    if (in.out_index >= in.els.outputs.size()) return EvStatus::kBadOutIndex;
+    const crypto::Hash256 folded = crypto::fold_branch(in.els.leaf_hash(), in.mbr);
+    if (folded != header->merkle_root) return EvStatus::kExistenceFailed;
+    return EvStatus::kOk;
+}
+
+script::ScriptError sv_check_input(const EbvTransaction& tx, std::size_t input_index) {
+    const EbvInput& in = tx.inputs[input_index];
+    EbvSignatureChecker checker(tx, input_index);
+    return script::verify_script(in.unlock_script, in.els.outputs[in.out_index].lock_script,
+                                 checker);
+}
+
+std::optional<EbvValidationFailure> check_block_structure(const EbvBlock& block,
+                                                          const chain::ChainParams& params) {
+    if (block.txs.empty()) return EbvValidationFailure{EbvError::kEmptyBlock};
+    if (!block.txs[0].is_coinbase())
+        return EbvValidationFailure{EbvError::kFirstTxNotCoinbase};
+    for (std::size_t i = 1; i < block.txs.size(); ++i) {
+        if (block.txs[i].is_coinbase())
+            return EbvValidationFailure{EbvError::kUnexpectedCoinbase, i};
+        if (block.txs[i].inputs.empty())
+            return EbvValidationFailure{EbvError::kMissingInputs, i};
+    }
+    if (block.output_count() > params.max_outputs_per_block)
+        return EbvValidationFailure{EbvError::kTooManyOutputs};
+
+    // Stake positions must be the running output count (§IV-D2); a
+    // wrong assignment would let absolute positions be forged.
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        if (block.txs[i].stake_position != running)
+            return EbvValidationFailure{EbvError::kBadStakePosition, i};
+        running += static_cast<std::uint32_t>(block.txs[i].outputs.size());
+    }
+
+    if (block.compute_merkle_root() != block.header.merkle_root)
+        return EbvValidationFailure{EbvError::kMerkleRootMismatch};
+
+    for (std::size_t t = 0; t < block.txs.size(); ++t) {
+        for (const auto& out : block.txs[t].outputs) {
+            if (!chain::money_range(out.value))
+                return EbvValidationFailure{EbvError::kValueOutOfRange, t};
+        }
+    }
+    return std::nullopt;
 }
 
 bool EbvSignatureChecker::check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
@@ -176,40 +239,8 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
     // ---- Structural checks ("others") ------------------------------------
     {
         PhaseTimer timer(timings.other);
-        if (block.txs.empty())
-            return util::Unexpected{EbvValidationFailure{EbvError::kEmptyBlock}};
-        if (!block.txs[0].is_coinbase())
-            return util::Unexpected{EbvValidationFailure{EbvError::kFirstTxNotCoinbase}};
-        for (std::size_t i = 1; i < block.txs.size(); ++i) {
-            if (block.txs[i].is_coinbase())
-                return util::Unexpected{
-                    EbvValidationFailure{EbvError::kUnexpectedCoinbase, i}};
-            if (block.txs[i].inputs.empty())
-                return util::Unexpected{EbvValidationFailure{EbvError::kMissingInputs, i}};
-        }
-        if (block.output_count() > params_.max_outputs_per_block)
-            return util::Unexpected{EbvValidationFailure{EbvError::kTooManyOutputs}};
-
-        // Stake positions must be the running output count (§IV-D2); a
-        // wrong assignment would let absolute positions be forged.
-        std::uint32_t running = 0;
-        for (std::size_t i = 0; i < block.txs.size(); ++i) {
-            if (block.txs[i].stake_position != running)
-                return util::Unexpected{
-                    EbvValidationFailure{EbvError::kBadStakePosition, i}};
-            running += static_cast<std::uint32_t>(block.txs[i].outputs.size());
-        }
-
-        if (block.compute_merkle_root() != block.header.merkle_root)
-            return util::Unexpected{EbvValidationFailure{EbvError::kMerkleRootMismatch}};
-
-        for (std::size_t t = 0; t < block.txs.size(); ++t) {
-            for (const auto& out : block.txs[t].outputs) {
-                if (!chain::money_range(out.value))
-                    return util::Unexpected{
-                        EbvValidationFailure{EbvError::kValueOutOfRange, t}};
-            }
-        }
+        if (auto failure = check_block_structure(block, params_))
+            return util::Unexpected{*failure};
     }
 
     // ---- Fused parallel proof checking: EV + SV per input ------------------
@@ -233,7 +264,6 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
             jobs.push_back(InputJob{t, i, &tx, &tx.inputs[i]});
     }
 
-    enum class EvStatus : std::uint8_t { kOk, kUnknownHeight, kBadOutIndex, kExistenceFailed };
     struct InputResult {
         EvStatus ev = EvStatus::kOk;
         script::ScriptError script = script::ScriptError::kOk;
@@ -268,34 +298,18 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
 
         // EV: the referenced output must exist in a stored block.
         util::Stopwatch watch;
-        const chain::BlockHeader* header = headers_.at(in.height);
-        if (header == nullptr || in.height >= height) {
-            results[j].ev = EvStatus::kUnknownHeight;
-            cas_min(first_ev_fail, j);
-            ev_busy[slot] += watch.elapsed_ns();
-            return;
-        }
-        if (in.out_index >= in.els.outputs.size()) {
-            results[j].ev = EvStatus::kBadOutIndex;
-            cas_min(first_ev_fail, j);
-            ev_busy[slot] += watch.elapsed_ns();
-            return;
-        }
-        const crypto::Hash256 folded = crypto::fold_branch(in.els.leaf_hash(), in.mbr);
-        if (folded != header->merkle_root) {
-            results[j].ev = EvStatus::kExistenceFailed;
-            cas_min(first_ev_fail, j);
-            ev_busy[slot] += watch.elapsed_ns();
-            return;
-        }
+        const EvStatus ev = ev_check_input(in, headers_.at(in.height), height);
         ev_busy[slot] += watch.elapsed_ns();
+        if (ev != EvStatus::kOk) {
+            results[j].ev = ev;
+            cas_min(first_ev_fail, j);
+            return;
+        }
 
         // SV, fused into the same job while the input is cache-hot.
         if (!verify_scripts || j > first_sv_fail.load(std::memory_order_relaxed)) return;
         watch.restart();
-        EbvSignatureChecker checker(*job.tx, job.input_index);
-        const script::ScriptError err = script::verify_script(
-            in.unlock_script, in.els.outputs[in.out_index].lock_script, checker);
+        const script::ScriptError err = sv_check_input(*job.tx, job.input_index);
         if (err != script::ScriptError::kOk) {
             results[j].script = err;
             cas_min(first_sv_fail, j);
@@ -362,17 +376,9 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
             for (std::size_t i = 0; i < tx.inputs.size(); ++i, ++j) {
                 const EbvInput& in = tx.inputs[i];
 
-                switch (results[j].ev) {
-                    case EvStatus::kOk: break;
-                    case EvStatus::kUnknownHeight:
-                        return util::Unexpected{
-                            EbvValidationFailure{EbvError::kUnknownHeight, t, i}};
-                    case EvStatus::kBadOutIndex:
-                        return util::Unexpected{
-                            EbvValidationFailure{EbvError::kBadOutIndex, t, i}};
-                    case EvStatus::kExistenceFailed:
-                        return util::Unexpected{
-                            EbvValidationFailure{EbvError::kExistenceFailed, t, i}};
+                if (results[j].ev != EvStatus::kOk) {
+                    return util::Unexpected{
+                        EbvValidationFailure{to_ebv_error(results[j].ev), t, i}};
                 }
 
                 // UV: the bit at the (authenticated) absolute position must be 1.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "chain/header_index.hpp"
@@ -52,7 +53,42 @@ struct EbvValidationFailure {
     script::ScriptError script_error = script::ScriptError::kOk;
 
     [[nodiscard]] std::string describe() const;
+
+    friend bool operator==(const EbvValidationFailure&,
+                           const EbvValidationFailure&) = default;
 };
+
+// ---- Shared per-input / per-block checks -----------------------------------
+// The serial validator below and the inter-block IBD pipeline (`ebv::ibd`)
+// run exactly these checks; sharing them is what makes "pipelined rejects
+// identically to serial" a structural property rather than a test-enforced
+// coincidence.
+
+/// Per-input Existence Validation verdict, recorded out of order by the
+/// parallel pass and resolved in input order afterwards.
+enum class EvStatus : std::uint8_t { kOk, kUnknownHeight, kBadOutIndex, kExistenceFailed };
+
+/// Map a non-kOk EV verdict to the error a serial pipeline reports.
+[[nodiscard]] EbvError to_ebv_error(EvStatus status);
+
+/// EV for one input: the spent output must live in a block strictly below
+/// `spending_height` whose stored Merkle root the carried branch folds to.
+/// `header` is the caller-resolved header at `in.height` (nullptr = none —
+/// callers validating against pending, not-yet-committed blocks resolve
+/// in-window heights from their own lookahead state).
+[[nodiscard]] EvStatus ev_check_input(const EbvInput& in, const chain::BlockHeader* header,
+                                      std::uint32_t spending_height);
+
+/// SV for one input. The caller guarantees the input passed EV (so
+/// out_index is in range).
+[[nodiscard]] script::ScriptError sv_check_input(const EbvTransaction& tx,
+                                                 std::size_t input_index);
+
+/// The stateless structural pass: coinbase shape, stake-position
+/// assignment, output-value ranges, and the block's own Merkle root.
+/// Returns the failure a serial connect_block would report, or nullopt.
+[[nodiscard]] std::optional<EbvValidationFailure> check_block_structure(
+    const EbvBlock& block, const chain::ChainParams& params);
 
 /// Per-block timing breakdown, the unit of Figs 15/16b/17b. `update` is the
 /// bit-vector maintenance of block storage; figures fold it into "others".

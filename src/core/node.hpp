@@ -4,12 +4,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "chain/header_index.hpp"
 #include "chain/params.hpp"
 #include "core/bitvector_set.hpp"
 #include "core/ebv_validator.hpp"
+#include "ibd/options.hpp"
 #include "storage/flat_store.hpp"
 
 namespace ebv::core {
@@ -19,6 +21,9 @@ struct EbvNodeOptions {
     /// Directory for block bodies; empty = don't persist blocks.
     std::string data_dir;
     EbvValidatorOptions validator;
+    /// Inter-block IBD pipelining for submit_blocks (EBV_PIPELINE /
+    /// EBV_PIPELINE_WINDOW override at runtime).
+    ibd::PipelineOptions pipeline;
 };
 
 class EbvNode {
@@ -27,6 +32,13 @@ public:
 
     /// Validate and connect the next block (height = tip + 1).
     util::Result<EbvTimings, EbvValidationFailure> submit_block(const EbvBlock& block);
+
+    /// Validate and connect a batch of consecutive blocks, pipelined across
+    /// blocks when options.pipeline (after EBV_PIPELINE et al.) enables it,
+    /// serial block-at-a-time otherwise. Both paths accept/reject the same
+    /// blocks with the same failure tuple (docs/PIPELINE.md). Defined in
+    /// src/ibd/submit.cpp — callers must link ebv_ibd.
+    ibd::BatchResult submit_blocks(std::span<const EbvBlock> blocks);
 
     /// Reorg support: disconnect the tip. The caller supplies the tip block
     /// (EBV validators don't retain bodies unless a block store is

@@ -1,0 +1,530 @@
+#include "ibd/pipeline.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/amount.hpp"
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ebv::ibd {
+
+namespace {
+
+using core::BitVectorSet;
+using core::EbvBlock;
+using core::EbvError;
+using core::EbvInput;
+using core::EbvTransaction;
+using core::EbvValidationFailure;
+using core::EvStatus;
+
+constexpr std::size_t kNoFail = std::numeric_limits<std::size_t>::max();
+
+/// Registry handles, resolved once (values survive Registry::reset()).
+struct IbdMetrics {
+    obs::Counter& windows;
+    obs::Counter& connects;
+    obs::Counter& rejects;
+    obs::Counter& txs;
+    obs::Counter& inputs;
+    obs::Counter& outputs;
+    obs::Counter& proof_bytes;
+    obs::Counter& pool_tasks;
+    obs::Histogram& window_occupancy;
+    obs::Histogram& stall_ns;
+    obs::Histogram& commit_ns;
+    obs::Histogram& pool_steal_ns;
+    obs::Gauge& blocks_inflight;
+
+    static IbdMetrics& get() {
+        static IbdMetrics m{
+            obs::Registry::global().counter("ebv.ibd.windows"),
+            obs::Registry::global().counter("ebv.block.connects"),
+            obs::Registry::global().counter("ebv.block.rejects"),
+            obs::Registry::global().counter("ebv.block.txs"),
+            obs::Registry::global().counter("ebv.block.inputs"),
+            obs::Registry::global().counter("ebv.block.outputs"),
+            obs::Registry::global().counter("ebv.block.proof_bytes"),
+            obs::Registry::global().counter("ebv.pool.tasks"),
+            obs::Registry::global().histogram(
+                "ebv.ibd.window_occupancy",
+                obs::Histogram::exponential_bounds(1, 2.0, 10)),
+            obs::Registry::global().histogram("ebv.ibd.stall_ns"),
+            obs::Registry::global().histogram("ebv.ibd.commit_ns"),
+            obs::Registry::global().histogram("ebv.pool.steal_ns"),
+            obs::Registry::global().gauge("ebv.ibd.blocks_inflight"),
+        };
+        return m;
+    }
+};
+
+std::uint64_t spent_key(std::uint32_t height, std::uint32_t position) {
+    return static_cast<std::uint64_t>(height) << 32 | position;
+}
+
+void cas_min(std::atomic<std::size_t>& target, std::size_t value) {
+    std::size_t cur = target.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+}
+
+/// One input's fused EV+SV job, schedulable out of block order.
+struct ProofJob {
+    std::uint32_t block;        ///< window-relative block index
+    std::uint32_t ordinal;      ///< input ordinal within its block
+    std::uint32_t tx_index;
+    std::uint32_t input_index;
+};
+
+struct Verdict {
+    EvStatus ev = EvStatus::kOk;
+    script::ScriptError script = script::ScriptError::kOk;
+};
+
+/// CAS-min holder that can live in a vector sized at runtime.
+struct AtomicMin {
+    std::atomic<std::size_t> value{kNoFail};
+};
+
+/// Spends recorded by committed blocks, partitioned by status shard,
+/// awaiting application inside the next parallel pass.
+struct DeferredSpends {
+    std::array<std::vector<BitVectorSet::SpentRecord>, BitVectorSet::kShardCount> by_shard;
+    std::size_t total = 0;
+
+    void add(std::uint32_t height, std::uint32_t position) {
+        by_shard[BitVectorSet::shard_of(height)].push_back({height, position});
+        ++total;
+    }
+    [[nodiscard]] bool empty() const { return total == 0; }
+    void clear() {
+        for (auto& v : by_shard) v.clear();
+        total = 0;
+    }
+};
+
+}  // namespace
+
+PipelineOptions PipelineOptions::from_env(PipelineOptions base) {
+    if (const char* v = std::getenv("EBV_PIPELINE"))
+        base.enabled = std::strtoul(v, nullptr, 10) != 0;
+    if (const char* v = std::getenv("EBV_PIPELINE_WINDOW")) {
+        const unsigned long w = std::strtoul(v, nullptr, 10);
+        if (w > 0) base.window = static_cast<std::size_t>(w);
+    }
+    return base;
+}
+
+BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks) {
+    return run(blocks, [](const core::EbvBlock&, std::uint32_t) {});
+}
+
+BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_commit) {
+    BatchResult result;
+    result.pipelined = true;
+    util::Stopwatch run_watch;
+    IbdMetrics& m = IbdMetrics::get();
+
+    const std::size_t W = options_.window == 0 ? 1 : options_.window;
+    const std::size_t slots = pool_ != nullptr ? pool_->thread_count() : 1;
+
+    // Spends of already-committed blocks, to be applied inside the next
+    // window's parallel pass ("stage 3 joins the parallel region").
+    DeferredSpends deferred;
+
+    // Applies `deferred` on the calling thread, skipping shards a parallel
+    // pass already handled. Used for the final flush and for completing a
+    // cancelled pass — committed blocks must always end up fully applied.
+    std::array<std::atomic<bool>, BitVectorSet::kShardCount> shard_done{};
+    const auto flush_deferred_serial = [&] {
+        util::Stopwatch watch;
+        for (std::size_t s = 0; s < BitVectorSet::kShardCount; ++s) {
+            if (deferred.by_shard[s].empty()) continue;
+            if (shard_done[s].load(std::memory_order_relaxed)) continue;
+            status_.spend_shard(s, deferred.by_shard[s].data(), deferred.by_shard[s].size());
+        }
+        deferred.clear();
+        const auto ns = watch.elapsed_ns();
+        result.timings.update.wall_ns += ns;
+        m.commit_ns.observe(static_cast<std::uint64_t>(ns));
+    };
+
+    std::size_t batch_index = 0;
+    while (batch_index < blocks.size()) {
+        if (cancel_.cancelled()) {
+            flush_deferred_serial();
+            result.aborted = true;
+            break;
+        }
+
+        const std::uint32_t window_base = static_cast<std::uint32_t>(headers_.size());
+        const std::size_t window_len = std::min(W, blocks.size() - batch_index);
+        const std::span<const EbvBlock> window = blocks.subspan(batch_index, window_len);
+
+        // ---- Stage 1: structural pass, serial block order ------------------
+        // Intra-block only, so running it for the whole window up front
+        // cannot change any verdict a serial loop would reach. The window is
+        // truncated at the first structural failure; its tuple is reported
+        // only if every earlier block commits (a serial loop would have
+        // stopped at an earlier resolution failure otherwise).
+        util::Stopwatch stall_watch;
+        std::size_t accepted = window_len;
+        std::optional<EbvValidationFailure> structural_failure;
+        for (std::size_t b = 0; b < window_len; ++b) {
+            if (auto failure = core::check_block_structure(window[b], params_)) {
+                structural_failure = *failure;
+                accepted = b;
+                break;
+            }
+        }
+
+        // One fused EV+SV job per input across all `accepted` blocks.
+        std::vector<ProofJob> jobs;
+        std::vector<std::size_t> job_begin(accepted, 0);  // per block, into jobs[]
+        for (std::size_t b = 0; b < accepted; ++b) {
+            job_begin[b] = jobs.size();
+            const EbvBlock& block = window[b];
+            for (std::size_t t = 1; t < block.txs.size(); ++t) {
+                for (std::size_t i = 0; i < block.txs[t].inputs.size(); ++i) {
+                    jobs.push_back(ProofJob{
+                        static_cast<std::uint32_t>(b),
+                        static_cast<std::uint32_t>(jobs.size() - job_begin[b]),
+                        static_cast<std::uint32_t>(t), static_cast<std::uint32_t>(i)});
+                }
+            }
+        }
+        std::vector<Verdict> verdicts(jobs.size());
+        std::vector<AtomicMin> ev_min(accepted);
+        std::vector<AtomicMin> sv_min(accepted);
+        std::atomic<std::size_t> min_fail_block{kNoFail};
+
+        // Shard-apply jobs for the previous window's spends ride in front of
+        // the proof jobs: indices [0, shard_jobs) apply spent bits while
+        // [shard_jobs, shard_jobs + jobs.size()) check proofs.
+        std::array<std::size_t, BitVectorSet::kShardCount> active_shards{};
+        std::size_t shard_jobs = 0;
+        for (std::size_t s = 0; s < BitVectorSet::kShardCount; ++s) {
+            shard_done[s].store(deferred.by_shard[s].empty(), std::memory_order_relaxed);
+            if (!deferred.by_shard[s].empty()) active_shards[shard_jobs++] = s;
+        }
+
+        std::vector<std::uint64_t> ev_busy(slots, 0);
+        std::vector<std::uint64_t> sv_busy(slots, 0);
+        std::vector<std::uint64_t> commit_busy(slots, 0);
+
+        const auto pass_body = [&](std::size_t slot, std::size_t index) {
+            if (index < shard_jobs) {
+                // Stage 3 (previous window): sharded spent-bit application.
+                util::Stopwatch watch;
+                const std::size_t s = active_shards[index];
+                status_.spend_shard(s, deferred.by_shard[s].data(),
+                                    deferred.by_shard[s].size());
+                shard_done[s].store(true, std::memory_order_relaxed);
+                commit_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
+                return;
+            }
+
+            // Stage 2: fused EV+SV for one input, possibly out of block
+            // order. Skip rules mirror the serial validator's: a job may be
+            // skipped only when a *lower* (block, ordinal) failure is
+            // already recorded, so every verdict the resolution pass reads
+            // was fully evaluated regardless of thread count.
+            const ProofJob& job = jobs[index - shard_jobs];
+            if (job.block > min_fail_block.load(std::memory_order_relaxed)) return;
+            std::atomic<std::size_t>& block_ev_min = ev_min[job.block].value;
+            if (job.ordinal > block_ev_min.load(std::memory_order_relaxed)) return;
+
+            const EbvTransaction& tx = window[job.block].txs[job.tx_index];
+            const EbvInput& in = tx.inputs[job.input_index];
+            const std::uint32_t spending_height =
+                window_base + static_cast<std::uint32_t>(job.block);
+
+            // Inter-block dependency: heights inside the window resolve to
+            // pending (structurally-checked, not-yet-committed) headers.
+            const chain::BlockHeader* header = nullptr;
+            if (in.height < window_base) {
+                header = headers_.at(in.height);
+            } else if (in.height < spending_height) {
+                header = &window[in.height - window_base].header;
+            }
+
+            util::Stopwatch watch;
+            const EvStatus ev = core::ev_check_input(in, header, spending_height);
+            ev_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
+            if (ev != EvStatus::kOk) {
+                verdicts[index - shard_jobs].ev = ev;
+                cas_min(block_ev_min, job.ordinal);
+                cas_min(min_fail_block, job.block);
+                return;
+            }
+
+            if (!verify_scripts_) return;
+            std::atomic<std::size_t>& block_sv_min = sv_min[job.block].value;
+            if (job.ordinal > block_sv_min.load(std::memory_order_relaxed)) return;
+            watch.restart();
+            const script::ScriptError err = core::sv_check_input(tx, job.input_index);
+            if (err != script::ScriptError::kOk) {
+                verdicts[index - shard_jobs].script = err;
+                cas_min(block_sv_min, job.ordinal);
+                cas_min(min_fail_block, job.block);
+            }
+            sv_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
+        };
+
+        // ---- Stage 2 + deferred stage 3: one parallel region ---------------
+        m.windows.inc();
+        m.window_occupancy.observe(static_cast<std::uint64_t>(accepted));
+        m.blocks_inflight.set(static_cast<std::int64_t>(accepted));
+        const std::size_t pass_total = shard_jobs + jobs.size();
+        const std::int64_t stall_before_pass = stall_watch.elapsed_ns();
+
+        util::PoolStats pool_before{};
+        if (pool_ != nullptr) pool_before = pool_->stats();
+        util::Stopwatch pass_watch;
+        if (pass_total > 0) {
+            if (pool_ != nullptr) {
+                try {
+                    pool_->parallel_for_slots(pass_total, pass_body, &cancel_);
+                } catch (...) {
+                    // A proof body threw (e.g. bad_alloc): committed blocks
+                    // must still end up fully applied before unwinding.
+                    flush_deferred_serial();
+                    m.blocks_inflight.set(0);
+                    throw;
+                }
+            } else {
+                for (std::size_t i = 0; i < pass_total; ++i) {
+                    if (cancel_.cancelled() && i >= shard_jobs) break;
+                    pass_body(0, i);
+                }
+            }
+        }
+        const util::Nanoseconds pass_wall = pass_watch.elapsed_ns();
+        if (pool_ != nullptr) {
+            const util::PoolStats pool_after = pool_->stats();
+            m.pool_tasks.inc(pool_after.tasks - pool_before.tasks);
+            m.pool_steal_ns.observe(pool_after.steal_wait_ns - pool_before.steal_wait_ns);
+        }
+
+        // Apportion the pass's wall time across EV / SV / commit in
+        // proportion to per-slot busy time, so EbvTimings::total() stays
+        // wall-clock while the overlap is still visible per stage.
+        {
+            std::uint64_t ev_total = 0;
+            std::uint64_t sv_total = 0;
+            std::uint64_t commit_total = 0;
+            for (std::size_t s = 0; s < slots; ++s) {
+                ev_total += ev_busy[s];
+                sv_total += sv_busy[s];
+                commit_total += commit_busy[s];
+            }
+            const std::uint64_t busy_total = ev_total + sv_total + commit_total;
+            if (busy_total > 0) {
+                const auto share = [&](std::uint64_t part) {
+                    return static_cast<util::Nanoseconds>(
+                        static_cast<double>(pass_wall) * static_cast<double>(part) /
+                        static_cast<double>(busy_total));
+                };
+                const util::Nanoseconds ev_share = share(ev_total);
+                const util::Nanoseconds sv_share = share(sv_total);
+                result.timings.ev.wall_ns += ev_share;
+                result.timings.sv.wall_ns += sv_share;
+                result.timings.update.wall_ns += pass_wall - ev_share - sv_share;
+            } else {
+                result.timings.other.wall_ns += pass_wall;
+            }
+            if (commit_total > 0) m.commit_ns.observe(commit_total);
+        }
+
+        if (cancel_.cancelled()) {
+            // The pass may have skipped both shard and proof chunks: finish
+            // applying committed blocks' spends, discard the window.
+            flush_deferred_serial();
+            m.blocks_inflight.set(0);
+            result.aborted = true;
+            break;
+        }
+        deferred.clear();  // fully applied by the pass
+
+        // ---- Stage 3: resolve + commit, serial block order -----------------
+        // Walks each block's inputs in order, interleaving the parallel
+        // pass's EV verdicts with UV (against the pending-spend overlay),
+        // maturity and value rules — exactly the serial validator's
+        // resolution order, so the first failure is the serial one.
+        stall_watch.restart();
+        DeferredSpends fresh;                          // spends of blocks committed below
+        std::unordered_set<std::uint64_t> overlay_spent;  // this window's committed spends
+        bool window_failed = false;
+        bool aborted_mid_window = false;
+        for (std::size_t b = 0; b < accepted && !window_failed; ++b) {
+            if (cancel_.cancelled()) {
+                aborted_mid_window = true;
+                break;
+            }
+            const EbvBlock& block = window[b];
+            const std::uint32_t height = window_base + static_cast<std::uint32_t>(b);
+            const std::size_t jobs_in_block =
+                (b + 1 < accepted ? job_begin[b + 1] : jobs.size()) - job_begin[b];
+
+            const auto fail = [&](EbvError error, std::size_t t, std::size_t i,
+                                  script::ScriptError script = script::ScriptError::kOk) {
+                result.failure = PipelineFailure{
+                    batch_index + b, height, EbvValidationFailure{error, t, i, script}};
+                window_failed = true;
+            };
+
+            std::unordered_set<std::uint64_t> spent_in_block;
+            chain::Amount total_fees = 0;
+            std::size_t j = job_begin[b];
+            for (std::size_t t = 1; t < block.txs.size() && !window_failed; ++t) {
+                const EbvTransaction& tx = block.txs[t];
+                chain::Amount value_in = 0;
+                for (std::size_t i = 0; i < tx.inputs.size(); ++i, ++j) {
+                    const EbvInput& in = tx.inputs[i];
+                    if (verdicts[j].ev != EvStatus::kOk) {
+                        fail(core::to_ebv_error(verdicts[j].ev), t, i);
+                        break;
+                    }
+                    // UV: the bit at the authenticated absolute position
+                    // must still be 1 — in the committed set or, for an
+                    // output spent earlier inside this window, not in the
+                    // pending-spend overlay.
+                    const std::uint32_t position = in.absolute_position();
+                    const std::uint64_t key = spent_key(in.height, position);
+                    if (!spent_in_block.insert(key).second) {
+                        fail(EbvError::kDoubleSpendInBlock, t, i);
+                        break;
+                    }
+                    if (overlay_spent.count(key) != 0 ||
+                        !status_.check_unspent(in.height, position)) {
+                        fail(EbvError::kUnspentFailed, t, i);
+                        break;
+                    }
+                    if (in.els.is_coinbase() &&
+                        height < in.height + params_.coinbase_maturity) {
+                        fail(EbvError::kImmatureCoinbaseSpend, t, i);
+                        break;
+                    }
+                    value_in += in.els.outputs[in.out_index].value;
+                }
+                if (window_failed) break;
+                const chain::Amount value_out = tx.total_output_value();
+                if (value_in < value_out) {
+                    fail(EbvError::kNegativeFee, t, 0);
+                    break;
+                }
+                total_fees += value_in - value_out;
+            }
+            if (window_failed) break;
+
+            const chain::Amount allowed = params_.subsidy_at(height) + total_fees;
+            if (block.txs[0].total_output_value() > allowed) {
+                fail(EbvError::kCoinbaseValueTooHigh, 0, 0);
+                break;
+            }
+
+            // SV verdicts resolve last, as their own phase (serial parity).
+            if (verify_scripts_) {
+                const std::size_t sj = sv_min[b].value.load(std::memory_order_relaxed);
+                if (sj < jobs_in_block) {
+                    const ProofJob& sv_job = jobs[job_begin[b] + sj];
+                    fail(EbvError::kScriptFailure, sv_job.tx_index, sv_job.input_index,
+                         verdicts[job_begin[b] + sj].script);
+                    break;
+                }
+            }
+
+            // Commit: install header + status vector now; spent bits join
+            // the next window's parallel pass via `fresh`.
+            util::Stopwatch commit_watch;
+            const bool linked = headers_.append(block.header);
+            EBV_ENSURES(linked);
+            status_.insert_block(height, static_cast<std::uint32_t>(block.output_count()));
+            std::uint64_t proof_bytes = 0;
+            for (std::size_t t = 1; t < block.txs.size(); ++t) {
+                for (const EbvInput& in : block.txs[t].inputs) {
+                    const std::uint32_t position = in.absolute_position();
+                    fresh.add(in.height, position);
+                    overlay_spent.insert(spent_key(in.height, position));
+                    proof_bytes += in.mbr.byte_size() + in.els.serialized_size();
+                }
+            }
+            on_commit(block, height);
+            result.timings.update.wall_ns += commit_watch.elapsed_ns();
+
+            ++result.connected;
+            result.timings.inputs += block.input_count();
+            result.timings.outputs += block.output_count();
+            m.connects.inc();
+            m.txs.inc(block.txs.size());
+            m.inputs.inc(block.input_count());
+            m.outputs.inc(block.output_count());
+            m.proof_bytes.inc(proof_bytes);
+        }
+
+        if (aborted_mid_window) {
+            // Cancelled between blocks (e.g. from the commit hook): blocks
+            // already committed this window keep their spends applied; the
+            // rest of the window is discarded unvalidated.
+            deferred = std::move(fresh);
+            for (auto& flag : shard_done) flag.store(false, std::memory_order_relaxed);
+            flush_deferred_serial();
+            m.blocks_inflight.set(0);
+            result.aborted = true;
+            break;
+        }
+
+        // A structural failure is reported only when every block before it
+        // committed — otherwise the earlier resolution failure won, exactly
+        // as in the serial loop.
+        if (!window_failed && structural_failure.has_value()) {
+            result.failure = PipelineFailure{batch_index + accepted,
+                                             window_base + static_cast<std::uint32_t>(accepted),
+                                             *structural_failure};
+            window_failed = true;
+        }
+
+        const std::int64_t stall_after_pass = stall_watch.elapsed_ns();
+        m.stall_ns.observe(static_cast<std::uint64_t>(stall_before_pass + stall_after_pass));
+        result.timings.other.wall_ns += stall_before_pass;
+        result.timings.uv.wall_ns += stall_after_pass;
+        m.blocks_inflight.set(0);
+
+        if (window_failed) {
+            m.rejects.inc();
+            deferred = std::move(fresh);
+            for (auto& flag : shard_done) flag.store(false, std::memory_order_relaxed);
+            flush_deferred_serial();
+            break;
+        }
+
+        deferred = std::move(fresh);
+        for (auto& flag : shard_done) flag.store(false, std::memory_order_relaxed);
+        batch_index += window_len;
+    }
+
+    // Final flush: the last window's spends haven't ridden a pass yet.
+    if (!deferred.empty()) {
+        util::Stopwatch watch;
+        std::vector<BitVectorSet::SpentRecord> all;
+        all.reserve(deferred.total);
+        for (const auto& shard : deferred.by_shard)
+            all.insert(all.end(), shard.begin(), shard.end());
+        status_.spend_batch(all, pool_);
+        deferred.clear();
+        const auto ns = watch.elapsed_ns();
+        result.timings.update.wall_ns += ns;
+        m.commit_ns.observe(static_cast<std::uint64_t>(ns));
+    }
+
+    result.wall_ns = static_cast<std::uint64_t>(run_watch.elapsed_ns());
+    return result;
+}
+
+}  // namespace ebv::ibd

@@ -7,6 +7,7 @@
 #include "core/bitvector.hpp"
 #include "core/bitvector_set.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ebv::core {
 namespace {
@@ -185,6 +186,85 @@ TEST(BitVectorSet, SaveLoadRoundTrip) {
     EXPECT_EQ(*loaded, set);
     EXPECT_EQ(loaded->memory_bytes(), set.memory_bytes());
     EXPECT_EQ(loaded->dense_memory_bytes(), set.dense_memory_bytes());
+}
+
+// ---- Sharded spent-bit application (the IBD pipeline's stage 3) ------------
+
+/// Random fixture shared by the batch tests: 32 blocks, ~2000 distinct
+/// spends, including one block spent down to deletion.
+struct BatchFixture {
+    std::vector<std::uint32_t> sizes;
+    std::vector<BitVectorSet::SpentRecord> spends;
+
+    BatchFixture() {
+        util::Rng rng(11);
+        std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+        for (std::uint32_t h = 0; h < 32; ++h)
+            sizes.push_back(static_cast<std::uint32_t>(rng.between(1, 300)));
+        for (int i = 0; i < 4000; ++i) {
+            const auto h = static_cast<std::uint32_t>(rng.below(32));
+            const auto p = static_cast<std::uint32_t>(rng.below(sizes[h]));
+            if (seen.emplace(h, p).second) spends.push_back({h, p});
+        }
+        // Fully spend block 7 so the batch path exercises vector deletion.
+        for (std::uint32_t p = 0; p < sizes[7]; ++p) {
+            if (seen.emplace(7u, p).second) spends.push_back({7u, p});
+        }
+    }
+
+    [[nodiscard]] BitVectorSet fresh_set() const {
+        BitVectorSet set;
+        for (std::uint32_t h = 0; h < sizes.size(); ++h) set.insert_block(h, sizes[h]);
+        return set;
+    }
+};
+
+TEST(BitVectorSet, SpendBatchMatchesIndividualSpends) {
+    const BatchFixture fx;
+    BitVectorSet one_by_one = fx.fresh_set();
+    for (const auto& s : fx.spends)
+        ASSERT_TRUE(one_by_one.spend(s.height, s.position).has_value());
+
+    BitVectorSet batched = fx.fresh_set();
+    batched.spend_batch(fx.spends);  // serial path (no pool)
+
+    EXPECT_TRUE(batched == one_by_one);
+    EXPECT_EQ(batched.memory_bytes(), one_by_one.memory_bytes());
+    EXPECT_EQ(batched.dense_memory_bytes(), one_by_one.dense_memory_bytes());
+    EXPECT_FALSE(batched.has_vector(7));  // fully spent -> deleted
+}
+
+TEST(BitVectorSet, SpendBatchParallelMatchesSerial) {
+    const BatchFixture fx;
+    BitVectorSet serial = fx.fresh_set();
+    serial.spend_batch(fx.spends);
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        util::ThreadPool pool(threads);
+        BitVectorSet parallel = fx.fresh_set();
+        parallel.spend_batch(fx.spends, &pool);
+        EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+        EXPECT_EQ(parallel.memory_bytes(), serial.memory_bytes()) << "threads=" << threads;
+        EXPECT_EQ(parallel.vector_count(), serial.vector_count()) << "threads=" << threads;
+    }
+}
+
+TEST(BitVectorSet, SpendShardAppliesOneShard) {
+    BitVectorSet set;
+    // Heights 3 and 3+16 share shard 3; height 4 does not.
+    set.insert_block(3, 4);
+    set.insert_block(19, 4);
+    set.insert_block(4, 4);
+    ASSERT_EQ(BitVectorSet::shard_of(3), BitVectorSet::shard_of(19));
+    ASSERT_NE(BitVectorSet::shard_of(3), BitVectorSet::shard_of(4));
+
+    const std::vector<BitVectorSet::SpentRecord> records{{3, 1}, {19, 2}, {19, 3}};
+    set.spend_shard(BitVectorSet::shard_of(3), records.data(), records.size());
+
+    EXPECT_FALSE(set.check_unspent(3, 1).has_value());
+    EXPECT_FALSE(set.check_unspent(19, 2).has_value());
+    EXPECT_TRUE(set.check_unspent(3, 0).has_value());
+    EXPECT_TRUE(set.check_unspent(4, 1).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,285 @@
+// ebv::ibd determinism fixtures: the pipelined IBD path must accept and
+// reject exactly the blocks the serial submit_block loop does — same
+// connected count, same failing block, bit-for-bit the same
+// EbvValidationFailure tuple — for every window size and thread count,
+// including chains where a block spends an output created (or spent) by an
+// earlier block inside the same lookahead window.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/node.hpp"
+#include "ibd/pipeline.hpp"
+#include "intermediary/converter.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+namespace ebv {
+namespace {
+
+constexpr std::size_t kChainLen = 30;
+
+workload::GeneratorOptions options_for(std::uint64_t seed) {
+    workload::GeneratorOptions options;
+    options.seed = seed;
+    options.params.coinbase_maturity = 5;
+    options.schedule = workload::EraSchedule::flat(4.0, 1.6, 2.0);
+    options.height_scale = 1.0;
+    options.intensity = 1.0;
+    options.key_pool_size = 8;
+    return options;
+}
+
+struct FinalState {
+    std::size_t memory_bytes = 0;
+    std::size_t vector_count = 0;
+    std::uint32_t next_height = 0;
+    crypto::Hash256 tip;
+};
+
+class IbdPipeline : public ::testing::Test {
+protected:
+    void SetUp() override {
+        // The node-level entry point consults EBV_PIPELINE / _WINDOW; make
+        // sure the ambient environment can't flip which path runs.
+        ::unsetenv("EBV_PIPELINE");
+        ::unsetenv("EBV_PIPELINE_WINDOW");
+
+        gen_options_ = options_for(7);
+        workload::ChainGenerator gen(gen_options_);
+        intermediary::Converter converter;
+        for (std::size_t i = 0; i < kChainLen; ++i) {
+            auto converted = converter.convert_block(gen.next_block());
+            ASSERT_TRUE(converted.has_value());
+            chain_.push_back(*converted);
+        }
+    }
+
+    ibd::BatchResult run_batch(const std::vector<core::EbvBlock>& blocks,
+                               util::ThreadPool* pool, bool pipelined,
+                               std::size_t window, FinalState* out = nullptr) {
+        core::EbvNodeOptions options;
+        options.params = gen_options_.params;
+        options.validator.script_pool = pool;
+        options.pipeline.enabled = pipelined;
+        options.pipeline.window = window;
+        core::EbvNode node(options);
+        ibd::BatchResult result = node.submit_blocks(blocks);
+        EXPECT_EQ(result.pipelined, pipelined);
+        if (out != nullptr) {
+            out->memory_bytes = node.status().memory_bytes();
+            out->vector_count = node.status().vector_count();
+            out->next_height = node.next_height();
+            out->tip = node.headers().tip_hash();
+        }
+        return result;
+    }
+
+    /// Serial vs pipelined over the W × threads grid, expecting identical
+    /// accept/reject behaviour and failure tuples.
+    void expect_parity(const std::vector<core::EbvBlock>& blocks) {
+        FinalState serial_state;
+        const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1, &serial_state);
+
+        for (const std::size_t window : {1u, 4u, 16u}) {
+            for (const std::size_t threads : {1u, 2u, 8u}) {
+                util::ThreadPool pool(threads);
+                FinalState state;
+                const ibd::BatchResult piped =
+                    run_batch(blocks, &pool, true, window, &state);
+
+                const auto label = ::testing::Message()
+                                   << "window=" << window << " threads=" << threads;
+                EXPECT_EQ(serial.connected, piped.connected) << label;
+                ASSERT_EQ(serial.failure.has_value(), piped.failure.has_value()) << label;
+                if (serial.failure.has_value()) {
+                    EXPECT_EQ(serial.failure->block_index, piped.failure->block_index)
+                        << label;
+                    EXPECT_EQ(serial.failure->height, piped.failure->height) << label;
+                    EXPECT_TRUE(serial.failure->failure == piped.failure->failure)
+                        << label << " serial=" << serial.failure->failure.describe()
+                        << " piped=" << piped.failure->failure.describe();
+                }
+                EXPECT_EQ(serial_state.memory_bytes, state.memory_bytes) << label;
+                EXPECT_EQ(serial_state.vector_count, state.vector_count) << label;
+                EXPECT_EQ(serial_state.next_height, state.next_height) << label;
+                EXPECT_EQ(serial_state.tip, state.tip) << label;
+            }
+        }
+    }
+
+    /// Index of a block at or after `from` with at least one real input.
+    std::size_t block_with_inputs(std::size_t from) {
+        for (std::size_t i = from; i < chain_.size(); ++i)
+            if (chain_[i].input_count() > 0) return i;
+        ADD_FAILURE() << "no block with inputs at or after " << from;
+        return from;
+    }
+
+    workload::GeneratorOptions gen_options_;
+    std::vector<core::EbvBlock> chain_;
+};
+
+TEST_F(IbdPipeline, EmptyBatchIsOk) {
+    util::ThreadPool pool(2);
+    const ibd::BatchResult result = run_batch({}, &pool, true, 4);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.connected, 0u);
+}
+
+TEST_F(IbdPipeline, ValidChainMatchesSerialAcrossWindowsAndThreads) {
+    // The whole point of the dependency tracker: the workload must actually
+    // contain spends that land inside a 16-block lookahead window.
+    std::uint32_t min_spend_distance = UINT32_MAX;
+    for (std::size_t b = 0; b < chain_.size(); ++b) {
+        for (const core::EbvTransaction& tx : chain_[b].txs) {
+            for (const core::EbvInput& in : tx.inputs) {
+                min_spend_distance =
+                    std::min(min_spend_distance, static_cast<std::uint32_t>(b) - in.height);
+            }
+        }
+    }
+    ASSERT_LT(min_spend_distance, 16u)
+        << "workload has no intra-window spend chain; pick another seed";
+
+    const std::uint64_t windows_before =
+        obs::Registry::global().counter("ebv.ibd.windows").value();
+    expect_parity(chain_);
+    EXPECT_GT(obs::Registry::global().counter("ebv.ibd.windows").value(), windows_before);
+}
+
+TEST_F(IbdPipeline, BadSignatureRejectsIdentically) {
+    std::vector<core::EbvBlock> blocks = chain_;
+    const std::size_t k = block_with_inputs(kChainLen / 2);
+    for (auto& tx : blocks[k].txs) {
+        if (tx.inputs.empty()) continue;
+        ASSERT_GT(tx.inputs.back().unlock_script.size(), 6u);
+        tx.inputs.back().unlock_script[5] ^= 0x11;
+        break;
+    }
+    blocks[k].assign_stake_positions();
+
+    const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1);
+    ASSERT_TRUE(serial.failure.has_value());
+    EXPECT_EQ(serial.failure->block_index, k);
+    EXPECT_EQ(serial.failure->failure.error, core::EbvError::kScriptFailure);
+    expect_parity(blocks);
+}
+
+TEST_F(IbdPipeline, ProofTamperOutranksLaterStructuralBreak) {
+    // Block k carries a broken Merkle branch (EV failure); block k+1 in the
+    // same window is structurally corrupt. The serial loop never reaches
+    // k+1, so the pipeline must report k's existence failure even though
+    // its structural pass saw k+1 first.
+    std::vector<core::EbvBlock> blocks = chain_;
+    const std::size_t k = block_with_inputs(kChainLen / 2);
+    ASSERT_LT(k + 1, blocks.size());
+    for (auto& tx : blocks[k].txs) {
+        if (tx.inputs.empty()) continue;
+        core::EbvInput& in = tx.inputs.front();
+        if (!in.mbr.siblings.empty()) {
+            in.mbr.siblings[0].bytes()[0] ^= 0x01;
+        } else {
+            in.els.locktime ^= 1;
+        }
+        break;
+    }
+    blocks[k].assign_stake_positions();
+    blocks[k + 1].txs[0].stake_position += 7;
+    blocks[k + 1].header.merkle_root = blocks[k + 1].compute_merkle_root();
+
+    const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1);
+    ASSERT_TRUE(serial.failure.has_value());
+    EXPECT_EQ(serial.failure->block_index, k);
+    EXPECT_EQ(serial.failure->failure.error, core::EbvError::kExistenceFailed);
+    expect_parity(blocks);
+}
+
+TEST_F(IbdPipeline, CrossBlockDoubleSpendCaughtInsideWindow) {
+    // Replay an input block k already spent into block k+1: with W >= 2
+    // both blocks are in flight at once and only the pending-spend overlay
+    // can catch it — the committed bit-vector set still shows the bit set
+    // while the window validates.
+    std::vector<core::EbvBlock> blocks = chain_;
+    const std::size_t k = block_with_inputs(kChainLen / 2);
+    const std::size_t v = block_with_inputs(k + 1);
+    ASSERT_LT(v, blocks.size());
+
+    const core::EbvInput* spent = nullptr;
+    for (const auto& tx : blocks[k].txs)
+        if (!tx.inputs.empty()) spent = &tx.inputs.front();
+    ASSERT_NE(spent, nullptr);
+
+    std::size_t victim_tx = 0;
+    for (std::size_t t = 1; t < blocks[v].txs.size(); ++t)
+        if (!blocks[v].txs[t].inputs.empty()) victim_tx = t;
+    ASSERT_GT(victim_tx, 0u);
+    const std::size_t victim_input = blocks[v].txs[victim_tx].inputs.size();
+    blocks[v].txs[victim_tx].inputs.push_back(*spent);
+    blocks[v].assign_stake_positions();
+
+    const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1);
+    ASSERT_TRUE(serial.failure.has_value());
+    EXPECT_EQ(serial.failure->block_index, v);
+    EXPECT_EQ(serial.failure->failure.error, core::EbvError::kUnspentFailed);
+    EXPECT_EQ(serial.failure->failure.tx_index, victim_tx);
+    EXPECT_EQ(serial.failure->failure.input_index, victim_input);
+    expect_parity(blocks);
+}
+
+TEST_F(IbdPipeline, StructuralFailureTupleMatches) {
+    std::vector<core::EbvBlock> blocks = chain_;
+    const std::size_t k = kChainLen / 2;
+    blocks[k].txs[0].stake_position += 7;
+    blocks[k].header.merkle_root = blocks[k].compute_merkle_root();
+
+    const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1);
+    ASSERT_TRUE(serial.failure.has_value());
+    EXPECT_EQ(serial.failure->block_index, k);
+    EXPECT_EQ(serial.failure->failure.error, core::EbvError::kBadStakePosition);
+    expect_parity(blocks);
+}
+
+TEST_F(IbdPipeline, CancelUnwindsWindowAndResumesCleanly) {
+    util::ThreadPool pool(4);
+    ibd::PipelineOptions options;
+    options.enabled = true;
+    options.window = 8;
+
+    chain::HeaderIndex headers;
+    core::BitVectorSet status;
+    ibd::Pipeline pipeline(gen_options_.params, headers, status, options, &pool);
+
+    std::size_t commits = 0;
+    const ibd::BatchResult first =
+        pipeline.run(std::span<const core::EbvBlock>(chain_).first(12),
+                     [&](const core::EbvBlock&, std::uint32_t) {
+                         if (++commits == 3) pipeline.cancel();
+                     });
+    EXPECT_TRUE(first.aborted);
+    EXPECT_FALSE(first.failure.has_value());
+    EXPECT_EQ(first.connected, 3u);
+    EXPECT_EQ(headers.size(), 3u);
+
+    // Committed blocks must be fully applied (spent bits included), so a
+    // fresh run on the same state can pick up exactly where cancel() hit.
+    pipeline.reset_cancel();
+    const ibd::BatchResult rest =
+        pipeline.run(std::span<const core::EbvBlock>(chain_).subspan(first.connected));
+    EXPECT_TRUE(rest.ok());
+    EXPECT_EQ(first.connected + rest.connected, chain_.size());
+
+    FinalState serial_state;
+    const ibd::BatchResult serial = run_batch(chain_, nullptr, false, 1, &serial_state);
+    EXPECT_TRUE(serial.ok());
+    EXPECT_EQ(status.memory_bytes(), serial_state.memory_bytes);
+    EXPECT_EQ(status.vector_count(), serial_state.vector_count);
+    EXPECT_EQ(headers.tip_hash(), serial_state.tip);
+}
+
+}  // namespace
+}  // namespace ebv
