@@ -84,38 +84,47 @@ int main() {
                 best_reduction);
 
     // ---- Thread-count sweep: fused parallel EV+SV -------------------------
-    // A fresh node per thread count replays the prefix, then the same ten
-    // measured blocks; ev_sv_ms sums the proof-bound (parallelized) phases.
+    // A fresh node per (thread count, batch mode) replays the prefix, then
+    // the same ten measured blocks; ev_sv_ms sums the proof-bound
+    // (parallelized) phases. The batched rows defer OP_CHECKSIG triples into
+    // crypto::verify_batch; the sweep pins both modes explicitly so an
+    // EBV_BATCH_VERIFY ambient setting cannot collapse the comparison.
     std::printf("\nEBV thread-count sweep — EV+SV wall time over the measured blocks\n");
-    std::printf("%-8s %12s %10s\n", "threads", "ev_sv_ms", "speedup");
-    bench::print_rule(32);
+    std::printf("%-8s %8s %12s %10s\n", "threads", "batch", "ev_sv_ms", "speedup");
+    bench::print_rule(40);
 
     double base_ev_sv_ms = 0;
-    for (const std::size_t threads : bench::env_thread_sweep()) {
-        util::ThreadPool pool(threads);
-        core::EbvNodeOptions sweep_options = ebv_options;
-        sweep_options.validator.script_pool = &pool;
-        core::EbvNode sweep_node(sweep_options);
-        for (std::uint32_t i = 0; i + measured < blocks; ++i)
-            if (!sweep_node.submit_block(ebv_chain[i])) {
-                report.aborted("block rejected during thread sweep");
-                return 1;
-            }
+    for (const bool batched : {false, true}) {
+        for (const std::size_t threads : bench::env_thread_sweep()) {
+            util::ThreadPool pool(threads);
+            core::EbvNodeOptions sweep_options = ebv_options;
+            sweep_options.validator.script_pool = &pool;
+            sweep_options.validator.batch_verify = batched;
+            core::EbvNode sweep_node(sweep_options);
+            for (std::uint32_t i = 0; i + measured < blocks; ++i)
+                if (!sweep_node.submit_block(ebv_chain[i])) {
+                    report.aborted("block rejected during thread sweep");
+                    return 1;
+                }
 
-        double ev_sv_ms = 0;
-        for (std::uint32_t i = blocks - measured; i < blocks; ++i) {
-            auto r = sweep_node.submit_block(ebv_chain[i]);
-            if (!r) {
-                report.aborted("block rejected during thread sweep");
-                return 1;
+            double ev_sv_ms = 0;
+            for (std::uint32_t i = blocks - measured; i < blocks; ++i) {
+                auto r = sweep_node.submit_block(ebv_chain[i]);
+                if (!r) {
+                    report.aborted("block rejected during thread sweep");
+                    return 1;
+                }
+                ev_sv_ms += bench::ms(r->ev) + bench::ms(r->sv);
             }
-            ev_sv_ms += bench::ms(r->ev) + bench::ms(r->sv);
+            // Speedup is relative to the serial inline row in both modes.
+            if (threads == 1 && !batched) base_ev_sv_ms = ev_sv_ms;
+            const double speedup = ev_sv_ms > 0 ? base_ev_sv_ms / ev_sv_ms : 0.0;
+            std::printf("%-8zu %8s %12.2f %9.2fx\n", threads,
+                        batched ? "on" : "off", ev_sv_ms, speedup);
+            report.row(
+                "{\"threads\":%zu,\"batch\":%s,\"ev_sv_ms\":%.3f,\"speedup\":%.3f}",
+                threads, batched ? "true" : "false", ev_sv_ms, speedup);
         }
-        if (threads == 1) base_ev_sv_ms = ev_sv_ms;
-        const double speedup = ev_sv_ms > 0 ? base_ev_sv_ms / ev_sv_ms : 0.0;
-        std::printf("%-8zu %12.2f %9.2fx\n", threads, ev_sv_ms, speedup);
-        report.row("{\"threads\":%zu,\"ev_sv_ms\":%.3f,\"speedup\":%.3f}", threads,
-                   ev_sv_ms, speedup);
     }
     return 0;
 }

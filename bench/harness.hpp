@@ -31,6 +31,7 @@
 #include "intermediary/converter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "workload/generator.hpp"
 #include "workload/stats.hpp"
@@ -49,16 +50,11 @@ inline double env_double(const char* name, double fallback) {
 
 /// Thread counts for a parallel-validation sweep: 1/2/4 plus the machine's
 /// hardware concurrency, plus EBV_THREADS when set — deduplicated and
-/// ascending.
+/// ascending (the pure logic lives in util::thread_sweep_counts so the
+/// dedupe guarantee is unit-tested).
 inline std::vector<std::size_t> env_thread_sweep() {
-    std::vector<std::size_t> counts{1, 2, 4};
-    if (const std::size_t hw = std::thread::hardware_concurrency(); hw > 0)
-        counts.push_back(hw);
-    if (const std::uint64_t env = env_u64("EBV_THREADS", 0); env > 0)
-        counts.push_back(static_cast<std::size_t>(env));
-    std::sort(counts.begin(), counts.end());
-    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
-    return counts;
+    return util::thread_sweep_counts(std::thread::hardware_concurrency(),
+                                     env_u64("EBV_THREADS", 0));
 }
 
 inline storage::DeviceProfile env_device() {

@@ -1,9 +1,11 @@
 #include "core/ebv_validator.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "chain/amount.hpp"
+#include "core/sv_batcher.hpp"
 #include "crypto/ecdsa.hpp"
 #include "util/assert.hpp"
 #include "obs/metrics.hpp"
@@ -109,18 +111,33 @@ std::optional<EbvValidationFailure> check_block_structure(const EbvBlock& block,
 
 bool EbvSignatureChecker::check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
                                           util::ByteSpan script_code) const {
-    if (signature.empty()) return false;
+    const auto job = prepare_signature(signature, pubkey, script_code);
+    if (!job) return false;
+    return job->key.verify(job->digest, job->sig);
+}
+
+std::optional<crypto::VerifyJob> EbvSignatureChecker::prepare_signature(
+    util::ByteSpan signature, util::ByteSpan pubkey, util::ByteSpan script_code) const {
+    if (signature.empty()) return std::nullopt;
     const std::uint8_t hash_type = signature.back();
-    if (hash_type != 0x01) return false;  // SIGHASH_ALL only
+    if (hash_type != 0x01) return std::nullopt;  // SIGHASH_ALL only
 
     const auto sig = crypto::Signature::from_der(signature.first(signature.size() - 1));
-    if (!sig) return false;
+    if (!sig) return std::nullopt;
     const auto key = crypto::PublicKey::parse(pubkey);
-    if (!key) return false;
+    if (!key) return std::nullopt;
 
-    const crypto::Hash256 digest =
-        ebv_signature_hash(tx_, input_index_, script_code, hash_type);
-    return key->verify(digest, *sig);
+    return crypto::VerifyJob{
+        *key, *sig, ebv_signature_hash(tx_, input_index_, script_code, hash_type)};
+}
+
+bool batch_verify_enabled(const EbvValidatorOptions& options) {
+    if (options.batch_verify.has_value()) return *options.batch_verify;
+    static const bool env_default = [] {
+        const char* v = std::getenv("EBV_BATCH_VERIFY");
+        return v != nullptr && std::strtoul(v, nullptr, 10) != 0;
+    }();
+    return env_default;
 }
 
 namespace {
@@ -291,6 +308,19 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
     std::vector<std::uint64_t> ev_busy(slots, 0);
     std::vector<std::uint64_t> sv_busy(slots, 0);
 
+    // Deferred batched signature checking (docs/CRYPTO.md): SV jobs record
+    // signature triples per slot and resolve through crypto::verify_batch;
+    // resolve_sv writes the same verdict slots + CAS-min the inline path
+    // does, so the resolution below is identical either way.
+    const auto resolve_sv = [&](std::size_t j, script::ScriptError err) {
+        if (err != script::ScriptError::kOk) {
+            results[j].script = err;
+            cas_min(first_sv_fail, j);
+        }
+    };
+    std::optional<SvBatcher> batcher;
+    if (verify_scripts && batch_verify_enabled(options_)) batcher.emplace(slots, resolve_sv);
+
     const auto check_input = [&](std::size_t slot, std::size_t j) {
         if (j > first_ev_fail.load(std::memory_order_relaxed)) return;
         const InputJob& job = jobs[j];
@@ -309,10 +339,10 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         // SV, fused into the same job while the input is cache-hot.
         if (!verify_scripts || j > first_sv_fail.load(std::memory_order_relaxed)) return;
         watch.restart();
-        const script::ScriptError err = sv_check_input(*job.tx, job.input_index);
-        if (err != script::ScriptError::kOk) {
-            results[j].script = err;
-            cas_min(first_sv_fail, j);
+        if (batcher) {
+            batcher->check(slot, j, *job.tx, job.input_index);
+        } else {
+            resolve_sv(j, sv_check_input(*job.tx, job.input_index));
         }
         sv_busy[slot] += watch.elapsed_ns();
     };
@@ -324,6 +354,13 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         options_.script_pool->parallel_for_slots(jobs.size(), check_input);
     } else {
         for (std::size_t j = 0; j < jobs.size(); ++j) check_input(0, j);
+    }
+    if (batcher) {
+        // Drain the below-target remainders on the caller's thread; still
+        // SV work, so it stays inside the pass wall clock.
+        util::Stopwatch flush_watch;
+        batcher->flush_all();
+        sv_busy[0] += flush_watch.elapsed_ns();
     }
     const util::Nanoseconds pass_wall = pass_watch.elapsed_ns();
 

@@ -1,0 +1,114 @@
+#include "core/sv_batcher.hpp"
+
+#include <memory>
+
+#include "core/ebv_validator.hpp"
+#include "obs/metrics.hpp"
+
+namespace ebv::core {
+
+namespace {
+
+/// Registry handles, resolved once (values survive Registry::reset()).
+struct CryptoMetrics {
+    obs::Histogram& batch_size;
+    obs::Counter& inversions_saved;
+    obs::Counter& batch_fallbacks;
+
+    static CryptoMetrics& get() {
+        static CryptoMetrics m{
+            obs::Registry::global().histogram(
+                "ebv.crypto.batch_size", obs::Histogram::exponential_bounds(1, 2.0, 8)),
+            obs::Registry::global().counter("ebv.crypto.inversions_saved"),
+            obs::Registry::global().counter("ebv.crypto.batch_fallbacks"),
+        };
+        return m;
+    }
+};
+
+}  // namespace
+
+SvBatcher::SvBatcher(std::size_t slots, Resolve resolve)
+    : resolve_(resolve), slots_(slots == 0 ? 1 : slots) {}
+
+void SvBatcher::check(std::size_t slot_index, std::size_t tag, const EbvTransaction& tx,
+                      std::size_t input_index) {
+    Slot& slot = slots_[slot_index];
+    const EbvInput& in = tx.inputs[input_index];
+
+    const EbvSignatureChecker inner(tx, input_index);
+    const script::DeferringSignatureChecker deferring(inner);
+    const script::ScriptError err = script::verify_script(
+        in.unlock_script, in.els.outputs[in.out_index].lock_script, deferring);
+    std::vector<crypto::VerifyJob>& collected = deferring.collected();
+
+    if (collected.empty()) {
+        // No signature was deferred, so the run was identical to inline.
+        resolve_(tag, err);
+        return;
+    }
+    if (err != script::ScriptError::kOk) {
+        // The script failed even with optimistic signature results; the
+        // inline error may differ (an optimistic `true` can steer
+        // conditionals), so re-run for the authoritative verdict.
+        ++slot.stats.fallbacks;
+        CryptoMetrics::get().batch_fallbacks.inc();
+        resolve_(tag, sv_check_input(tx, input_index));
+        return;
+    }
+
+    const std::size_t begin = slot.triples.size();
+    slot.triples.insert(slot.triples.end(),
+                        std::make_move_iterator(collected.begin()),
+                        std::make_move_iterator(collected.end()));
+    slot.pending.push_back(Pending{tag, &tx, input_index, begin, slot.triples.size()});
+    if (slot.triples.size() >= kBatchTarget) flush(slot);
+}
+
+void SvBatcher::flush(Slot& slot) {
+    if (slot.pending.empty()) return;
+    CryptoMetrics& m = CryptoMetrics::get();
+
+    const std::unique_ptr<bool[]> verdicts(new bool[slot.triples.size()]);
+    const crypto::BatchVerifyStats batch_stats =
+        crypto::verify_batch({slot.triples.data(), slot.triples.size()}, verdicts.get());
+    ++slot.stats.batches;
+    slot.stats.signatures += slot.triples.size();
+    slot.stats.inversions_saved += batch_stats.inversions_saved;
+    m.batch_size.observe(static_cast<std::uint64_t>(slot.triples.size()));
+    m.inversions_saved.inc(batch_stats.inversions_saved);
+
+    for (const Pending& p : slot.pending) {
+        bool all_valid = true;
+        for (std::size_t j = p.triple_begin; j < p.triple_end; ++j)
+            all_valid &= verdicts[j];
+        if (all_valid) {
+            // Optimistic run succeeded and every deferred signature is
+            // genuine: an inline run takes the same path and succeeds.
+            resolve_(p.tag, script::ScriptError::kOk);
+        } else {
+            ++slot.stats.fallbacks;
+            m.batch_fallbacks.inc();
+            resolve_(p.tag, sv_check_input(*p.tx, p.input_index));
+        }
+    }
+    slot.pending.clear();
+    slot.triples.clear();
+}
+
+void SvBatcher::flush_all() {
+    for (Slot& slot : slots_) flush(slot);
+}
+
+SvBatcher::Stats SvBatcher::stats() const {
+    Stats total;
+    for (const Slot& slot : slots_) {
+        total.batches += slot.stats.batches;
+        total.signatures += slot.stats.signatures;
+        total.inversions_saved += slot.stats.inversions_saved;
+        total.fallbacks += slot.stats.fallbacks;
+    }
+    return total;
+}
+
+}  // namespace ebv::core

@@ -1,0 +1,83 @@
+// Per-worker deferred Script Validation: each thread-pool slot runs its SV
+// jobs with a collect-mode checker (script::DeferringSignatureChecker),
+// accumulates the recorded (pubkey, sig, sighash) triples, and drains them
+// through crypto::verify_batch once enough are pending — amortizing the
+// per-signature modular inversions across the batch (docs/CRYPTO.md).
+//
+// Determinism contract: an input resolves kOk through the batch only when
+// its optimistic script run succeeded AND every one of its triples
+// batch-verified — in which case an inline run would have made the exact
+// same opcode decisions and also succeeded. Any other outcome (optimistic
+// failure with deferred triples, or a batch miss) re-runs the input inline
+// via sv_check_input, so the resolved ScriptError is always the inline one
+// and failure tuples are bit-identical to a serial, unbatched validator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ebv_transaction.hpp"
+#include "script/interpreter.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ebv::core {
+
+class SvBatcher {
+public:
+    /// Verdict callback: resolve(tag, err) fires exactly once per check()
+    /// call, on the slot's thread (or on the flush_all() caller). `tag` is
+    /// the caller-chosen job identifier passed to check(). The referenced
+    /// callable must outlive the batcher's last check()/flush_all().
+    using Resolve = util::FunctionRef<void(std::size_t, script::ScriptError)>;
+
+    /// Triples pending per slot before a drain; small enough to stay
+    /// cache-resident, large enough that the amortized inversion cost
+    /// (1 + 3(N-1) mults instead of N Fermat inversions) is near its floor.
+    static constexpr std::size_t kBatchTarget = 16;
+
+    SvBatcher(std::size_t slots, Resolve resolve);
+
+    /// Deferred SV for one input: runs the script optimistically on `slot`,
+    /// resolving immediately when no signature was deferred (the run is
+    /// then identical to an inline one) and queueing otherwise. `tx` must
+    /// outlive the resolving flush.
+    void check(std::size_t slot, std::size_t tag, const EbvTransaction& tx,
+               std::size_t input_index);
+
+    /// Drain every slot's pending batch. Call once after the parallel
+    /// barrier, single-threaded; check() must not run concurrently.
+    void flush_all();
+
+    struct Stats {
+        std::uint64_t batches = 0;           ///< verify_batch invocations
+        std::uint64_t signatures = 0;        ///< triples drained through batches
+        std::uint64_t inversions_saved = 0;  ///< amortized modular inversions
+        std::uint64_t fallbacks = 0;         ///< inputs re-run inline
+    };
+    /// Aggregate over all slots; call after flush_all().
+    [[nodiscard]] Stats stats() const;
+
+private:
+    struct Pending {
+        std::size_t tag;
+        const EbvTransaction* tx;
+        std::size_t input_index;
+        std::size_t triple_begin;  ///< into Slot::triples
+        std::size_t triple_end;
+    };
+    // Slots are touched by one thread at a time (util::ThreadPool slot
+    // semantics); alignment keeps neighbouring slots off one cache line.
+    struct alignas(64) Slot {
+        std::vector<Pending> pending;
+        std::vector<crypto::VerifyJob> triples;
+        Stats stats;
+    };
+
+    void flush(Slot& slot);
+
+    Resolve resolve_;
+    std::vector<Slot> slots_;
+};
+
+}  // namespace ebv::core

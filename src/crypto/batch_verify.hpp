@@ -1,0 +1,42 @@
+// Batched ECDSA verification: amortizes the two per-signature modular
+// inversions (s⁻¹ over the group order, the Jacobian z⁻¹ over the field)
+// across N signatures via Montgomery batch inversion, and replaces the two
+// independent scalar multiplications of a one-at-a-time verify with one
+// Strauss/Shamir double-scalar pass per signature.
+//
+// Verdicts are bit-identical to PublicKey::verify per job — every early
+// reject (invalid key, r or s out of [1, n-1]) is replicated in the same
+// order, and the batched field/scalar operations compute the same canonical
+// values (modular inverses and affine coordinates are unique). That
+// equivalence is what lets the script layer's deferred-check mode fall back
+// to inline verification without changing any accept/reject outcome; see
+// docs/CRYPTO.md for the contract.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/hash_types.hpp"
+
+namespace ebv::crypto {
+
+/// One deferred signature check: the (pubkey, signature, sighash) triple an
+/// OP_CHECKSIG-family opcode would verify inline.
+struct VerifyJob {
+    PublicKey key;
+    Signature sig;
+    Hash256 digest;
+};
+
+struct BatchVerifyStats {
+    std::size_t checked = 0;           ///< jobs examined
+    std::size_t accepted = 0;          ///< jobs whose verdict is true
+    std::size_t inversions_saved = 0;  ///< modular inversions amortized away
+};
+
+/// Verify every job, writing verdicts[i] == jobs[i].key.verify(
+/// jobs[i].digest, jobs[i].sig) for all i — accept AND reject cases.
+BatchVerifyStats verify_batch(std::span<const VerifyJob> jobs, bool* verdicts);
+
+}  // namespace ebv::crypto

@@ -153,6 +153,14 @@ std::optional<Signature> Signature::from_der(util::ByteSpan der) {
     if (!s) return std::nullopt;
     if (pos != der.size()) return std::nullopt;
 
+    // Strict range check at parse time: r, s must be in [1, n-1]. verify()
+    // rejects out-of-range values anyway, so this cannot change any
+    // accept/reject verdict — it only moves the rejection earlier, before a
+    // 33-byte zero-padded integer body could smuggle in a value >= n.
+    if (r->is_zero() || s->is_zero()) return std::nullopt;
+    if (!u256_less(*r, order().modulus()) || !u256_less(*s, order().modulus()))
+        return std::nullopt;
+
     return Signature{*r, *s};
 }
 
@@ -184,9 +192,7 @@ bool PublicKey::verify(const Hash256& msg_hash, const Signature& sig) const {
     const U256 u1 = n.mul(z, s_inv);
     const U256 u2 = n.mul(sig.r, s_inv);
 
-    const secp256k1::Point lhs = secp256k1::multiply_generator(u1);
-    const secp256k1::Point rhs = secp256k1::multiply(point_, u2);
-    const secp256k1::Point R = secp256k1::add(lhs, rhs);
+    const secp256k1::Point R = secp256k1::multiply_double_generator(point_, u1, u2);
     if (R.infinity) return false;
 
     return n.reduce(R.x) == sig.r;

@@ -1,6 +1,8 @@
 #include "crypto/secp256k1.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -148,6 +150,100 @@ const GeneratorTable& generator_table() {
     return table;
 }
 
+// ---- Strauss/Shamir interleaved double-scalar multiplication ---------------
+// u1·G + u2·P shares one doubling chain across both scalars; each scalar is
+// recoded in width-5 NAF (odd digits in ±{1,3,...,15}), so on average one
+// table addition every w+1 = 6 doublings per scalar.
+
+constexpr int kWnafWidth = 5;
+constexpr int kWnafTableSize = 1 << (kWnafWidth - 2);  // 8 odd multiples
+constexpr int kWnafMaxDigits = 260;                    // 257 needed; slack for safety
+
+Jacobian jnegate(const Jacobian& a) {
+    if (a.infinity()) return a;
+    return Jacobian{a.x, field().neg(a.y), a.z};
+}
+
+/// table[i] = (2i+1)·P — the odd multiples P, 3P, ..., 15P.
+void odd_multiples(const Jacobian& p, Jacobian table[kWnafTableSize]) {
+    table[0] = p;
+    const Jacobian p2 = jdouble(p);
+    for (int i = 1; i < kWnafTableSize; ++i) table[i] = jadd(table[i - 1], p2);
+}
+
+/// Width-w NAF recoding: sum(digits[i] * 2^i) == k, every nonzero digit odd
+/// with |digit| < 2^(w-1), at most one nonzero digit per w consecutive
+/// positions. Returns the digit count (<= 257 for k < n).
+int wnaf_recode(U256 k, std::int8_t digits[kWnafMaxDigits]) {
+    int len = 0;
+    while (!k.is_zero()) {
+        std::int8_t digit = 0;
+        if (k.is_odd()) {
+            const unsigned window =
+                static_cast<unsigned>(k.limbs[0]) & ((1u << kWnafWidth) - 1);
+            int d = static_cast<int>(window);
+            if (d >= (1 << (kWnafWidth - 1))) d -= 1 << kWnafWidth;
+            // k -= d. After the subtraction k is divisible by 2^w, so the
+            // next w-1 digits are zero. A negative digit adds |d| <= 15;
+            // k < n < 2^256 - 2^128 keeps the sum below 2^256.
+            if (d > 0) {
+                u256_sub(k, U256::from_u64(static_cast<std::uint64_t>(d)), k);
+            } else {
+                const std::uint64_t carry =
+                    u256_add(k, U256::from_u64(static_cast<std::uint64_t>(-d)), k);
+                EBV_ASSERT(carry == 0);
+            }
+            digit = static_cast<std::int8_t>(d);
+        }
+        EBV_ASSERT(len < kWnafMaxDigits);
+        digits[len++] = digit;
+        // k >>= 1.
+        for (int i = 0; i < 4; ++i) {
+            k.limbs[i] >>= 1;
+            if (i + 1 < 4) k.limbs[i] |= k.limbs[i + 1] << 63;
+        }
+    }
+    return len;
+}
+
+/// Odd multiples of G, computed once.
+struct GeneratorWnafTable {
+    Jacobian entries[kWnafTableSize];
+    GeneratorWnafTable() { odd_multiples(Jacobian{kGx, kGy, U256::one()}, entries); }
+};
+
+const GeneratorWnafTable& generator_wnaf_table() {
+    static const GeneratorWnafTable table;
+    return table;
+}
+
+/// The shared core: u1·G + u2·P in Jacobian coordinates (so batch callers
+/// can amortize the affine conversion).
+Jacobian strauss_double_multiply(const Point& p, const U256& u1, const U256& u2) {
+    std::int8_t dg[kWnafMaxDigits];
+    std::int8_t dp[kWnafMaxDigits];
+    const int lg = wnaf_recode(order().reduce(u1), dg);
+    const int lp = p.infinity ? 0 : wnaf_recode(order().reduce(u2), dp);
+
+    Jacobian table_p[kWnafTableSize];
+    if (lp > 0) odd_multiples(to_jacobian(p), table_p);
+    const Jacobian* table_g = generator_wnaf_table().entries;
+
+    Jacobian acc = Jacobian::at_infinity();
+    for (int i = std::max(lg, lp) - 1; i >= 0; --i) {
+        acc = jdouble(acc);
+        if (i < lg && dg[i] != 0) {
+            const Jacobian& entry = table_g[(std::abs(dg[i]) - 1) / 2];
+            acc = jadd(acc, dg[i] > 0 ? entry : jnegate(entry));
+        }
+        if (i < lp && dp[i] != 0) {
+            const Jacobian& entry = table_p[(std::abs(dp[i]) - 1) / 2];
+            acc = jadd(acc, dp[i] > 0 ? entry : jnegate(entry));
+        }
+    }
+    return acc;
+}
+
 }  // namespace
 
 const ModArith& field() {
@@ -192,6 +288,37 @@ Point multiply_generator(const U256& k) {
     const U256 k_reduced = order().reduce(k);
     if (k_reduced.is_zero()) return Point::at_infinity();
     return to_affine(generator_table().multiply(k_reduced));
+}
+
+Point multiply_double_generator(const Point& p, const U256& u1, const U256& u2) {
+    return to_affine(strauss_double_multiply(p, u1, u2));
+}
+
+std::size_t multiply_double_generator_batch(std::span<const DoubleScalar> jobs,
+                                            Point* out) {
+    std::vector<Jacobian> raw(jobs.size());
+    std::vector<U256> zs;
+    zs.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        raw[i] = strauss_double_multiply(jobs[i].p, jobs[i].u1, jobs[i].u2);
+        if (!raw[i].infinity()) zs.push_back(raw[i].z);
+    }
+
+    field().inverse_batch(zs.data(), zs.size());
+
+    const ModArith& f = field();
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (raw[i].infinity()) {
+            out[i] = Point::at_infinity();
+            continue;
+        }
+        const U256& zinv = zs[next++];
+        const U256 zinv2 = f.sqr(zinv);
+        const U256 zinv3 = f.mul(zinv2, zinv);
+        out[i] = Point{f.mul(raw[i].x, zinv2), f.mul(raw[i].y, zinv3), false};
+    }
+    return zs.size() > 1 ? zs.size() - 1 : 0;
 }
 
 void serialize_compressed(const Point& p, util::MutableByteSpan out33) {

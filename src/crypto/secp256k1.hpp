@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "crypto/u256.hpp"
 #include "util/span.hpp"
@@ -42,6 +43,26 @@ Point negate(const Point& a);
 Point multiply(const Point& p, const U256& k);
 /// k * G using the fixed-base table (much faster; used by signing).
 Point multiply_generator(const U256& k);
+
+/// u1·G + u2·P in one interleaved Strauss/Shamir wNAF pass (shared double
+/// chain, precomputed odd-multiple tables for G and P) — the ECDSA
+/// verification workhorse. Scalars are reduced mod n; equals
+/// add(multiply_generator(u1), multiply(p, u2)) for every input.
+Point multiply_double_generator(const Point& p, const U256& u1, const U256& u2);
+
+/// One u1·G + u2·P job for the batch form below.
+struct DoubleScalar {
+    Point p;
+    U256 u1;
+    U256 u2;
+};
+
+/// Batch multiply_double_generator: out[i] = jobs[i].u1·G + jobs[i].u2·P,
+/// with every Jacobian→affine conversion sharing one Montgomery-batched
+/// field inversion. Returns the number of modular inversions saved relative
+/// to per-job calls (0 when fewer than two results are finite points).
+std::size_t multiply_double_generator_batch(std::span<const DoubleScalar> jobs,
+                                            Point* out);
 
 /// 33-byte compressed SEC1 encoding (02/03 prefix + big-endian x).
 void serialize_compressed(const Point& p, util::MutableByteSpan out33);

@@ -1,5 +1,7 @@
 #include "crypto/u256.hpp"
 
+#include <vector>
+
 #include "util/assert.hpp"
 #include "util/endian.hpp"
 
@@ -184,6 +186,29 @@ U256 ModArith::inverse(const U256& a) const {
     U256 exp;
     u256_sub(m_, U256::from_u64(2), exp);
     return pow(a, exp);
+}
+
+void ModArith::inverse_batch(U256* values, std::size_t n) const {
+    if (n == 0) return;
+    if (n == 1) {
+        values[0] = inverse(values[0]);
+        return;
+    }
+
+    // prefix[i] = values[0] * ... * values[i]. The product is nonzero iff
+    // every factor is (m is prime), so inverse() below doubles as the
+    // all-nonzero precondition check.
+    std::vector<U256> prefix(n);
+    prefix[0] = reduce(values[0]);
+    for (std::size_t i = 1; i < n; ++i) prefix[i] = mul(prefix[i - 1], values[i]);
+
+    U256 inv = inverse(prefix[n - 1]);
+    for (std::size_t i = n - 1; i > 0; --i) {
+        const U256 value = values[i];
+        values[i] = mul(inv, prefix[i - 1]);
+        inv = mul(inv, value);
+    }
+    values[0] = inv;
 }
 
 }  // namespace ebv::crypto

@@ -65,6 +65,11 @@ public:
     /// Inverse via Fermat's little theorem (modulus must be prime);
     /// input must be nonzero.
     [[nodiscard]] U256 inverse(const U256& a) const;
+    /// Montgomery batch inversion: replace each of the n values with its
+    /// inverse using ONE Fermat inversion plus 3(n-1) multiplications.
+    /// Every value must be nonzero mod m; results are bit-identical to n
+    /// independent inverse() calls (the inverse in [0, m) is unique).
+    void inverse_batch(U256* values, std::size_t n) const;
     /// Reduce an arbitrary 256-bit value into [0, m).
     [[nodiscard]] U256 reduce(const U256& a) const;
     /// Reduce a 512-bit value (8 limbs) into [0, m).

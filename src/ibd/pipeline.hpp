@@ -51,15 +51,20 @@ public:
     /// block reported in BatchResult as never committed — by return.
     using CommitHook = util::FunctionRef<void(const core::EbvBlock&, std::uint32_t)>;
 
+    /// `batch_verify` routes SV through the deferred batched-signature
+    /// path (core::SvBatcher + crypto::verify_batch, docs/CRYPTO.md);
+    /// failure parity with the inline path is preserved by its fallback.
     Pipeline(const chain::ChainParams& params, chain::HeaderIndex& headers,
              core::BitVectorSet& status, PipelineOptions options,
-             util::ThreadPool* pool, bool verify_scripts = true)
+             util::ThreadPool* pool, bool verify_scripts = true,
+             bool batch_verify = false)
         : params_(params),
           headers_(headers),
           status_(status),
           options_(options),
           pool_(pool),
-          verify_scripts_(verify_scripts) {}
+          verify_scripts_(verify_scripts),
+          batch_verify_(batch_verify) {}
 
     /// Validate and connect `blocks` on top of the current tip. Publishes
     /// `ebv.ibd.*` metrics (docs/OBSERVABILITY.md). Not re-entrant.
@@ -81,6 +86,7 @@ private:
     PipelineOptions options_;
     util::ThreadPool* pool_;
     bool verify_scripts_;
+    bool batch_verify_;
     util::CancelToken cancel_;
 };
 

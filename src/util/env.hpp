@@ -1,0 +1,28 @@
+// Small pure helpers behind environment-driven configuration, split out of
+// the bench harness so they can be unit-tested without touching the real
+// environment.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ebv::util {
+
+/// Thread counts for a parallel-validation sweep: the fixed {1, 2, 4} base,
+/// plus `hardware` (hardware_concurrency; ignored when 0), plus `extra`
+/// (the EBV_THREADS override; ignored when 0) — ascending and deduplicated,
+/// so a sweep's JSON report never carries two rows for one thread count
+/// even when the overrides collide with a base entry.
+inline std::vector<std::size_t> thread_sweep_counts(std::size_t hardware,
+                                                    std::uint64_t extra) {
+    std::vector<std::size_t> counts{1, 2, 4};
+    if (hardware > 0) counts.push_back(hardware);
+    if (extra > 0) counts.push_back(static_cast<std::size_t>(extra));
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    return counts;
+}
+
+}  // namespace ebv::util

@@ -29,10 +29,13 @@ public:
     /// Insert or overwrite; cost is the entry's contribution to the budget.
     /// Inserting may evict other (least recently used) entries. The entry
     /// being inserted is never evicted by its own insertion, even if its
-    /// cost alone exceeds the budget.
+    /// cost alone exceeds the budget. Overwriting counts as eviction of the
+    /// old value — the handler runs so owners can write back dirty state
+    /// they would otherwise silently lose.
     void put(const K& key, V value, std::size_t cost) {
         auto it = index_.find(key);
         if (it != index_.end()) {
+            if (on_evict_) on_evict_(it->second->key, it->second->value);
             total_cost_ -= it->second->cost;
             order_.erase(it->second);
             index_.erase(it);

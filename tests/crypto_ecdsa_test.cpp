@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "crypto/ecdsa.hpp"
 #include "crypto/hash_types.hpp"
 #include "crypto/secp256k1.hpp"
@@ -195,6 +197,108 @@ TEST(Ecdsa, DerRejectsMalformed) {
     der[0] = 0x30;
     der[1] += 1;  // wrong length
     EXPECT_FALSE(Signature::from_der(der).has_value());
+}
+
+TEST(Ecdsa, LowSBoundaryIsExactlyHalfTheOrder) {
+    // n is odd, so the canonical threshold is floor(n/2) = (n-1)/2:
+    // s == n/2 is the largest accepted value, n/2 + 1 the smallest rejected.
+    U256 half = k1::order().modulus();
+    for (int i = 0; i < 4; ++i) {
+        half.limbs[i] >>= 1;
+        if (i + 1 < 4) half.limbs[i] |= half.limbs[i + 1] << 63;
+    }
+    Signature sig{U256::one(), half};
+    EXPECT_TRUE(sig.is_low_s());
+    sig.s = k1::order().add(half, U256::one());
+    EXPECT_FALSE(sig.is_low_s());
+    // And a signature plus its negation straddle the boundary.
+    util::Rng rng(53);
+    const Signature low = PrivateKey::generate(rng).sign(msg_hash("low-s"));
+    EXPECT_TRUE(low.is_low_s());
+    const Signature high{low.r, k1::order().neg(low.s)};
+    EXPECT_FALSE(high.is_low_s());
+}
+
+TEST(Ecdsa, DerRejectsEdgeCases) {
+    // Baseline: minimal r = s = 1 parses.
+    const std::uint8_t ok[] = {0x30, 0x06, 0x02, 0x01, 0x01, 0x02, 0x01, 0x01};
+    ASSERT_TRUE(Signature::from_der(ok).has_value());
+
+    // Negative INTEGER (top bit set, no 0x00 pad).
+    const std::uint8_t negative[] = {0x30, 0x06, 0x02, 0x01, 0x81, 0x02, 0x01, 0x01};
+    EXPECT_FALSE(Signature::from_der(negative).has_value());
+
+    // Non-minimal padding: 0x00 prefix on a byte without its top bit set.
+    const std::uint8_t padded[] = {0x30, 0x07, 0x02, 0x02, 0x00,
+                                   0x01, 0x02, 0x01, 0x01};
+    EXPECT_FALSE(Signature::from_der(padded).has_value());
+
+    // Trailing garbage past the two INTEGERs (outer length includes it).
+    const std::uint8_t trailing[] = {0x30, 0x07, 0x02, 0x01, 0x01,
+                                     0x02, 0x01, 0x01, 0x00};
+    EXPECT_FALSE(Signature::from_der(trailing).has_value());
+
+    // Zero INTEGERs: r = 0 and s = 0 are outside [1, n-1].
+    const std::uint8_t zero_r[] = {0x30, 0x06, 0x02, 0x01, 0x00, 0x02, 0x01, 0x01};
+    EXPECT_FALSE(Signature::from_der(zero_r).has_value());
+    const std::uint8_t zero_s[] = {0x30, 0x06, 0x02, 0x01, 0x01, 0x02, 0x01, 0x00};
+    EXPECT_FALSE(Signature::from_der(zero_s).has_value());
+
+    // 73 bytes: one past the longest legal encoding.
+    std::uint8_t oversize[73] = {};
+    oversize[0] = 0x30;
+    oversize[1] = 71;
+    EXPECT_FALSE(Signature::from_der({oversize, 73}).has_value());
+}
+
+TEST(Ecdsa, DerRejectsOutOfRangeScalars) {
+    // A 33-byte padded INTEGER (0x00 + 32 value bytes, top bit set) is
+    // minimally encoded, so it can carry any 256-bit value — including the
+    // group order itself, which from_der must now reject at parse time.
+    util::Bytes der{0x30, 0x26, 0x02, 0x21, 0x00};
+    std::uint8_t n_bytes[32];
+    k1::order().modulus().to_be_bytes(n_bytes);
+    der.insert(der.end(), n_bytes, n_bytes + 32);  // r = n
+    der.insert(der.end(), {0x02, 0x01, 0x01});     // s = 1
+    ASSERT_EQ(der.size(), der[1] + 2u);
+    EXPECT_FALSE(Signature::from_der(der).has_value());
+
+    // Same shape with r = n - 1 (in range) must parse.
+    U256 n_minus_1;
+    u256_sub(k1::order().modulus(), U256::one(), n_minus_1);
+    n_minus_1.to_be_bytes(n_bytes);
+    std::copy(n_bytes, n_bytes + 32, der.begin() + 5);
+    const auto parsed = Signature::from_der(der);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->r, n_minus_1);
+    EXPECT_EQ(parsed->s, U256::one());
+}
+
+TEST(Ecdsa, VerifyReducesRxModOrderAndRejectsUnreducedR) {
+    // verify() accepts iff reduce(R.x) == r. R.x lives in the field
+    // [0, p) where p > n, so values in [n, p) must fold down by exactly n —
+    // pin that reduction contract on the order arithmetic directly.
+    const ModArith& n = k1::order();
+    U256 x = n.modulus();
+    x.limbs[0] += 5;  // n + 5 < p, representative of an unreduced R.x
+    EXPECT_EQ(n.reduce(x), U256::from_u64(5));
+    EXPECT_EQ(n.reduce(n.modulus()), U256::zero());
+
+    // The flip side: a signature presenting the *unreduced* value as r is
+    // outside [1, n-1] and dies in the range check, never at the curve.
+    util::Rng rng(54);
+    const PrivateKey key = PrivateKey::generate(rng);
+    const Hash256 digest = msg_hash("reduced r");
+    const Signature sig = key.sign(digest);
+    ASSERT_TRUE(key.public_key().verify(digest, sig));
+
+    Signature unreduced = sig;
+    unreduced.r = n.modulus();  // smallest value reduce() would fold
+    EXPECT_FALSE(key.public_key().verify(digest, unreduced));
+
+    // High-s acceptance: verify is policy-free, so n - s also verifies.
+    const Signature high{sig.r, n.neg(sig.s)};
+    EXPECT_TRUE(key.public_key().verify(digest, high));
 }
 
 TEST(Ecdsa, PrivateKeyFromBytesRejectsOutOfRange) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/lru.hpp"
 
@@ -63,6 +65,29 @@ TEST(LruExtra, OverwriteReplacesCost) {
     EXPECT_EQ(*lru.get(1), 11);
     lru.put(1, 12, 90);  // overwrite with bigger cost
     EXPECT_EQ(lru.total_cost(), 90u);
+}
+
+TEST(LruExtra, OverwriteInvokesEvictionHandlerForOldValue) {
+    // Regression: put() over an existing key silently dropped the old value
+    // without running the handler, so a dirty page overwritten in place was
+    // never written back. Overwrite must count as eviction of the old value.
+    std::vector<std::pair<int, std::string>> evicted;
+    LruMap<int, std::string> lru(100);
+    lru.set_eviction_handler(
+        [&](const int& k, std::string& v) { evicted.emplace_back(k, v); });
+
+    lru.put(1, "dirty-old", 10);
+    lru.put(1, "fresh-new", 10);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, 1);
+    EXPECT_EQ(evicted[0].second, "dirty-old");  // old value, before replacement
+    EXPECT_EQ(*lru.get(1), "fresh-new");
+    EXPECT_EQ(lru.size(), 1u);
+
+    // A plain insert of a distinct key still runs the handler only on
+    // budget-driven eviction, not on the insert itself.
+    lru.put(2, "two", 10);
+    EXPECT_EQ(evicted.size(), 1u);
 }
 
 TEST(LruExtra, ClearInvokesHandlerForEverything) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/hex.hpp"
 #include "util/lru.hpp"
 #include "util/rng.hpp"
@@ -191,6 +192,20 @@ TEST(ThreadPool, PropagatesFirstException) {
 TEST(ThreadPool, ZeroItemsIsNoop) {
     ThreadPool pool(2);
     pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Env, ThreadSweepCountsAreSortedAndDeduplicated) {
+    using Counts = std::vector<std::size_t>;
+    // Bench sweeps must never emit two rows for one thread count, even when
+    // hardware_concurrency or EBV_THREADS collides with the {1,2,4} base.
+    EXPECT_EQ(thread_sweep_counts(0, 0), (Counts{1, 2, 4}));
+    EXPECT_EQ(thread_sweep_counts(4, 0), (Counts{1, 2, 4}));
+    EXPECT_EQ(thread_sweep_counts(1, 2), (Counts{1, 2, 4}));
+    EXPECT_EQ(thread_sweep_counts(8, 0), (Counts{1, 2, 4, 8}));
+    EXPECT_EQ(thread_sweep_counts(8, 8), (Counts{1, 2, 4, 8}));
+    EXPECT_EQ(thread_sweep_counts(8, 16), (Counts{1, 2, 4, 8, 16}));
+    EXPECT_EQ(thread_sweep_counts(16, 8), (Counts{1, 2, 4, 8, 16}));
+    EXPECT_EQ(thread_sweep_counts(3, 6), (Counts{1, 2, 3, 4, 6}));
 }
 
 }  // namespace
