@@ -4,9 +4,12 @@
 
 #include <memory>
 
+#include "chain/sighash.hpp"
+#include "chain/sighash_template.hpp"
 #include "crypto/batch_verify.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/merkle.hpp"
+#include "crypto/parse_memo.hpp"
 #include "crypto/sha256.hpp"
 #include "util/rng.hpp"
 
@@ -161,6 +164,100 @@ void BM_PubkeyParse(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_PubkeyParse);
+
+void BM_PubkeyParseMemo(benchmark::State& state) {
+    util::Rng rng(7);
+    const auto bytes = crypto::PrivateKey::generate(rng).public_key().serialize();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::parse_public_key_memo(bytes));
+    }
+}
+BENCHMARK(BM_PubkeyParseMemo);
+
+// ---- Sighash: naive re-serialization vs O(n) template ----------------------
+// Arg is the input count n. The naive path re-serializes the whole
+// transaction per input (O(n · tx_size) total); the template serializes once
+// and patch-and-hashes per input. Both loops produce all n digests per
+// iteration, so items/s are directly comparable at each n.
+
+chain::Transaction sighash_bench_tx(std::size_t inputs) {
+    util::Rng rng(10);
+    chain::Transaction tx;
+    tx.vin.resize(inputs);
+    for (auto& in : tx.vin) {
+        rng.fill({in.prevout.txid.bytes().data(), 32});
+        in.prevout.index = static_cast<std::uint32_t>(rng.next());
+    }
+    tx.vout.resize(2);
+    for (auto& out : tx.vout) {
+        out.value = 50'000;
+        out.lock_script.resize(25);  // P2PKH-sized
+        rng.fill(out.lock_script);
+    }
+    return tx;
+}
+
+void BM_Sighash_Naive(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const chain::Transaction tx = sighash_bench_tx(n);
+    util::Bytes script(25);
+    util::Rng(11).fill(script);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i) {
+            benchmark::DoNotOptimize(
+                chain::signature_hash(tx, i, script, chain::kSigHashAll));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Sighash_Naive)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Streaming consumption: midstate resume + patch per digest (what an
+// isolated checker does). Build cost is paid every iteration, like the
+// validators pay it once per transaction.
+void BM_Sighash_TemplateStream(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const chain::Transaction tx = sighash_bench_tx(n);
+    util::Bytes script(25);
+    util::Rng(11).fill(script);
+    for (auto _ : state) {
+        const chain::SighashTemplate tpl = chain::SighashTemplate::build(tx);
+        for (std::size_t i = 0; i < n; ++i) {
+            benchmark::DoNotOptimize(tpl.digest(i, script, chain::kSigHashAll));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.SetLabel(crypto::sha256_impl());
+}
+BENCHMARK(BM_Sighash_TemplateStream)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Batched consumption: materialize the n patched preimages from the base
+// buffer and push them through one sha256d_many call — the SIMD-lane path
+// core::TxSighashCache takes for a transaction's standard digests.
+void BM_Sighash_Template(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const chain::Transaction tx = sighash_bench_tx(n);
+    util::Bytes script(25);
+    util::Rng(11).fill(script);
+    std::vector<util::Bytes> preimages(n);
+    std::vector<util::ByteSpan> spans(n);
+    std::vector<crypto::Sha256::Digest> digests(n);
+    for (auto _ : state) {
+        const chain::SighashTemplate tpl = chain::SighashTemplate::build(tx);
+        for (std::size_t i = 0; i < n; ++i) {
+            tpl.preimage(i, script, chain::kSigHashAll, preimages[i]);
+            spans[i] = {preimages[i].data(), preimages[i].size()};
+        }
+        crypto::sha256d_many(spans.data(), digests.data(), n);
+        benchmark::DoNotOptimize(digests.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.SetLabel(crypto::sha256_batch_impl());
+}
+BENCHMARK(BM_Sighash_Template)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 

@@ -1,15 +1,34 @@
 #include "chain/sighash.hpp"
 
 #include "crypto/ecdsa.hpp"
+#include "crypto/parse_memo.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace ebv::chain {
+
+namespace {
+
+/// Analytic preimage size so the Writer allocates exactly once.
+std::size_t sighash_preimage_size(const Transaction& tx, util::ByteSpan script_code) {
+    std::size_t size = 4 /* version */ + util::compact_size_length(tx.vin.size()) +
+                       41 * (tx.vin.size() - 1)  /* blanked inputs */
+                       + 40 + util::compact_size_length(script_code.size()) +
+                       script_code.size()  /* the signed input */
+                       + util::compact_size_length(tx.vout.size()) + 4 /* locktime */ +
+                       4 /* hash type */;
+    for (const TxOut& out : tx.vout)
+        size += 8 + util::compact_size_length(out.lock_script.size()) + out.lock_script.size();
+    return size;
+}
+
+}  // namespace
 
 crypto::Hash256 signature_hash(const Transaction& tx, std::size_t input_index,
                                util::ByteSpan script_code, SigHashType type) {
     EBV_EXPECTS(input_index < tx.vin.size());
 
-    util::Writer w;
+    util::Writer w(sighash_preimage_size(tx, script_code));
     w.u32(tx.version);
     w.compact_size(tx.vin.size());
     for (std::size_t i = 0; i < tx.vin.size(); ++i) {
@@ -49,14 +68,21 @@ bool TransactionSignatureChecker::check_signature(util::ByteSpan signature,
     const auto hash_type = static_cast<SigHashType>(signature.back());
     if (hash_type != kSigHashAll) return false;
 
-    const auto sig = crypto::Signature::from_der(signature.first(signature.size() - 1));
+    const auto sig = crypto::parse_signature_der_memo(signature.first(signature.size() - 1));
     if (!sig) return false;
 
-    const auto key = crypto::PublicKey::parse(pubkey);
+    const auto key = crypto::parse_public_key_memo(pubkey);
     if (!key) return false;
 
-    const crypto::Hash256 digest = signature_hash(tx_, input_index_, script_code, hash_type);
-    return key->verify(digest, *sig);
+    if (tpl_ == nullptr) {
+        return key->verify(signature_hash(tx_, input_index_, script_code, hash_type),
+                           *sig);
+    }
+    static obs::Counter& bytes_saved =
+        obs::Registry::global().counter("ebv.crypto.sighash_bytes_saved");
+    bytes_saved.inc(static_cast<std::uint64_t>(tpl_->prefix_skipped(input_index_)) +
+                    tpl_->preimage_size(input_index_, script_code));
+    return key->verify(tpl_->digest(input_index_, script_code, hash_type), *sig);
 }
 
 }  // namespace ebv::chain

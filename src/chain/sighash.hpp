@@ -2,6 +2,9 @@
 // uses when validating Bitcoin-style transactions.
 #pragma once
 
+#include <optional>
+
+#include "chain/sighash_template.hpp"
 #include "chain/transaction.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/hash_types.hpp"
@@ -27,8 +30,16 @@ util::Bytes sign_input(const Transaction& tx, std::size_t input_index,
 
 class TransactionSignatureChecker final : public script::SignatureChecker {
 public:
-    TransactionSignatureChecker(const Transaction& tx, std::size_t input_index)
-        : tx_(tx), input_index_(input_index) {}
+    /// `tpl`, when given, is a shared per-transaction template (built once,
+    /// reused across this tx's inputs — chain/validation.cpp builds one per
+    /// tx in the parallel SV pass, where the transaction is immutable for
+    /// the duration). Without one, the checker computes digests via the
+    /// naive signature_hash each call: a caller-owned checker may outlive
+    /// mutations of `tx`, so caching a serialization here would verify
+    /// against stale bytes.
+    TransactionSignatureChecker(const Transaction& tx, std::size_t input_index,
+                                const SighashTemplate* tpl = nullptr)
+        : tx_(tx), input_index_(input_index), tpl_(tpl) {}
 
     [[nodiscard]] bool check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
                                        util::ByteSpan script_code) const override;
@@ -36,6 +47,7 @@ public:
 private:
     const Transaction& tx_;
     std::size_t input_index_;
+    const SighashTemplate* tpl_;
 };
 
 }  // namespace ebv::chain

@@ -1,6 +1,7 @@
 #include "chain/validation.hpp"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -242,11 +243,22 @@ util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block_im
         std::optional<ValidationFailure> failure;
         std::mutex failure_mutex;
 
+        // One sighash template per transaction, shared by all of its input
+        // jobs and built lazily inside the parallel region by whichever
+        // worker reaches the tx first (contiguous chunking means that is
+        // almost always the worker that runs every input of the tx).
+        // once_flag is neither movable nor copyable, hence the raw array.
+        std::vector<std::optional<SighashTemplate>> templates(block.txs.size());
+        const auto tpl_once = std::make_unique<std::once_flag[]>(block.txs.size());
+
         auto check_one = [&](std::size_t j) {
             if (failed.load(std::memory_order_relaxed)) return;
             const PendingScript& job = script_jobs[j];
             const Transaction& tx = block.txs[job.tx_index];
-            TransactionSignatureChecker checker(tx, job.input_index);
+            std::call_once(tpl_once[job.tx_index],
+                           [&] { templates[job.tx_index] = SighashTemplate::build(tx); });
+            TransactionSignatureChecker checker(tx, job.input_index,
+                                                &*templates[job.tx_index]);
             const script::ScriptError err =
                 script::verify_script(tx.vin[job.input_index].unlock_script,
                                       job.coin.lock_script, checker);

@@ -253,8 +253,12 @@ chain::Amount EbvTransaction::total_output_value() const {
 crypto::Hash256 ebv_signature_hash(const EbvTransaction& tx, std::size_t input_index,
                                    util::ByteSpan script_code, std::uint8_t hash_type) {
     // Must match chain::signature_hash over the corresponding Bitcoin-style
-    // transaction byte for byte.
-    util::Writer w;
+    // transaction byte for byte. Exact analytic preimage size: blanked
+    // inputs are 41 bytes; input_index swaps its 1-byte blank for
+    // var_bytes(script_code).
+    util::Writer w(4 + util::compact_size_length(tx.inputs.size()) + 41 * tx.inputs.size() -
+                   1 + util::compact_size_length(script_code.size()) + script_code.size() +
+                   txouts_size(tx.outputs) + 4 /* locktime */ + 4 /* hash_type */);
     w.u32(tx.version);
     w.compact_size(tx.inputs.size());
     for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
@@ -367,9 +371,10 @@ util::Result<EbvBlock, util::DecodeError> EbvBlock::deserialize(util::Reader& r)
 }
 
 std::size_t EbvBlock::serialized_size() const {
-    util::Writer w;
-    serialize(w);
-    return w.size();
+    std::size_t size =
+        chain::BlockHeader::kSerializedSize + util::compact_size_length(txs.size());
+    for (const auto& tx : txs) size += tx.serialized_size();
+    return size;
 }
 
 std::size_t EbvBlock::input_count() const {

@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 
 #include "chain/amount.hpp"
 #include "core/sv_batcher.hpp"
 #include "crypto/ecdsa.hpp"
+#include "crypto/parse_memo.hpp"
+#include "crypto/sha256.hpp"
 #include "util/assert.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -67,9 +71,10 @@ EvStatus ev_check_input(const EbvInput& in, const chain::BlockHeader* header,
     return EvStatus::kOk;
 }
 
-script::ScriptError sv_check_input(const EbvTransaction& tx, std::size_t input_index) {
+script::ScriptError sv_check_input(const EbvTransaction& tx, std::size_t input_index,
+                                   const TxSighashCache* cache) {
     const EbvInput& in = tx.inputs[input_index];
-    EbvSignatureChecker checker(tx, input_index);
+    EbvSignatureChecker checker(tx, input_index, cache);
     return script::verify_script(in.unlock_script, in.els.outputs[in.out_index].lock_script,
                                  checker);
 }
@@ -122,13 +127,15 @@ std::optional<crypto::VerifyJob> EbvSignatureChecker::prepare_signature(
     const std::uint8_t hash_type = signature.back();
     if (hash_type != 0x01) return std::nullopt;  // SIGHASH_ALL only
 
-    const auto sig = crypto::Signature::from_der(signature.first(signature.size() - 1));
+    const auto sig = crypto::parse_signature_der_memo(signature.first(signature.size() - 1));
     if (!sig) return std::nullopt;
-    const auto key = crypto::PublicKey::parse(pubkey);
+    const auto key = crypto::parse_public_key_memo(pubkey);
     if (!key) return std::nullopt;
 
     return crypto::VerifyJob{
-        *key, *sig, ebv_signature_hash(tx_, input_index_, script_code, hash_type)};
+        *key, *sig,
+        cache_ != nullptr ? cache_->digest(input_index_, script_code, hash_type)
+                          : ebv_signature_hash(tx_, input_index_, script_code, hash_type)};
 }
 
 bool batch_verify_enabled(const EbvValidatorOptions& options) {
@@ -136,6 +143,15 @@ bool batch_verify_enabled(const EbvValidatorOptions& options) {
     static const bool env_default = [] {
         const char* v = std::getenv("EBV_BATCH_VERIFY");
         return v != nullptr && std::strtoul(v, nullptr, 10) != 0;
+    }();
+    return env_default;
+}
+
+bool sighash_template_enabled(const EbvValidatorOptions& options) {
+    if (options.sighash_template.has_value()) return *options.sighash_template;
+    static const bool env_default = [] {
+        const char* v = std::getenv("EBV_SIGHASH_TEMPLATE");
+        return v == nullptr || std::strtoul(v, nullptr, 10) != 0;  // default ON
     }();
     return env_default;
 }
@@ -175,6 +191,8 @@ struct EbvMetrics {
     obs::Counter& outputs;
     obs::Counter& proof_bytes;
     obs::Counter& pool_tasks;
+    obs::Counter& sighash_bytes_saved;
+    obs::Gauge& sha256_impl;
     obs::Histogram& ev_ns;
     obs::Histogram& uv_ns;
     obs::Histogram& sv_ns;
@@ -193,6 +211,8 @@ struct EbvMetrics {
             obs::Registry::global().counter("ebv.block.outputs"),
             obs::Registry::global().counter("ebv.block.proof_bytes"),
             obs::Registry::global().counter("ebv.pool.tasks"),
+            obs::Registry::global().counter("ebv.crypto.sighash_bytes_saved"),
+            obs::Registry::global().gauge("ebv.crypto.sha256_impl"),
             obs::Registry::global().histogram("ebv.block.ev_ns"),
             obs::Registry::global().histogram("ebv.block.uv_ns"),
             obs::Registry::global().histogram("ebv.block.sv_ns"),
@@ -212,6 +232,7 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block(
     const EbvBlock& block, std::uint32_t height) {
     auto result = connect_block_impl(block, height);
     EbvMetrics& m = EbvMetrics::get();
+    m.sha256_impl.set(crypto::sha256_impl_index());
     if (!result) {
         m.rejects.inc();
         return result;
@@ -321,6 +342,15 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
     std::optional<SvBatcher> batcher;
     if (verify_scripts && batch_verify_enabled(options_)) batcher.emplace(slots, resolve_sv);
 
+    // Per-transaction sighash templates, built lazily by whichever worker
+    // first reaches one of the transaction's inputs and shared by the rest
+    // (the template is immutable after construction). once_flag is neither
+    // movable nor copyable, so the array lives behind a unique_ptr.
+    const bool use_template = verify_scripts && sighash_template_enabled(options_);
+    std::vector<std::unique_ptr<TxSighashCache>> caches(use_template ? block.txs.size() : 0);
+    const auto cache_once =
+        use_template ? std::make_unique<std::once_flag[]>(block.txs.size()) : nullptr;
+
     const auto check_input = [&](std::size_t slot, std::size_t j) {
         if (j > first_ev_fail.load(std::memory_order_relaxed)) return;
         const InputJob& job = jobs[j];
@@ -339,10 +369,19 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         // SV, fused into the same job while the input is cache-hot.
         if (!verify_scripts || j > first_sv_fail.load(std::memory_order_relaxed)) return;
         watch.restart();
+        const TxSighashCache* cache = nullptr;
+        if (use_template && job.tx->inputs.size() >= kSighashCacheMinInputs) {
+            // Template construction counts as SV time (it replaces the
+            // per-input serialization the naive path would spend there).
+            std::call_once(cache_once[job.tx_index], [&] {
+                caches[job.tx_index] = std::make_unique<TxSighashCache>(*job.tx);
+            });
+            cache = caches[job.tx_index].get();
+        }
         if (batcher) {
-            batcher->check(slot, j, *job.tx, job.input_index);
+            batcher->check(slot, j, *job.tx, job.input_index, cache);
         } else {
-            resolve_sv(j, sv_check_input(*job.tx, job.input_index));
+            resolve_sv(j, sv_check_input(*job.tx, job.input_index, cache));
         }
         sv_busy[slot] += watch.elapsed_ns();
     };
@@ -387,6 +426,12 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
 
     {
         EbvMetrics& m = EbvMetrics::get();
+        if (use_template) {
+            std::uint64_t saved = 0;
+            for (const auto& cache : caches)
+                if (cache) saved += cache->bytes_saved();
+            if (saved > 0) m.sighash_bytes_saved.inc(saved);
+        }
         if (options_.script_pool != nullptr) {
             const util::PoolStats pool_after = options_.script_pool->stats();
             m.pool_tasks.inc(pool_after.tasks - pool_before.tasks);

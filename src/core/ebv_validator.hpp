@@ -17,6 +17,7 @@
 #include "chain/params.hpp"
 #include "core/bitvector_set.hpp"
 #include "core/ebv_transaction.hpp"
+#include "core/sighash_cache.hpp"
 #include "script/interpreter.hpp"
 #include "util/result.hpp"
 #include "util/stopwatch.hpp"
@@ -80,9 +81,11 @@ enum class EvStatus : std::uint8_t { kOk, kUnknownHeight, kBadOutIndex, kExisten
                                       std::uint32_t spending_height);
 
 /// SV for one input. The caller guarantees the input passed EV (so
-/// out_index is in range).
+/// out_index is in range). `cache` optionally shares the transaction's
+/// sighash template across inputs (nullptr = naive per-call serialization).
 [[nodiscard]] script::ScriptError sv_check_input(const EbvTransaction& tx,
-                                                 std::size_t input_index);
+                                                 std::size_t input_index,
+                                                 const TxSighashCache* cache = nullptr);
 
 /// The stateless structural pass: coinbase shape, stake-position
 /// assignment, output-value ranges, and the block's own Merkle root.
@@ -123,16 +126,25 @@ struct EbvValidatorOptions {
     /// docs/CRYPTO.md). nullopt defers to the EBV_BATCH_VERIFY environment
     /// knob (off when unset); an explicit value always wins over the env.
     std::optional<bool> batch_verify;
+    /// O(n) per-transaction sighash templates for SV (docs/CRYPTO.md).
+    /// nullopt defers to the EBV_SIGHASH_TEMPLATE environment knob (ON when
+    /// unset); an explicit value always wins over the env.
+    std::optional<bool> sighash_template;
 };
 
 /// Resolve the tri-state batch_verify option against EBV_BATCH_VERIFY.
 [[nodiscard]] bool batch_verify_enabled(const EbvValidatorOptions& options);
 
+/// Resolve the tri-state sighash_template option against
+/// EBV_SIGHASH_TEMPLATE (default ON).
+[[nodiscard]] bool sighash_template_enabled(const EbvValidatorOptions& options);
+
 /// SignatureChecker binding the script VM to EBV's signature-hash rules.
 class EbvSignatureChecker final : public script::SignatureChecker {
 public:
-    EbvSignatureChecker(const EbvTransaction& tx, std::size_t input_index)
-        : tx_(tx), input_index_(input_index) {}
+    EbvSignatureChecker(const EbvTransaction& tx, std::size_t input_index,
+                        const TxSighashCache* cache = nullptr)
+        : tx_(tx), input_index_(input_index), cache_(cache) {}
 
     [[nodiscard]] bool check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
                                        util::ByteSpan script_code) const override;
@@ -147,6 +159,7 @@ public:
 private:
     const EbvTransaction& tx_;
     std::size_t input_index_;
+    const TxSighashCache* cache_;
 };
 
 class EbvValidator {

@@ -32,11 +32,11 @@ SvBatcher::SvBatcher(std::size_t slots, Resolve resolve)
     : resolve_(resolve), slots_(slots == 0 ? 1 : slots) {}
 
 void SvBatcher::check(std::size_t slot_index, std::size_t tag, const EbvTransaction& tx,
-                      std::size_t input_index) {
+                      std::size_t input_index, const TxSighashCache* cache) {
     Slot& slot = slots_[slot_index];
     const EbvInput& in = tx.inputs[input_index];
 
-    const EbvSignatureChecker inner(tx, input_index);
+    const EbvSignatureChecker inner(tx, input_index, cache);
     const script::DeferringSignatureChecker deferring(inner);
     const script::ScriptError err = script::verify_script(
         in.unlock_script, in.els.outputs[in.out_index].lock_script, deferring);
@@ -53,7 +53,7 @@ void SvBatcher::check(std::size_t slot_index, std::size_t tag, const EbvTransact
         // conditionals), so re-run for the authoritative verdict.
         ++slot.stats.fallbacks;
         CryptoMetrics::get().batch_fallbacks.inc();
-        resolve_(tag, sv_check_input(tx, input_index));
+        resolve_(tag, sv_check_input(tx, input_index, cache));
         return;
     }
 
@@ -61,7 +61,7 @@ void SvBatcher::check(std::size_t slot_index, std::size_t tag, const EbvTransact
     slot.triples.insert(slot.triples.end(),
                         std::make_move_iterator(collected.begin()),
                         std::make_move_iterator(collected.end()));
-    slot.pending.push_back(Pending{tag, &tx, input_index, begin, slot.triples.size()});
+    slot.pending.push_back(Pending{tag, &tx, input_index, cache, begin, slot.triples.size()});
     if (slot.triples.size() >= kBatchTarget) flush(slot);
 }
 
@@ -89,7 +89,7 @@ void SvBatcher::flush(Slot& slot) {
         } else {
             ++slot.stats.fallbacks;
             m.batch_fallbacks.inc();
-            resolve_(p.tag, sv_check_input(*p.tx, p.input_index));
+            resolve_(p.tag, sv_check_input(*p.tx, p.input_index, p.cache));
         }
     }
     slot.pending.clear();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/ebv_transaction.hpp"
+#include "core/sighash_cache.hpp"
 #include "script/interpreter.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,10 +41,11 @@ public:
 
     /// Deferred SV for one input: runs the script optimistically on `slot`,
     /// resolving immediately when no signature was deferred (the run is
-    /// then identical to an inline one) and queueing otherwise. `tx` must
+    /// then identical to an inline one) and queueing otherwise. `tx` (and
+    /// `cache`, when given — it feeds the checker's sighash template) must
     /// outlive the resolving flush.
     void check(std::size_t slot, std::size_t tag, const EbvTransaction& tx,
-               std::size_t input_index);
+               std::size_t input_index, const TxSighashCache* cache = nullptr);
 
     /// Drain every slot's pending batch. Call once after the parallel
     /// barrier, single-threaded; check() must not run concurrently.
@@ -63,6 +65,7 @@ private:
         std::size_t tag;
         const EbvTransaction* tx;
         std::size_t input_index;
+        const TxSighashCache* cache;
         std::size_t triple_begin;  ///< into Slot::triples
         std::size_t triple_end;
     };

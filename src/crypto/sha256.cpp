@@ -62,7 +62,25 @@ void Sha256::reset() {
     buffer_len_ = 0;
 }
 
-void Sha256::compress(const std::uint8_t* block) { detail::sha256_transform(state_, block); }
+void Sha256::compress(const std::uint8_t* block) {
+    detail::sha256_transform_active()(state_, block);
+}
+
+Sha256::Midstate Sha256::midstate() const {
+    EBV_EXPECTS(buffer_len_ == 0);  // only whole blocks may be captured
+    Midstate m;
+    std::memcpy(m.state, state_, sizeof(m.state));
+    m.bytes = total_len_;
+    return m;
+}
+
+Sha256 Sha256::resume(const Midstate& m) {
+    Sha256 h;
+    std::memcpy(h.state_, m.state, sizeof(h.state_));
+    h.total_len_ = m.bytes;
+    h.buffer_len_ = 0;
+    return h;
+}
 
 Sha256& Sha256::update(util::ByteSpan data) {
     total_len_ += data.size();

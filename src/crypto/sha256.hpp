@@ -1,7 +1,9 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus
 // one-shot helpers; the chain layer builds double-SHA256 on top. Batched
-// double-SHA256 entry points (4-way SSE2 / 8-way AVX2, runtime-dispatched
-// with a scalar fallback) feed the Merkle layer's hot paths.
+// double-SHA256 entry points (4-way SSE2 / 8-way AVX2 / 16-way AVX-512,
+// runtime-dispatched with a scalar fallback) feed the Merkle layer's hot
+// paths, and a SHA-NI single-stream transform accelerates the streaming
+// hasher (and thereby sha256/hash256) on CPUs with the SHA extensions.
 #pragma once
 
 #include <array>
@@ -27,6 +29,21 @@ public:
 
     /// One-shot convenience.
     static Digest hash(util::ByteSpan data);
+
+    /// Captured compression state after a whole number of 64-byte blocks.
+    /// Cloning a hasher from a midstate skips re-hashing the shared prefix —
+    /// the sighash template cache (chain/sighash_template.hpp) stores one
+    /// per input.
+    struct Midstate {
+        std::uint32_t state[8];
+        std::uint64_t bytes = 0;  ///< prefix length; always a multiple of 64
+    };
+
+    /// Snapshot the current state. Only valid when no partial block is
+    /// buffered (total bytes fed so far is a multiple of 64).
+    [[nodiscard]] Midstate midstate() const;
+    /// A hasher that behaves as if `m.bytes` prefix bytes were already fed.
+    static Sha256 resume(const Midstate& m);
 
 private:
     void compress(const std::uint8_t* block);
@@ -56,15 +73,33 @@ void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n);
 void sha256d_many(const util::ByteSpan* inputs, Sha256::Digest* outputs,
                   std::size_t n);
 
-/// Name of the active batch implementation: "scalar", "sse2", or "avx2".
-/// Selection honors the EBV_SHA256_IMPL environment knob (read once).
+/// Name of the active batch (multi-lane) row: "scalar", "sse2", "avx2", or
+/// "avx512". Selection honors the EBV_SHA256_IMPL environment knob (read
+/// once). Orthogonal to the single-stream transform — see sha256_impl().
 [[nodiscard]] const char* sha256_batch_impl();
 
-/// Force a specific implementation ("scalar", "sse2", "avx2", or "auto" to
-/// re-detect). Returns false — leaving the selection unchanged — when the
-/// CPU or build lacks support. Not thread-safe against in-flight hashing;
-/// intended for tests and startup configuration.
+/// Full name of the active selection, combining the batch row and the
+/// single-stream transform: e.g. "avx2", "sha-ni", or "avx512+sha-ni" when
+/// auto-detection pairs the 16-way batch row with the SHA-NI stream.
+[[nodiscard]] const char* sha256_impl();
+
+/// Stable numeric id of the active selection for the ebv.crypto.sha256_impl
+/// gauge: 0 scalar, 1 sse2, 2 avx2, 3 avx512, 4 sha-ni, 5 sse2+sha-ni,
+/// 6 avx2+sha-ni, 7 avx512+sha-ni.
+[[nodiscard]] int sha256_impl_index();
+
+/// Force a specific implementation ("scalar", "sse2", "avx2", "avx512",
+/// "sha-ni", or "auto" to re-detect). Returns false — leaving the selection
+/// unchanged — when the CPU or build lacks support. Not thread-safe against
+/// in-flight hashing; intended for tests and startup configuration.
 bool sha256_force_batch_impl(std::string_view name);
+
+/// Env-style request with graceful fallback: pins `name` when the CPU and
+/// build support it, otherwise re-detects the best available selection
+/// (never leaves a stale forced row behind). Returns the name actually
+/// selected — equal to `name` iff the request was honored. This is the
+/// semantics the EBV_SHA256_IMPL knob gets at startup.
+const char* sha256_request_impl(std::string_view name);
 
 namespace detail {
 
@@ -84,9 +119,15 @@ inline constexpr std::uint32_t kSha256K[64] = {
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
     0xc67178f2};
 
-/// One compression round over a single 64-byte block (shared by the
-/// streaming hasher and the scalar batch path).
+/// One compression round over a single 64-byte block — the portable scalar
+/// core (shared by the streaming hasher and the scalar batch path).
 void sha256_transform(std::uint32_t state[8], const std::uint8_t* block);
+
+/// Single-stream transform selected by the dispatch table: the SHA-NI core
+/// when the active row carries it, the scalar core otherwise. The streaming
+/// hasher compresses through this pointer.
+using TransformFn = void (*)(std::uint32_t state[8], const std::uint8_t* block);
+[[nodiscard]] TransformFn sha256_transform_active();
 
 // Per-ISA batch cores over *pre-padded* messages. `blocks[b * lanes + l]`
 // points at 64-byte block b of lane l; every lane has exactly `nblocks`
@@ -97,12 +138,19 @@ void sha256d_batch_scalar(std::uint8_t* out, const std::uint8_t* const* blocks,
                           std::size_t nblocks, std::size_t lanes);
 inline constexpr std::size_t kSse2Lanes = 4;
 inline constexpr std::size_t kAvx2Lanes = 8;
+inline constexpr std::size_t kAvx512Lanes = 16;
 [[nodiscard]] bool have_sse2();
 [[nodiscard]] bool have_avx2();
+[[nodiscard]] bool have_avx512();  ///< AVX-512F (incl. OS zmm state support)
+[[nodiscard]] bool have_shani();   ///< SHA-NI (sha256msg1/2, sha256rnds2)
 void sha256d_batch_sse2(std::uint8_t* out, const std::uint8_t* const* blocks,
                         std::size_t nblocks);  ///< 4 lanes; only if have_sse2()
 void sha256d_batch_avx2(std::uint8_t* out, const std::uint8_t* const* blocks,
                         std::size_t nblocks);  ///< 8 lanes; only if have_avx2()
+void sha256d_batch_avx512(std::uint8_t* out, const std::uint8_t* const* blocks,
+                          std::size_t nblocks);  ///< 16 lanes; only if have_avx512()
+/// SHA-NI single-stream compression; only if have_shani().
+void sha256_transform_shani(std::uint32_t state[8], const std::uint8_t* block);
 
 }  // namespace detail
 

@@ -1,0 +1,77 @@
+// 16-way AVX-512F batch double-SHA256. Compiled with -mavx512f (see
+// crypto/CMakeLists.txt); the dispatcher in sha256_batch.cpp only calls in
+// here after have_avx512() confirms CPU *and* OS (zmm XSAVE) support at
+// runtime.
+#include "crypto/sha256.hpp"
+
+#if defined(EBV_CRYPTO_AVX512) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include "crypto/sha256_multiway.hpp"
+#include "util/endian.hpp"
+
+namespace ebv::crypto::detail {
+
+namespace {
+
+struct Avx512Ops {
+    static constexpr std::size_t kLanes = 16;
+    using Reg = __m512i;
+
+    static Reg set1(std::uint32_t x) { return _mm512_set1_epi32(static_cast<int>(x)); }
+    static Reg add(Reg a, Reg b) { return _mm512_add_epi32(a, b); }
+    static Reg xor_(Reg a, Reg b) { return _mm512_xor_si512(a, b); }
+    static Reg and_(Reg a, Reg b) { return _mm512_and_si512(a, b); }
+    static Reg or_(Reg a, Reg b) { return _mm512_or_si512(a, b); }
+    static Reg shr(Reg a, int n) { return _mm512_srli_epi32(a, static_cast<unsigned>(n)); }
+    static Reg rotr(Reg a, int n) {
+        return _mm512_or_si512(_mm512_srli_epi32(a, static_cast<unsigned>(n)),
+                               _mm512_slli_epi32(a, static_cast<unsigned>(32 - n)));
+    }
+    /// Gather big-endian word `i` of the current block from each lane.
+    static Reg load_word(const std::uint8_t* const* lane_blocks, int i) {
+        return _mm512_set_epi32(static_cast<int>(util::load_be32(lane_blocks[15] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[14] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[13] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[12] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[11] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[10] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[9] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[8] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[7] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[6] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[5] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[4] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[3] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[2] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[1] + 4 * i)),
+                                static_cast<int>(util::load_be32(lane_blocks[0] + 4 * i)));
+    }
+    static void store(std::uint32_t out[kLanes], Reg r) {
+        _mm512_storeu_si512(reinterpret_cast<void*>(out), r);
+    }
+};
+
+}  // namespace
+
+bool have_avx512() { return __builtin_cpu_supports("avx512f"); }
+
+void sha256d_batch_avx512(std::uint8_t* out, const std::uint8_t* const* blocks,
+                          std::size_t nblocks) {
+    multiway::sha256d_batch<Avx512Ops>(out, blocks, nblocks);
+}
+
+}  // namespace ebv::crypto::detail
+
+#else  // !EBV_CRYPTO_AVX512
+
+namespace ebv::crypto::detail {
+
+bool have_avx512() { return false; }
+
+void sha256d_batch_avx512(std::uint8_t*, const std::uint8_t* const*, std::size_t) {}
+
+}  // namespace ebv::crypto::detail
+
+#endif

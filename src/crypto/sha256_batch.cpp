@@ -1,5 +1,13 @@
 // Batched double-SHA256: scalar core, runtime ISA dispatch, and the public
 // sha256d64_many / sha256d_many entry points used by the Merkle layer.
+//
+// A dispatch selection has two orthogonal dimensions: a multi-lane *batch*
+// row (scalar / 4-way SSE2 / 8-way AVX2 / 16-way AVX-512) feeding the
+// sha256d*_many entry points, and a single-stream *transform* (portable
+// scalar or SHA-NI) feeding the streaming Sha256 hasher. Auto-detection
+// composes the best of each ("avx512+sha-ni" on a machine with both);
+// forcing a pure name pins both dimensions so tests and benches measure
+// exactly one code path.
 #include "crypto/sha256.hpp"
 
 #include <algorithm>
@@ -12,14 +20,16 @@
 
 namespace ebv::crypto {
 
-namespace detail {
+namespace {
 
-void sha256d_batch_scalar(std::uint8_t* out, const std::uint8_t* const* blocks,
-                          std::size_t nblocks, std::size_t lanes) {
+/// Double-SHA256 of `lanes` pre-padded messages, one stream at a time
+/// through `tf` (the scalar core, or SHA-NI when that row is active).
+void sha256d_stream_lanes(std::uint8_t* out, const std::uint8_t* const* blocks,
+                          std::size_t nblocks, std::size_t lanes, detail::TransformFn tf) {
     for (std::size_t l = 0; l < lanes; ++l) {
         std::uint32_t state[8];
-        for (int k = 0; k < 8; ++k) state[k] = kSha256Init[k];
-        for (std::size_t b = 0; b < nblocks; ++b) sha256_transform(state, blocks[b * lanes + l]);
+        for (int k = 0; k < 8; ++k) state[k] = detail::kSha256Init[k];
+        for (std::size_t b = 0; b < nblocks; ++b) tf(state, blocks[b * lanes + l]);
 
         // Second hash: the 32-byte digest padded into one fixed block.
         std::uint8_t second[64];
@@ -29,70 +39,125 @@ void sha256d_batch_scalar(std::uint8_t* out, const std::uint8_t* const* blocks,
         second[62] = 0x01;  // 256 bits, big-endian
         second[63] = 0x00;
 
-        for (int k = 0; k < 8; ++k) state[k] = kSha256Init[k];
-        sha256_transform(state, second);
+        for (int k = 0; k < 8; ++k) state[k] = detail::kSha256Init[k];
+        tf(state, second);
         for (int k = 0; k < 8; ++k) util::store_be32(out + 32 * l + 4 * k, state[k]);
     }
+}
+
+}  // namespace
+
+namespace detail {
+
+void sha256d_batch_scalar(std::uint8_t* out, const std::uint8_t* const* blocks,
+                          std::size_t nblocks, std::size_t lanes) {
+    sha256d_stream_lanes(out, blocks, nblocks, lanes, &sha256_transform);
 }
 
 }  // namespace detail
 
 namespace {
 
-struct BatchImpl {
-    const char* name;
+using BatchFn = void (*)(std::uint8_t* out, const std::uint8_t* const* blocks,
+                         std::size_t nblocks);
+
+struct Selection {
+    const char* name;        // full selection name, e.g. "avx512+sha-ni"
+    int index;               // stable gauge id (see sha256_impl_index())
+    const char* batch_name;  // batch dimension only, e.g. "avx512"
     std::size_t lanes;
-    // Fixed-lane SIMD core, or nullptr for the scalar fallback.
-    void (*batch)(std::uint8_t* out, const std::uint8_t* const* blocks, std::size_t nblocks);
+    BatchFn batch;  // fixed-lane SIMD core, or nullptr for the scalar fallback
+    detail::TransformFn transform;  // single-stream compression
 };
 
-constexpr BatchImpl kScalarImpl{"scalar", 1, nullptr};
-constexpr BatchImpl kSse2Impl{"sse2", detail::kSse2Lanes, &detail::sha256d_batch_sse2};
-constexpr BatchImpl kAvx2Impl{"avx2", detail::kAvx2Lanes, &detail::sha256d_batch_avx2};
+constexpr Selection kSelections[] = {
+    {"scalar", 0, "scalar", 1, nullptr, &detail::sha256_transform},
+    {"sse2", 1, "sse2", detail::kSse2Lanes, &detail::sha256d_batch_sse2,
+     &detail::sha256_transform},
+    {"avx2", 2, "avx2", detail::kAvx2Lanes, &detail::sha256d_batch_avx2,
+     &detail::sha256_transform},
+    {"avx512", 3, "avx512", detail::kAvx512Lanes, &detail::sha256d_batch_avx512,
+     &detail::sha256_transform},
+    {"sha-ni", 4, "scalar", 1, nullptr, &detail::sha256_transform_shani},
+    {"sse2+sha-ni", 5, "sse2", detail::kSse2Lanes, &detail::sha256d_batch_sse2,
+     &detail::sha256_transform_shani},
+    {"avx2+sha-ni", 6, "avx2", detail::kAvx2Lanes, &detail::sha256d_batch_avx2,
+     &detail::sha256_transform_shani},
+    {"avx512+sha-ni", 7, "avx512", detail::kAvx512Lanes, &detail::sha256d_batch_avx512,
+     &detail::sha256_transform_shani},
+};
 
-const BatchImpl* detect_impl() {
-    if (detail::have_avx2()) return &kAvx2Impl;
-    if (detail::have_sse2()) return &kSse2Impl;
-    return &kScalarImpl;
+bool selection_supported(const Selection& s) {
+    if (s.batch == &detail::sha256d_batch_sse2 && !detail::have_sse2()) return false;
+    if (s.batch == &detail::sha256d_batch_avx2 && !detail::have_avx2()) return false;
+    if (s.batch == &detail::sha256d_batch_avx512 && !detail::have_avx512()) return false;
+    if (s.transform == &detail::sha256_transform_shani && !detail::have_shani()) return false;
+    return true;
 }
 
-const BatchImpl* initial_impl() {
-    if (const char* env = std::getenv("EBV_SHA256_IMPL")) {
-        const std::string_view want{env};
-        if (want == "scalar") return &kScalarImpl;
-        if (want == "sse2" && detail::have_sse2()) return &kSse2Impl;
-        if (want == "avx2" && detail::have_avx2()) return &kAvx2Impl;
+const Selection* find_selection(std::string_view name) {
+    for (const Selection& s : kSelections)
+        if (name == s.name) return &s;
+    return nullptr;
+}
+
+/// Best available: widest batch row paired with SHA-NI when present.
+const Selection* detect_selection() {
+    int batch = 0;
+    if (detail::have_avx512()) {
+        batch = 3;
+    } else if (detail::have_avx2()) {
+        batch = 2;
+    } else if (detail::have_sse2()) {
+        batch = 1;
     }
-    return detect_impl();
+    return &kSelections[batch + (detail::have_shani() ? 4 : 0)];
 }
 
-const BatchImpl*& active_impl() {
-    static const BatchImpl* impl = initial_impl();
-    return impl;
+const Selection* initial_selection() {
+    if (const char* env = std::getenv("EBV_SHA256_IMPL")) {
+        // Env semantics = graceful fallback: honor when supported, else
+        // silently take the best available (matches sha256_request_impl).
+        const Selection* s = find_selection(env);
+        if (s != nullptr && selection_supported(*s)) return s;
+    }
+    return detect_selection();
+}
+
+const Selection*& active_selection() {
+    static const Selection* sel = initial_selection();
+    return sel;
 }
 
 }  // namespace
 
-const char* sha256_batch_impl() { return active_impl()->name; }
+namespace detail {
+
+TransformFn sha256_transform_active() { return active_selection()->transform; }
+
+}  // namespace detail
+
+const char* sha256_batch_impl() { return active_selection()->batch_name; }
+
+const char* sha256_impl() { return active_selection()->name; }
+
+int sha256_impl_index() { return active_selection()->index; }
 
 bool sha256_force_batch_impl(std::string_view name) {
     if (name == "auto") {
-        active_impl() = detect_impl();
+        active_selection() = detect_selection();
         return true;
     }
-    if (name == "scalar") {
-        active_impl() = &kScalarImpl;
-        return true;
-    }
-    if (name == "sse2" && detail::have_sse2()) {
-        active_impl() = &kSse2Impl;
-        return true;
-    }
-    if (name == "avx2" && detail::have_avx2()) {
-        active_impl() = &kAvx2Impl;
-        return true;
-    }
-    return false;
+    const Selection* s = find_selection(name);
+    if (s == nullptr || !selection_supported(*s)) return false;
+    active_selection() = s;
+    return true;
+}
+
+const char* sha256_request_impl(std::string_view name) {
+    const Selection* s = (name == "auto") ? nullptr : find_selection(name);
+    active_selection() = (s != nullptr && selection_supported(*s)) ? s : detect_selection();
+    return active_selection()->name;
 }
 
 void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
@@ -103,12 +168,12 @@ void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
         0,    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
         0,    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x02, 0x00};
 
-    const BatchImpl& impl = *active_impl();
+    const Selection& impl = *active_selection();
     const std::size_t w = impl.lanes;
     std::size_t i = 0;
     if (impl.batch != nullptr) {
-        // 8 lanes * 2 blocks max; blocks[b*W + l] = block b of lane l.
-        const std::uint8_t* blocks[2 * 8];
+        // 16 lanes * 2 blocks max; blocks[b*W + l] = block b of lane l.
+        const std::uint8_t* blocks[2 * detail::kAvx512Lanes];
         for (; i + w <= n; i += w) {
             for (std::size_t l = 0; l < w; ++l) {
                 blocks[l] = in + 64 * (i + l);
@@ -121,12 +186,12 @@ void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
     }
     for (; i < n; ++i) {
         const std::uint8_t* blocks[2] = {in + 64 * i, kPad64};
-        detail::sha256d_batch_scalar(out + 32 * i, blocks, 2, 1);
+        sha256d_stream_lanes(out + 32 * i, blocks, 2, 1, impl.transform);
     }
 }
 
 void sha256d_many(const util::ByteSpan* inputs, Sha256::Digest* outputs, std::size_t n) {
-    const BatchImpl& impl = *active_impl();
+    const Selection& impl = *active_selection();
     const std::size_t w = impl.lanes;
 
     if (impl.batch == nullptr || n < w) {
@@ -145,7 +210,7 @@ void sha256d_many(const util::ByteSpan* inputs, Sha256::Digest* outputs, std::si
 
     std::vector<std::uint8_t> scratch;
     std::vector<const std::uint8_t*> blocks;
-    std::uint8_t digests[8 * 32];
+    std::uint8_t digests[detail::kAvx512Lanes * 32];
 
     std::size_t run = 0;
     while (run < n) {

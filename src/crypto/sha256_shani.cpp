@@ -1,0 +1,107 @@
+// SHA-NI single-stream SHA-256 compression (sha256msg1/2, sha256rnds2).
+// Compiled with -msha -msse4.1 (see crypto/CMakeLists.txt); the dispatcher
+// in sha256_batch.cpp only routes the streaming hasher through here after
+// have_shani() confirms CPU support at runtime. One hardware-assisted
+// stream typically outruns even the AVX2 8-way software schedule per lane,
+// which is why the sha-ni row replaces the scalar transform rather than
+// adding another multi-lane batch core.
+#include "crypto/sha256.hpp"
+
+#if defined(EBV_CRYPTO_SHANI) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#include <cpuid.h>
+#endif
+
+namespace ebv::crypto::detail {
+
+bool have_shani() {
+#if defined(__GNUC__) || defined(__clang__)
+    // Leaf 7 EBX bit 29 is the SHA extension flag. SHA-NI operates on xmm
+    // state only, so no XSAVE component beyond SSE needs OS support; the
+    // SSSE3/SSE4.1 shuffles the prologue uses are checked via the builtin.
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+    return (ebx & (1u << 29)) != 0 && __builtin_cpu_supports("sse4.1");
+#else
+    return false;
+#endif
+}
+
+void sha256_transform_shani(std::uint32_t state[8], const std::uint8_t* block) {
+    // Byte shuffle turning the big-endian message words into host dwords.
+    const __m128i kBswap =
+        _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+    // state[] is {a,b,c,d,e,f,g,h}; sha256rnds2 wants the ABEF/CDGH split.
+    __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+    __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+    state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i m0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 0)), kBswap);
+    __m128i m1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)), kBswap);
+    __m128i m2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)), kBswap);
+    __m128i m3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)), kBswap);
+
+    // Four rounds per group; groups 0..11 also extend the message schedule:
+    // W[g+4] = msg2(msg1(W[g], W[g+1]) + alignr(W[g+3], W[g+2], 4), W[g+3]).
+    for (int g = 0; g < 16; ++g) {
+        __m128i msg = _mm_add_epi32(
+            m0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(kSha256K + 4 * g)));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+        if (g < 12) {
+            __m128i next = _mm_sha256msg1_epu32(m0, m1);
+            next = _mm_add_epi32(next, _mm_alignr_epi8(m3, m2, 4));
+            next = _mm_sha256msg2_epu32(next, m3);
+            m0 = next;
+        }
+        // Rotate the 4-vector window: the slot just consumed (and, in the
+        // scheduling groups, refilled with W[g+4]) moves to the back.
+        const __m128i rotated = m0;
+        m0 = m1;
+        m1 = m2;
+        m2 = m3;
+        m3 = rotated;
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+
+    // Back to the {a..d}/{e..h} layout.
+    tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0);          // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8);             // HGFE
+
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace ebv::crypto::detail
+
+#else  // !EBV_CRYPTO_SHANI
+
+namespace ebv::crypto::detail {
+
+bool have_shani() { return false; }
+
+void sha256_transform_shani(std::uint32_t*, const std::uint8_t*) {}
+
+}  // namespace ebv::crypto::detail
+
+#endif

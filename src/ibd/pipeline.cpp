@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "chain/amount.hpp"
+#include "core/sighash_cache.hpp"
 #include "core/sv_batcher.hpp"
 #include "obs/metrics.hpp"
 #include "util/assert.hpp"
@@ -234,6 +237,20 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
         std::optional<core::SvBatcher> batcher;
         if (verify_scripts_ && batch_verify_) batcher.emplace(slots, resolve_sv);
 
+        // Per-transaction sighash templates (core::TxSighashCache), lazily
+        // built by whichever worker first reaches one of the transaction's
+        // inputs and shared by the rest across the window's parallel pass.
+        const bool use_template = verify_scripts_ && sighash_template_;
+        std::vector<std::vector<std::unique_ptr<core::TxSighashCache>>> caches(
+            use_template ? accepted : 0);
+        std::vector<std::unique_ptr<std::once_flag[]>> cache_once(use_template ? accepted : 0);
+        if (use_template) {
+            for (std::size_t b = 0; b < accepted; ++b) {
+                caches[b].resize(window[b].txs.size());
+                cache_once[b] = std::make_unique<std::once_flag[]>(window[b].txs.size());
+            }
+        }
+
         const auto pass_body = [&](std::size_t slot, std::size_t index) {
             if (index < shard_jobs) {
                 // Stage 3 (previous window): sharded spent-bit application.
@@ -284,10 +301,19 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
             std::atomic<std::size_t>& block_sv_min = sv_min[job.block].value;
             if (job.ordinal > block_sv_min.load(std::memory_order_relaxed)) return;
             watch.restart();
+            const core::TxSighashCache* cache = nullptr;
+            if (use_template && tx.inputs.size() >= core::kSighashCacheMinInputs) {
+                std::call_once(cache_once[job.block][job.tx_index], [&] {
+                    caches[job.block][job.tx_index] =
+                        std::make_unique<core::TxSighashCache>(tx);
+                });
+                cache = caches[job.block][job.tx_index].get();
+            }
             if (batcher) {
-                batcher->check(slot, index - shard_jobs, tx, job.input_index);
+                batcher->check(slot, index - shard_jobs, tx, job.input_index, cache);
             } else {
-                resolve_sv(index - shard_jobs, core::sv_check_input(tx, job.input_index));
+                resolve_sv(index - shard_jobs,
+                           core::sv_check_input(tx, job.input_index, cache));
             }
             sv_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
         };
@@ -326,6 +352,15 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
             util::Stopwatch flush_watch;
             batcher->flush_all();
             sv_busy[0] += static_cast<std::uint64_t>(flush_watch.elapsed_ns());
+        }
+        if (use_template) {
+            static obs::Counter& bytes_saved =
+                obs::Registry::global().counter("ebv.crypto.sighash_bytes_saved");
+            std::uint64_t saved = 0;
+            for (const auto& block_caches : caches)
+                for (const auto& cache : block_caches)
+                    if (cache) saved += cache->bytes_saved();
+            if (saved > 0) bytes_saved.inc(saved);
         }
         const util::Nanoseconds pass_wall = pass_watch.elapsed_ns();
         if (pool_ != nullptr) {

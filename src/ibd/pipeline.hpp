@@ -54,17 +54,20 @@ public:
     /// `batch_verify` routes SV through the deferred batched-signature
     /// path (core::SvBatcher + crypto::verify_batch, docs/CRYPTO.md);
     /// failure parity with the inline path is preserved by its fallback.
+    /// `sighash_template` shares one O(n) sighash template per transaction
+    /// across its inputs' SV jobs (core::TxSighashCache, docs/CRYPTO.md).
     Pipeline(const chain::ChainParams& params, chain::HeaderIndex& headers,
              core::BitVectorSet& status, PipelineOptions options,
              util::ThreadPool* pool, bool verify_scripts = true,
-             bool batch_verify = false)
+             bool batch_verify = false, bool sighash_template = true)
         : params_(params),
           headers_(headers),
           status_(status),
           options_(options),
           pool_(pool),
           verify_scripts_(verify_scripts),
-          batch_verify_(batch_verify) {}
+          batch_verify_(batch_verify),
+          sighash_template_(sighash_template) {}
 
     /// Validate and connect `blocks` on top of the current tip. Publishes
     /// `ebv.ibd.*` metrics (docs/OBSERVABILITY.md). Not re-entrant.
@@ -87,6 +90,7 @@ private:
     util::ThreadPool* pool_;
     bool verify_scripts_;
     bool batch_verify_;
+    bool sighash_template_;
     util::CancelToken cancel_;
 };
 
