@@ -12,6 +12,12 @@
 //   EBV_BENCH_JSON <path>  write machine-readable telemetry: per-period rows
 //                  the bench reports plus a final obs-registry snapshot, as
 //                  one JSON document (see docs/OBSERVABILITY.md)
+//   EBV_TRACE_JSON <path>  write the causal span trace as Chrome
+//                  trace-event JSON (Perfetto-loadable); also turns on
+//                  detail spans and widens the ring
+//   EBV_TRACE_FOLDED <path>  write the trace as folded flamegraph stacks
+//   EBV_TRACE_CAPACITY <spans>  override the trace ring size (default
+//                  262144 when an exporter is active, 8192 otherwise)
 #pragma once
 
 #include <unistd.h>
@@ -28,7 +34,9 @@
 #include "chain/coin.hpp"
 #include "chain/node.hpp"
 #include "core/node.hpp"
+#include "crypto/sha256.hpp"
 #include "intermediary/converter.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
@@ -162,12 +170,93 @@ inline std::vector<core::EbvBlock> convert_chain(const ChainData& chain) {
 
 inline double ms(util::TimeCost cost) { return util::to_ms(cost.total_ns()); }
 
+// Build-time provenance, overridable per-run via same-named env vars (CI
+// sets EBV_GIT_SHA on shallow checkouts where the compile-time stamp may be
+// "unknown"). The compile definitions come from bench/CMakeLists.txt.
+#ifndef EBV_GIT_SHA
+#define EBV_GIT_SHA "unknown"
+#endif
+#ifndef EBV_BUILD_TYPE
+#define EBV_BUILD_TYPE "unknown"
+#endif
+
+inline std::string env_or(const char* name, const char* fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' ? v : fallback;
+}
+
+/// Provenance header recorded in every EBV_BENCH_JSON document so
+/// bench_compare can refuse apples-to-oranges diffs (different build type,
+/// different SHA-256 backend, different machine width).
+inline std::string provenance_json() {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"git_sha\":\"%s\",\"build_type\":\"%s\",\"hw_threads\":%u,"
+                  "\"sha256_impl\":\"%s\"}",
+                  env_or("EBV_GIT_SHA", EBV_GIT_SHA).c_str(),
+                  env_or("EBV_BUILD_TYPE", EBV_BUILD_TYPE).c_str(),
+                  std::thread::hardware_concurrency(), crypto::sha256_impl());
+    return buf;
+}
+
+/// RAII wiring for the trace exporters: reading EBV_TRACE_JSON /
+/// EBV_TRACE_FOLDED at construction turns on detail spans and widens the
+/// ring (EBV_TRACE_CAPACITY overrides); destruction writes the files.
+/// Embedded in JsonReport so every bench gets the knobs for free.
+class TraceExport {
+public:
+    TraceExport() {
+        if (const char* path = std::getenv("EBV_TRACE_JSON")) chrome_path_ = path;
+        if (const char* path = std::getenv("EBV_TRACE_FOLDED")) folded_path_ = path;
+        const bool active = !chrome_path_.empty() || !folded_path_.empty();
+        const std::uint64_t capacity =
+            env_u64("EBV_TRACE_CAPACITY", active ? 262144 : 0);
+        obs::Tracer& tracer = obs::Tracer::global();
+        if (capacity > 0) tracer.set_capacity(static_cast<std::size_t>(capacity));
+        if (active) tracer.set_detail(true);
+    }
+    TraceExport(const TraceExport&) = delete;
+    TraceExport& operator=(const TraceExport&) = delete;
+    ~TraceExport() { write(); }
+
+    void write() {
+        if (written_) return;
+        written_ = true;
+        if (!chrome_path_.empty()) {
+            if (obs::write_chrome_trace(chrome_path_)) {
+                EBV_LOG_INFO("EBV_TRACE_JSON: wrote Chrome trace to %s",
+                             chrome_path_.c_str());
+            } else {
+                EBV_LOG_ERROR("EBV_TRACE_JSON: cannot open %s", chrome_path_.c_str());
+            }
+        }
+        if (!folded_path_.empty()) {
+            if (obs::write_folded_stacks(folded_path_)) {
+                EBV_LOG_INFO("EBV_TRACE_FOLDED: wrote folded stacks to %s",
+                             folded_path_.c_str());
+            } else {
+                EBV_LOG_ERROR("EBV_TRACE_FOLDED: cannot open %s",
+                              folded_path_.c_str());
+            }
+        }
+    }
+
+private:
+    std::string chrome_path_;
+    std::string folded_path_;
+    bool written_ = false;
+};
+
 /// Machine-readable bench telemetry, activated by EBV_BENCH_JSON=<path>.
 /// Benches append per-period rows (small JSON objects they format
 /// themselves); on destruction (or an explicit write()) one JSON document
 /// lands at the path:
-///   {"bench":"<name>","rows":[...],"metrics":<registry snapshot>}
-/// so CI can archive a perf trajectory across PRs (BENCH_<name>.json).
+///   {"bench":"<name>","provenance":{...},"rows":[...],
+///    "aborted":false,"metrics":<registry snapshot>}
+/// so CI can archive a perf trajectory across PRs (BENCH_<name>.json) and
+/// tools/bench_compare can gate on it. Constructing a JsonReport also arms
+/// the trace exporters (EBV_TRACE_JSON / EBV_TRACE_FOLDED), flushed
+/// alongside the report.
 class JsonReport {
 public:
     explicit JsonReport(std::string bench) : bench_(std::move(bench)) {
@@ -201,6 +290,7 @@ public:
     }
 
     void write() {
+        trace_export_.write();  // flush traces even without EBV_BENCH_JSON
         if (!enabled() || written_) return;
         written_ = true;
         std::FILE* f = std::fopen(path_.c_str(), "w");
@@ -208,7 +298,8 @@ public:
             EBV_LOG_ERROR("EBV_BENCH_JSON: cannot open %s", path_.c_str());
             return;
         }
-        std::fprintf(f, "{\"bench\":\"%s\",\"rows\":[", bench_.c_str());
+        std::fprintf(f, "{\"bench\":\"%s\",\"provenance\":%s,\"rows\":[",
+                     bench_.c_str(), provenance_json().c_str());
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             std::fprintf(f, "%s%s", i ? "," : "", rows_[i].c_str());
         }
@@ -228,6 +319,7 @@ private:
     bool written_ = false;
     bool aborted_ = false;
     std::string abort_reason_;
+    TraceExport trace_export_;
 };
 
 inline void print_rule(int width = 100) {

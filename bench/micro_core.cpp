@@ -9,6 +9,7 @@
 #include "core/ebv_transaction.hpp"
 #include "core/ebv_validator.hpp"
 #include "crypto/ecdsa.hpp"
+#include "obs/trace.hpp"
 #include "script/interpreter.hpp"
 #include "script/standard.hpp"
 #include "util/rng.hpp"
@@ -152,6 +153,37 @@ void BM_ProofSerializedSize(benchmark::State& state) {
     state.counters["proof_bytes"] = static_cast<double>(in.serialized_size());
 }
 BENCHMARK(BM_ProofSerializedSize)->Arg(1)->Arg(4)->Arg(16);
+
+// Disabled-path span overhead: hot validation paths carry always-on
+// ScopedSpan instrumentation, so the inert path (one relaxed atomic load,
+// no id allocation, no clock reads) must stay within a few ns. The
+// obs_trace_tree_test DisabledSpanStaysCheap test asserts the same bound.
+void BM_TraceDisabled(benchmark::State& state) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    const bool was_enabled = tracer.enabled();
+    tracer.set_enabled(false);
+    for (auto _ : state) {
+        obs::ScopedSpan span("micro.trace.disabled", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+    tracer.set_enabled(was_enabled);
+}
+BENCHMARK(BM_TraceDisabled);
+
+// Enabled comparison point: id allocation, two clock reads, context push,
+// and the ring's mutex. Keeps the cost of `detail` instrumentation honest.
+void BM_TraceEnabled(benchmark::State& state) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    const bool was_enabled = tracer.enabled();
+    tracer.set_enabled(true);
+    for (auto _ : state) {
+        obs::ScopedSpan span("micro.trace.enabled", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+    tracer.clear();
+    tracer.set_enabled(was_enabled);
+}
+BENCHMARK(BM_TraceEnabled);
 
 }  // namespace
 

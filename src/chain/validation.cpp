@@ -92,6 +92,8 @@ struct BtcMetrics {
 
 util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block(
     const Block& block, std::uint32_t height, BlockUndo* undo) {
+    obs::ScopedSpan block_span("btc.block", "block");
+    block_span.set_value(height);
     auto result = connect_block_impl(block, height, undo);
     BtcMetrics& m = BtcMetrics::get();
     if (!result) {

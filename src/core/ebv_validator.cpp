@@ -230,6 +230,11 @@ struct EbvMetrics {
 
 util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block(
     const EbvBlock& block, std::uint32_t height) {
+    // The block's causal span: worker-side per-input spans and the per-stage
+    // aggregates below nest under it (workers inherit this context through
+    // the ThreadPool hooks), and it nests under whatever the caller has open.
+    obs::ScopedSpan block_span("ebv.block", "block");
+    block_span.set_value(height);
     auto result = connect_block_impl(block, height);
     EbvMetrics& m = EbvMetrics::get();
     m.sha256_impl.set(crypto::sha256_impl_index());
@@ -351,6 +356,13 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
     const auto cache_once =
         use_template ? std::make_unique<std::once_flag[]>(block.txs.size()) : nullptr;
 
+    const bool trace_detail = obs::Tracer::global().detail();
+    const auto record_detail = [](const char* name, util::Nanoseconds ns) {
+        util::TimeCost cost;
+        cost.wall_ns = ns;
+        obs::Tracer::global().record(name, cost);
+    };
+
     const auto check_input = [&](std::size_t slot, std::size_t j) {
         if (j > first_ev_fail.load(std::memory_order_relaxed)) return;
         const InputJob& job = jobs[j];
@@ -359,7 +371,9 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         // EV: the referenced output must exist in a stored block.
         util::Stopwatch watch;
         const EvStatus ev = ev_check_input(in, headers_.at(in.height), height);
-        ev_busy[slot] += watch.elapsed_ns();
+        const auto ev_ns = watch.elapsed_ns();
+        ev_busy[slot] += ev_ns;
+        if (trace_detail) record_detail("ebv.ev.input", ev_ns);
         if (ev != EvStatus::kOk) {
             results[j].ev = ev;
             cas_min(first_ev_fail, j);
@@ -383,7 +397,9 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         } else {
             resolve_sv(j, sv_check_input(*job.tx, job.input_index, cache));
         }
-        sv_busy[slot] += watch.elapsed_ns();
+        const auto sv_ns = watch.elapsed_ns();
+        sv_busy[slot] += sv_ns;
+        if (trace_detail) record_detail("ebv.sv.input", sv_ns);
     };
 
     util::PoolStats pool_before{};

@@ -1,6 +1,7 @@
 #include "ibd/pipeline.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "core/sighash_cache.hpp"
 #include "core/sv_batcher.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
 
@@ -44,6 +46,7 @@ struct IbdMetrics {
     obs::Histogram& stall_ns;
     obs::Histogram& commit_ns;
     obs::Histogram& pool_steal_ns;
+    obs::Histogram& pool_wakeup_ns;
     obs::Gauge& blocks_inflight;
 
     static IbdMetrics& get() {
@@ -62,6 +65,7 @@ struct IbdMetrics {
             obs::Registry::global().histogram("ebv.ibd.stall_ns"),
             obs::Registry::global().histogram("ebv.ibd.commit_ns"),
             obs::Registry::global().histogram("ebv.pool.steal_ns"),
+            obs::Registry::global().histogram("ebv.pool.wakeup_ns"),
             obs::Registry::global().gauge("ebv.ibd.blocks_inflight"),
         };
         return m;
@@ -136,6 +140,12 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
     util::Stopwatch run_watch;
     IbdMetrics& m = IbdMetrics::get();
 
+    // Causal root for the whole IBD run: every window span nests under it,
+    // blocks under their window, worker-side EV/SV/shard spans under their
+    // block (see docs/OBSERVABILITY.md).
+    obs::ScopedSpan run_span("ebv.ibd.run", "ibd");
+    run_span.set_value(static_cast<std::int64_t>(blocks.size()));
+
     const std::size_t W = options_.window == 0 ? 1 : options_.window;
     const std::size_t slots = pool_ != nullptr ? pool_->thread_count() : 1;
 
@@ -171,6 +181,13 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
         const std::uint32_t window_base = static_cast<std::uint32_t>(headers_.size());
         const std::size_t window_len = std::min(W, blocks.size() - batch_index);
         const std::span<const EbvBlock> window = blocks.subspan(batch_index, window_len);
+
+        obs::ScopedSpan window_span("ebv.ibd.window", "ibd");
+        window_span.set_value(window_base);
+        const std::uint64_t window_span_id = window_span.span_id();
+        const std::uint64_t trace_id = obs::current_context().trace_id;
+        const bool tracing = window_span_id != 0;
+        const bool trace_detail = obs::Tracer::global().detail();
 
         // ---- Stage 1: structural pass, serial block order ------------------
         // Intra-block only, so running it for the whole window up front
@@ -208,6 +225,14 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
         std::vector<AtomicMin> ev_min(accepted);
         std::vector<AtomicMin> sv_min(accepted);
         std::atomic<std::size_t> min_fail_block{kNoFail};
+
+        // Block spans get their ids up front: worker-side detail spans
+        // parent under them while the blocks are still mid-validation; the
+        // spans themselves are recorded at stage-3 resolution, which is fine
+        // — exporters don't require parents to be recorded first.
+        std::vector<std::uint64_t> block_span_ids(tracing ? accepted : 0);
+        if (tracing)
+            for (auto& id : block_span_ids) id = obs::next_span_id();
 
         // Shard-apply jobs for the previous window's spends ride in front of
         // the proof jobs: indices [0, shard_jobs) apply spent bits while
@@ -251,6 +276,24 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
             }
         }
 
+        // Worker-side detail spans (per input / per shard), recorded with an
+        // explicit parent because the enclosing block's span is still open
+        // on the submitting thread. Gated behind the tracer's detail flag.
+        const auto record_detail = [&](const char* name, const char* category,
+                                       std::uint64_t parent, util::Nanoseconds ns,
+                                       std::int64_t value) {
+            obs::Span span;
+            span.name = name;
+            span.category = category;
+            span.trace_id = trace_id;
+            span.span_id = obs::next_span_id();
+            span.parent_id = parent;
+            span.wall_ns = ns;
+            span.start_ns = obs::Tracer::now_ns() - ns;
+            span.value = value;
+            obs::Tracer::global().record(std::move(span));
+        };
+
         const auto pass_body = [&](std::size_t slot, std::size_t index) {
             if (index < shard_jobs) {
                 // Stage 3 (previous window): sharded spent-bit application.
@@ -259,7 +302,11 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
                 status_.spend_shard(s, deferred.by_shard[s].data(),
                                     deferred.by_shard[s].size());
                 shard_done[s].store(true, std::memory_order_relaxed);
-                commit_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
+                const auto shard_ns = watch.elapsed_ns();
+                commit_busy[slot] += static_cast<std::uint64_t>(shard_ns);
+                if (trace_detail)
+                    record_detail("ebv.ibd.shard_apply", "commit", window_span_id,
+                                  shard_ns, static_cast<std::int64_t>(s));
                 return;
             }
 
@@ -289,7 +336,11 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
 
             util::Stopwatch watch;
             const EvStatus ev = core::ev_check_input(in, header, spending_height);
-            ev_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
+            const auto ev_ns = watch.elapsed_ns();
+            ev_busy[slot] += static_cast<std::uint64_t>(ev_ns);
+            if (trace_detail)
+                record_detail("ebv.ev.input", "ev", block_span_ids[job.block], ev_ns,
+                              job.ordinal);
             if (ev != EvStatus::kOk) {
                 verdicts[index - shard_jobs].ev = ev;
                 cas_min(block_ev_min, job.ordinal);
@@ -315,7 +366,11 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
                 resolve_sv(index - shard_jobs,
                            core::sv_check_input(tx, job.input_index, cache));
             }
-            sv_busy[slot] += static_cast<std::uint64_t>(watch.elapsed_ns());
+            const auto sv_ns = watch.elapsed_ns();
+            sv_busy[slot] += static_cast<std::uint64_t>(sv_ns);
+            if (trace_detail)
+                record_detail("ebv.sv.input", "sv", block_span_ids[job.block], sv_ns,
+                              job.ordinal);
         };
 
         // ---- Stage 2 + deferred stage 3: one parallel region ---------------
@@ -326,7 +381,12 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
         const std::int64_t stall_before_pass = stall_watch.elapsed_ns();
 
         util::PoolStats pool_before{};
-        if (pool_ != nullptr) pool_before = pool_->stats();
+        std::vector<std::uint64_t> slot_busy_before;
+        if (pool_ != nullptr) {
+            pool_before = pool_->stats();
+            if (tracing) slot_busy_before = pool_->slot_busy_ns();
+        }
+        const util::Nanoseconds pass_start_ns = tracing ? obs::Tracer::now_ns() : 0;
         util::Stopwatch pass_watch;
         if (pass_total > 0) {
             if (pool_ != nullptr) {
@@ -367,6 +427,32 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
             const util::PoolStats pool_after = pool_->stats();
             m.pool_tasks.inc(pool_after.tasks - pool_before.tasks);
             m.pool_steal_ns.observe(pool_after.steal_wait_ns - pool_before.steal_wait_ns);
+            m.pool_wakeup_ns.observe(pool_after.wakeup_ns - pool_before.wakeup_ns);
+            if (tracing) {
+                // Dedicated counter tracks: queue latency this pass and each
+                // slot's utilization (busy/wall, percent) over the pass.
+                obs::Tracer& tracer = obs::Tracer::global();
+                const std::uint64_t wakeups = pool_after.wakeups - pool_before.wakeups;
+                if (wakeups > 0)
+                    tracer.record_counter(
+                        "ebv.pool.wakeup_us",
+                        static_cast<std::int64_t>(
+                            (pool_after.wakeup_ns - pool_before.wakeup_ns) / wakeups /
+                            1000));
+                const std::vector<std::uint64_t> slot_busy_after = pool_->slot_busy_ns();
+                for (std::size_t s = 0;
+                     s < slot_busy_after.size() && s < slot_busy_before.size() &&
+                     pass_wall > 0;
+                     ++s) {
+                    const std::uint64_t busy = slot_busy_after[s] - slot_busy_before[s];
+                    char track[48];
+                    std::snprintf(track, sizeof track, "ebv.pool.util_pct.slot%zu", s);
+                    tracer.record_counter(
+                        track, static_cast<std::int64_t>(
+                                   100.0 * static_cast<double>(busy) /
+                                   static_cast<double>(pass_wall)));
+                }
+            }
         }
 
         // Apportion the pass's wall time across EV / SV / commit in
@@ -514,6 +600,22 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
             }
             on_commit(block, height);
             result.timings.update.wall_ns += commit_watch.elapsed_ns();
+
+            if (tracing) {
+                // The block's causal interval: from the start of the parallel
+                // pass that validated its inputs to its commit here. Recorded
+                // with the pre-allocated id its worker spans parented under.
+                obs::Span block_span;
+                block_span.name = "ebv.ibd.block";
+                block_span.category = "block";
+                block_span.trace_id = trace_id;
+                block_span.span_id = block_span_ids[b];
+                block_span.parent_id = window_span_id;
+                block_span.start_ns = pass_start_ns;
+                block_span.wall_ns = obs::Tracer::now_ns() - pass_start_ns;
+                block_span.value = height;
+                obs::Tracer::global().record(std::move(block_span));
+            }
 
             ++result.connected;
             result.timings.inputs += block.input_count();

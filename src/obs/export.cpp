@@ -1,0 +1,182 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace ebv::obs {
+
+namespace {
+
+/// Minimal JSON string escape (span names are dotted identifiers, but the
+/// exporter must not be able to emit malformed output regardless).
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// Raw thread ids are std::hash values — too wide for the exact-integer
+/// range of a JSON double — so compress them to small tids in order of
+/// first appearance.
+class TidMap {
+public:
+    int tid(std::uint64_t thread_id) {
+        const auto [it, inserted] = map_.emplace(thread_id, next_);
+        if (inserted) ++next_;
+        return it->second;
+    }
+    [[nodiscard]] int count() const { return next_; }
+
+private:
+    std::unordered_map<std::uint64_t, int> map_;
+    int next_ = 0;
+};
+
+void append_micros(std::string& out, util::Nanoseconds ns) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", ns / 1000,
+                  static_cast<int>(ns % 1000 < 0 ? -(ns % 1000) : ns % 1000));
+    out += buf;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+    const bool ok = written == contents.size() && std::fclose(f) == 0;
+    if (!ok && written != contents.size()) std::fclose(f);
+    return ok;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<Span>& spans) {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    TidMap tids;
+    char buf[256];
+    bool first = true;
+    for (const Span& span : spans) {
+        const int tid = tids.tid(span.thread_id);
+        if (!first) out += ',';
+        first = false;
+        if (span.kind == SpanKind::kCounter) {
+            // Counter sample: its own track, value plotted over time.
+            out += "{\"name\":\"" + json_escape(span.name) +
+                   "\",\"ph\":\"C\",\"pid\":1,\"tid\":";
+            std::snprintf(buf, sizeof buf, "%d,\"ts\":", tid);
+            out += buf;
+            append_micros(out, span.start_ns);
+            std::snprintf(buf, sizeof buf, ",\"args\":{\"value\":%" PRId64 "}}",
+                          span.value);
+            out += buf;
+            continue;
+        }
+        // Complete event: one slice on this thread's track.
+        out += "{\"name\":\"" + json_escape(span.name) + "\",\"cat\":\"" +
+               json_escape(span.category[0] != '\0' ? span.category : "ebv") +
+               "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        std::snprintf(buf, sizeof buf, "%d,\"ts\":", tid);
+        out += buf;
+        append_micros(out, span.start_ns);
+        out += ",\"dur\":";
+        append_micros(out, span.wall_ns);
+        std::snprintf(buf, sizeof buf,
+                      ",\"args\":{\"trace\":%" PRIu64 ",\"span\":%" PRIu64
+                      ",\"parent\":%" PRIu64 ",\"sim_ns\":%" PRId64
+                      ",\"value\":%" PRId64 "}}",
+                      span.trace_id, span.span_id, span.parent_id, span.sim_ns,
+                      span.value);
+        out += buf;
+    }
+    // Name the compressed threads so Perfetto's track labels are stable.
+    for (int tid = 0; tid < tids.count(); ++tid) {
+        if (!first) out += ',';
+        first = false;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%d,\"args\":{\"name\":\"ebv-thread-%d\"}}",
+                      tid, tid);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+std::string to_folded_stacks(const std::vector<Span>& spans) {
+    // Self time per span: wall minus the wall of direct children, clamped at
+    // zero (clock jitter can make children sum past the parent).
+    std::unordered_map<std::uint64_t, const Span*> by_id;
+    std::unordered_map<std::uint64_t, util::Nanoseconds> child_wall;
+    by_id.reserve(spans.size());
+    for (const Span& span : spans) {
+        if (span.kind != SpanKind::kSpan || span.span_id == 0) continue;
+        by_id.emplace(span.span_id, &span);
+    }
+    for (const Span& span : spans) {
+        if (span.kind != SpanKind::kSpan || span.parent_id == 0) continue;
+        if (by_id.count(span.parent_id) != 0) child_wall[span.parent_id] += span.wall_ns;
+    }
+    // std::map: deterministic output order for tests and diffs.
+    std::map<std::string, util::Nanoseconds> folded;
+    for (const Span& span : spans) {
+        if (span.kind != SpanKind::kSpan || span.span_id == 0) continue;
+        util::Nanoseconds self = span.wall_ns;
+        const auto child = child_wall.find(span.span_id);
+        if (child != child_wall.end()) self -= child->second;
+        if (self < 0) self = 0;
+        // Build the root→leaf path; a parent that fell out of the ring (or a
+        // cycle from id reuse, which next_span_id() precludes but we guard
+        // anyway) truncates the stack there.
+        std::vector<const Span*> path{&span};
+        std::uint64_t parent = span.parent_id;
+        while (parent != 0 && path.size() < 64) {
+            const auto it = by_id.find(parent);
+            if (it == by_id.end()) break;
+            path.push_back(it->second);
+            parent = it->second->parent_id;
+        }
+        std::string stack;
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+            if (!stack.empty()) stack += ';';
+            stack += (*it)->name;
+        }
+        folded[stack] += self;
+    }
+    std::string out;
+    char buf[48];
+    for (const auto& [stack, ns] : folded) {
+        out += stack;
+        std::snprintf(buf, sizeof buf, " %" PRId64 "\n", ns);
+        out += buf;
+    }
+    return out;
+}
+
+bool write_chrome_trace(const std::string& path, const Tracer& tracer) {
+    return write_file(path, to_chrome_trace(tracer.snapshot()));
+}
+
+bool write_folded_stacks(const std::string& path, const Tracer& tracer) {
+    return write_file(path, to_folded_stacks(tracer.snapshot()));
+}
+
+}  // namespace ebv::obs

@@ -1,0 +1,41 @@
+// Trace exporters: turn a Tracer snapshot into files a human can actually
+// look at.
+//
+//  * Chrome trace-event JSON ("X" complete events + "C" counter events +
+//    thread-name metadata) — loads in Perfetto (ui.perfetto.dev) and
+//    chrome://tracing and renders the causal window → block → worker
+//    timeline on per-thread tracks.
+//  * Folded stacks ("a;b;c weight") — input for flamegraph.pl or
+//    speedscope; weight is the span's *self* wall time in nanoseconds
+//    (children subtracted, clamped at zero) so the flame widths sum
+//    correctly along any root-to-leaf path.
+//
+// The bench harness wires these to the EBV_TRACE_JSON / EBV_TRACE_FOLDED
+// env knobs; see docs/OBSERVABILITY.md for a walkthrough of reading the
+// output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ebv::obs {
+
+/// Chrome trace-event JSON for `spans`. Thread ids are compressed to small
+/// sequential tids (in order of first appearance) because the raw hashed
+/// ids exceed the integer range JSON doubles can represent exactly.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<Span>& spans);
+
+/// Folded flamegraph stacks for `spans`; counter samples are skipped and a
+/// span whose parent fell out of the ring becomes a root.
+[[nodiscard]] std::string to_folded_stacks(const std::vector<Span>& spans);
+
+/// Write `tracer`'s current snapshot as Chrome trace JSON to `path`.
+/// Returns false (and writes nothing) if the file cannot be opened.
+bool write_chrome_trace(const std::string& path, const Tracer& tracer = Tracer::global());
+
+/// Write `tracer`'s current snapshot as folded stacks to `path`.
+bool write_folded_stacks(const std::string& path, const Tracer& tracer = Tracer::global());
+
+}  // namespace ebv::obs

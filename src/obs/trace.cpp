@@ -7,6 +7,9 @@
 #include <functional>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
 namespace ebv::obs {
 
 namespace {
@@ -20,7 +23,62 @@ std::chrono::steady_clock::time_point trace_epoch() {
     return epoch;
 }
 
+thread_local TraceContext t_context{};
+
+std::atomic<std::uint64_t> g_next_id{1};
+
+/// Ring health as registry metrics (satellite of the causal-trace layer):
+/// a truncated trace is detectable from the bench's metrics snapshot
+/// instead of silently missing spans.
+struct TraceMetrics {
+    Counter& recorded;
+    Counter& dropped;
+    Gauge& capacity;
+    Gauge& enabled;
+
+    static TraceMetrics& get() {
+        static TraceMetrics m{
+            Registry::global().counter("ebv.obs.spans_recorded"),
+            Registry::global().counter("ebv.obs.spans_dropped"),
+            Registry::global().gauge("ebv.obs.trace_capacity"),
+            Registry::global().gauge("ebv.obs.trace_enabled"),
+        };
+        return m;
+    }
+};
+
+/// Propagate the submitting thread's trace context across ThreadPool jobs:
+/// capture at submit, swap in around each worker's chunk run. Installed at
+/// static-init time — any binary that records spans links this object file
+/// and gets causal nesting across parallel_for for free.
+struct PoolHookInstaller {
+    PoolHookInstaller() {
+        util::ThreadPool::set_task_context_hooks(
+            [] {
+                const TraceContext c = current_context();
+                return util::TaskContext{c.trace_id, c.span_id};
+            },
+            [](util::TaskContext ctx) {
+                const TraceContext prev = swap_context({ctx.a, ctx.b});
+                return util::TaskContext{prev.trace_id, prev.span_id};
+            });
+    }
+};
+const PoolHookInstaller g_pool_hooks;
+
 }  // namespace
+
+TraceContext current_context() { return t_context; }
+
+TraceContext swap_context(TraceContext ctx) {
+    const TraceContext prev = t_context;
+    t_context = ctx;
+    return prev;
+}
+
+std::uint64_t next_span_id() {
+    return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tracer& Tracer::global() {
     static Tracer tracer;
@@ -34,34 +92,62 @@ util::Nanoseconds Tracer::now_ns() {
         .count();
 }
 
-void Tracer::set_capacity(std::size_t spans) {
+void Tracer::publish_state() {
+    TraceMetrics& m = TraceMetrics::get();
+    m.enabled.set(enabled() ? 1 : 0);
     std::lock_guard lock(mutex_);
-    capacity_ = spans;
-    while (spans_.size() > capacity_) {
-        spans_.pop_front();
-        ++dropped_;
+    m.capacity.set(static_cast<std::int64_t>(capacity_));
+}
+
+void Tracer::set_capacity(std::size_t spans) {
+    {
+        std::lock_guard lock(mutex_);
+        capacity_ = spans;
+        while (spans_.size() > capacity_) {
+            spans_.pop_front();
+            ++dropped_;
+            TraceMetrics::get().dropped.inc();
+        }
     }
+    publish_state();
 }
 
 void Tracer::record(Span span) {
-    if (!enabled_) return;
+    if (!enabled()) return;
     if (span.thread_id == 0) span.thread_id = this_thread_id();
+    TraceMetrics& m = TraceMetrics::get();
+    m.recorded.inc();
     std::lock_guard lock(mutex_);
     ++recorded_;
     spans_.push_back(std::move(span));
     while (spans_.size() > capacity_) {
         spans_.pop_front();
         ++dropped_;
+        m.dropped.inc();
     }
 }
 
 void Tracer::record(std::string_view name, util::TimeCost cost) {
-    if (!enabled_) return;
+    if (!enabled()) return;
+    const TraceContext ctx = current_context();
     Span span;
     span.name = std::string(name);
+    span.trace_id = ctx.trace_id;
+    span.span_id = next_span_id();
+    span.parent_id = ctx.span_id;
     span.wall_ns = cost.wall_ns;
     span.sim_ns = cost.simulated_ns;
     span.start_ns = now_ns() - cost.wall_ns;
+    record(std::move(span));
+}
+
+void Tracer::record_counter(std::string_view name, std::int64_t value) {
+    if (!enabled()) return;
+    Span span;
+    span.name = std::string(name);
+    span.kind = SpanKind::kCounter;
+    span.start_ns = now_ns();
+    span.value = value;
     record(std::move(span));
 }
 
@@ -90,30 +176,48 @@ void Tracer::clear() {
 std::string Tracer::to_jsonl() const {
     std::lock_guard lock(mutex_);
     std::string out;
-    char line[256];
+    char line[384];
     for (const Span& span : spans_) {
         const int n = std::snprintf(
             line, sizeof line,
-            "{\"name\":\"%s\",\"start_ns\":%" PRId64 ",\"wall_ns\":%" PRId64
-            ",\"sim_ns\":%" PRId64 ",\"thread\":%" PRIu64 "}\n",
-            span.name.c_str(), span.start_ns, span.wall_ns, span.sim_ns,
-            span.thread_id);
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"trace\":%" PRIu64
+            ",\"id\":%" PRIu64 ",\"parent\":%" PRIu64 ",\"start_ns\":%" PRId64
+            ",\"wall_ns\":%" PRId64 ",\"sim_ns\":%" PRId64
+            ",\"thread\":%" PRIu64 ",\"value\":%" PRId64 ",\"kind\":%u}\n",
+            span.name.c_str(), span.category, span.trace_id, span.span_id,
+            span.parent_id, span.start_ns, span.wall_ns, span.sim_ns,
+            span.thread_id, span.value, static_cast<unsigned>(span.kind));
         if (n > 0) out.append(line, std::min<std::size_t>(n, sizeof line - 1));
     }
     return out;
 }
 
-ScopedSpan::ScopedSpan(std::string_view name, const util::SimTimeLedger* ledger,
-                       Tracer& tracer)
-    : tracer_(tracer), name_(name), ledger_(ledger), start_(Tracer::now_ns()) {
+ScopedSpan::ScopedSpan(std::string_view name, const char* category,
+                       const util::SimTimeLedger* ledger, Tracer& tracer)
+    : tracer_(tracer), name_(name), category_(category), ledger_(ledger) {
+    if (!tracer_.enabled()) return;  // the no-op fast path: one atomic load
+    active_ = true;
+    span_id_ = next_span_id();
+    const TraceContext parent = current_context();
+    trace_id_ = parent.trace_id != 0 ? parent.trace_id : next_span_id();
+    prev_ = swap_context({trace_id_, span_id_});
+    start_ = Tracer::now_ns();
     if (ledger_ != nullptr) sim_start_ = ledger_->total_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
+    if (!active_) return;
+    const util::Nanoseconds end = Tracer::now_ns();
+    swap_context(prev_);
     Span span;
-    span.name = std::move(name_);
+    span.name = std::string(name_);
+    span.category = category_;
+    span.trace_id = trace_id_;
+    span.span_id = span_id_;
+    span.parent_id = prev_.span_id;
     span.start_ns = start_;
-    span.wall_ns = Tracer::now_ns() - start_;
+    span.wall_ns = end - start_;
+    span.value = value_;
     if (ledger_ != nullptr) span.sim_ns = ledger_->total_ns() - sim_start_;
     tracer_.record(std::move(span));
 }

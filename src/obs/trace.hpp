@@ -1,46 +1,107 @@
-// Span tracer for the validation pipeline. A span is a named interval
-// carrying both wall-clock time and modelled (SimTimeLedger) device time —
-// the same split util::TimeCost uses — so a trace of a block shows where
-// real CPU went *and* where a real HDD/SSD would have added latency.
+// Causal span tracer for the validation pipeline. A span is a named
+// interval carrying both wall-clock time and modelled (SimTimeLedger)
+// device time — the same split util::TimeCost uses — so a trace of a block
+// shows where real CPU went *and* where a real HDD/SSD would have added
+// latency.
+//
+// Spans are *hierarchical*: each carries a trace id (one causal tree), a
+// process-unique span id, and its parent's span id. The current span is a
+// thread-local context that ScopedSpan pushes/pops, and
+// util::ThreadPool propagates it across parallel_for jobs (see the task
+// context hooks installed by this translation unit), so worker-side spans
+// recorded inside a pool body nest under whatever span the submitting
+// thread had open — a block's span, which itself nests under its IBD
+// window's span. docs/OBSERVABILITY.md walks a full window timeline.
 //
 // Spans land in a bounded in-memory ring (oldest dropped first, drop count
-// kept), guarded by a mutex: recording happens at block/stage granularity,
-// not per input, so contention is negligible. Export is JSONL, one span per
-// line, ordered oldest to newest.
+// kept and exported as ebv.obs.* metrics so truncation is detectable),
+// guarded by a mutex. Default recording happens at block/stage
+// granularity; per-input worker spans are additionally gated behind the
+// `detail` flag (set by EBV_TRACE_JSON in the bench harness) so the
+// always-on path stays cheap. Export is JSONL here, or Chrome
+// trace-event / folded flamegraph formats via obs/export.hpp.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
-
-#include <mutex>
 
 #include "util/stopwatch.hpp"
 
 namespace ebv::obs {
 
+enum class SpanKind : std::uint8_t {
+    kSpan = 0,     ///< a timed interval
+    kCounter = 1,  ///< an instantaneous counter sample (value at start_ns)
+};
+
 struct Span {
     std::string name;
+    /// Stable category tag for trace viewers ("ibd", "block", "ev", "sv",
+    /// "commit", "pool", ...). Must point at static-storage (literal) data.
+    const char* category = "";
+    std::uint64_t trace_id = 0;   ///< causal tree this span belongs to
+    std::uint64_t span_id = 0;    ///< process-unique, never 0 for spans
+    std::uint64_t parent_id = 0;  ///< enclosing span, 0 = root
     util::Nanoseconds start_ns = 0;  ///< since process start (steady clock)
     util::Nanoseconds wall_ns = 0;
-    util::Nanoseconds sim_ns = 0;    ///< modelled device time inside the span
+    util::Nanoseconds sim_ns = 0;  ///< modelled device time inside the span
     std::uint64_t thread_id = 0;
+    std::int64_t value = 0;  ///< kCounter sample; spans may carry an arg
+                             ///< (block height, window base) here too
+    SpanKind kind = SpanKind::kSpan;
 };
+
+/// The thread-local causal position: the trace being built and the span
+/// new work should parent under.
+struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+};
+
+/// Current thread's context (zeros outside any span).
+[[nodiscard]] TraceContext current_context();
+/// Install `ctx` and return the previous context (cross-thread handoff:
+/// util::ThreadPool swaps the submitter's context in around worker chunks).
+TraceContext swap_context(TraceContext ctx);
+/// Process-unique id (never 0), usable as a span id or a fresh trace id.
+[[nodiscard]] std::uint64_t next_span_id();
 
 class Tracer {
 public:
     static Tracer& global();
 
-    void set_enabled(bool enabled) { enabled_ = enabled; }
-    [[nodiscard]] bool enabled() const { return enabled_; }
+    void set_enabled(bool enabled) {
+        enabled_.store(enabled, std::memory_order_relaxed);
+        publish_state();
+    }
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Per-input / per-worker spans are recorded only when detail is on —
+    /// block- and window-granularity spans ignore this flag. Off by
+    /// default; the bench harness turns it on with EBV_TRACE_JSON.
+    void set_detail(bool detail) { detail_.store(detail, std::memory_order_relaxed); }
+    [[nodiscard]] bool detail() const {
+        return enabled() && detail_.load(std::memory_order_relaxed);
+    }
+
     /// Ring capacity in spans (default 8192). Shrinking drops oldest spans.
     void set_capacity(std::size_t spans);
 
     void record(Span span);
     /// Record an already-measured interval ending now (used to publish the
-    /// per-stage TimeCost aggregates a validator accumulates).
+    /// per-stage TimeCost aggregates a validator accumulates). Parented
+    /// under the calling thread's current context.
     void record(std::string_view name, util::TimeCost cost);
+    /// Record an instantaneous counter sample (Chrome "C" event): the value
+    /// of `name`'s dedicated track at this moment.
+    void record_counter(std::string_view name, std::int64_t value);
 
     [[nodiscard]] std::vector<Span> snapshot() const;
     [[nodiscard]] std::uint64_t recorded() const;  ///< total, incl. dropped
@@ -54,33 +115,54 @@ public:
     static util::Nanoseconds now_ns();
 
 private:
+    void publish_state();
+
     mutable std::mutex mutex_;
     std::deque<Span> spans_;
     std::size_t capacity_ = 8192;
     std::uint64_t recorded_ = 0;
     std::uint64_t dropped_ = 0;
-    bool enabled_ = true;
+    std::atomic<bool> enabled_{true};
+    std::atomic<bool> detail_{false};
 };
 
 /// RAII span: measures wall time from construction to destruction; when a
 /// ledger is supplied the modelled-time delta over the same interval is
-/// captured too.
+/// captured too. Pushes itself as the thread's current context, so spans
+/// (and pool jobs) opened inside nest under it. When the tracer is
+/// disabled at construction the whole object is inert: no id allocation,
+/// no context push, no clock reads (see BM_TraceDisabled).
 class ScopedSpan {
 public:
-    explicit ScopedSpan(std::string_view name,
+    explicit ScopedSpan(std::string_view name, const char* category = "",
                         const util::SimTimeLedger* ledger = nullptr,
                         Tracer& tracer = Tracer::global());
+    /// Back-compat convenience: category defaults to "".
+    ScopedSpan(std::string_view name, const util::SimTimeLedger* ledger)
+        : ScopedSpan(name, "", ledger) {}
     ~ScopedSpan();
 
     ScopedSpan(const ScopedSpan&) = delete;
     ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+    /// This span's id (0 when the tracer was disabled at construction) —
+    /// lets callers parent out-of-band spans under it explicitly.
+    [[nodiscard]] std::uint64_t span_id() const { return span_id_; }
+    /// Attach an argument (block height, window base) exported with the span.
+    void set_value(std::int64_t value) { value_ = value; }
+
 private:
     Tracer& tracer_;
-    std::string name_;
+    std::string_view name_;
+    const char* category_;
     const util::SimTimeLedger* ledger_;
-    util::Nanoseconds start_;
+    TraceContext prev_{};
+    std::uint64_t span_id_ = 0;
+    std::uint64_t trace_id_ = 0;
+    util::Nanoseconds start_ = 0;
     util::Nanoseconds sim_start_ = 0;
+    std::int64_t value_ = 0;
+    bool active_ = false;
 };
 
 }  // namespace ebv::obs

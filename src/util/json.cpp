@@ -1,0 +1,185 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ebv::util::json {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Value> parse_document() {
+        auto value = parse_value();
+        if (!value) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+        return value;
+    }
+
+private:
+    static constexpr std::size_t kMaxDepth = 128;
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    std::optional<Value> parse_value() {
+        if (++depth_ > kMaxDepth) return std::nullopt;
+        skip_ws();
+        std::optional<Value> out;
+        if (pos_ >= text_.size()) {
+            out = std::nullopt;
+        } else if (const char c = text_[pos_]; c == '{') {
+            out = parse_object();
+        } else if (c == '[') {
+            out = parse_array();
+        } else if (c == '"') {
+            auto s = parse_string();
+            out = s ? std::optional<Value>(Value::string(std::move(*s))) : std::nullopt;
+        } else if (literal("true")) {
+            out = Value::boolean(true);
+        } else if (literal("false")) {
+            out = Value::boolean(false);
+        } else if (literal("null")) {
+            out = Value::null();
+        } else {
+            out = parse_number();
+        }
+        --depth_;
+        return out;
+    }
+
+    std::optional<Value> parse_object() {
+        ++pos_;  // '{'
+        std::vector<std::pair<std::string, Value>> members;
+        skip_ws();
+        if (consume('}')) return Value::object(std::move(members));
+        for (;;) {
+            skip_ws();
+            auto key = parse_string();
+            if (!key || !consume(':')) return std::nullopt;
+            auto value = parse_value();
+            if (!value) return std::nullopt;
+            // First occurrence wins on duplicate keys.
+            bool duplicate = false;
+            for (const auto& [k, v] : members) {
+                if (k == *key) duplicate = true;
+            }
+            if (!duplicate) members.emplace_back(std::move(*key), std::move(*value));
+            if (consume(',')) continue;
+            if (consume('}')) return Value::object(std::move(members));
+            return std::nullopt;
+        }
+    }
+
+    std::optional<Value> parse_array() {
+        ++pos_;  // '['
+        std::vector<Value> items;
+        skip_ws();
+        if (consume(']')) return Value::array(std::move(items));
+        for (;;) {
+            auto value = parse_value();
+            if (!value) return std::nullopt;
+            items.push_back(std::move(*value));
+            if (consume(',')) continue;
+            if (consume(']')) return Value::array(std::move(items));
+            return std::nullopt;
+        }
+    }
+
+    std::optional<std::string> parse_string() {
+        if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) return std::nullopt;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'u': {
+                        if (pos_ + 4 > text_.size()) return std::nullopt;
+                        unsigned code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = text_[pos_++];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9')
+                                code += static_cast<unsigned>(h - '0');
+                            else if (h >= 'a' && h <= 'f')
+                                code += static_cast<unsigned>(h - 'a' + 10);
+                            else if (h >= 'A' && h <= 'F')
+                                code += static_cast<unsigned>(h - 'A' + 10);
+                            else
+                                return std::nullopt;
+                        }
+                        // Latin-1 subset only; anything wider is replaced.
+                        out += code <= 0xff ? static_cast<char>(code) : '?';
+                        break;
+                    }
+                    default: return std::nullopt;
+                }
+                continue;
+            }
+            out += c;
+        }
+        return std::nullopt;  // unterminated
+    }
+
+    std::optional<Value> parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) return std::nullopt;
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') return std::nullopt;
+        return Value::number(value);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+    return Parser(text).parse_document();
+}
+
+}  // namespace ebv::util::json

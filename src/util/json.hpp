@@ -1,0 +1,96 @@
+// A minimal JSON value + recursive-descent parser, just enough to read the
+// machine-readable artifacts this repo itself produces (EBV_BENCH_JSON
+// documents, Chrome trace exports) without an external dependency. Used by
+// bench::compare and the exporter-validity tests.
+//
+// Intentionally small: UTF-8 is passed through verbatim (no \uXXXX
+// decoding beyond Latin-1), numbers are doubles, object keys keep
+// insertion order and duplicate keys keep the first occurrence.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ebv::util::json {
+
+class Value {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() = default;
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+    [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+    [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+    [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+    [[nodiscard]] bool as_bool() const { return bool_; }
+    [[nodiscard]] double as_number() const { return number_; }
+    [[nodiscard]] const std::string& as_string() const { return string_; }
+    [[nodiscard]] const std::vector<Value>& as_array() const { return array_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, Value>>& as_object() const {
+        return object_;
+    }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const Value* get(std::string_view key) const {
+        if (type_ != Type::kObject) return nullptr;
+        for (const auto& [k, v] : object_) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+
+    static Value null() { return Value{}; }
+    static Value boolean(bool b) {
+        Value v;
+        v.type_ = Type::kBool;
+        v.bool_ = b;
+        return v;
+    }
+    static Value number(double d) {
+        Value v;
+        v.type_ = Type::kNumber;
+        v.number_ = d;
+        return v;
+    }
+    static Value string(std::string s) {
+        Value v;
+        v.type_ = Type::kString;
+        v.string_ = std::move(s);
+        return v;
+    }
+    static Value array(std::vector<Value> items) {
+        Value v;
+        v.type_ = Type::kArray;
+        v.array_ = std::move(items);
+        return v;
+    }
+    static Value object(std::vector<std::pair<std::string, Value>> members) {
+        Value v;
+        v.type_ = Type::kObject;
+        v.object_ = std::move(members);
+        return v;
+    }
+
+private:
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). nullopt on any syntax error.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace ebv::util::json

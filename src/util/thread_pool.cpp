@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "util/stopwatch.hpp"
@@ -13,7 +14,24 @@ namespace {
 /// body must not block on the submit mutex its outer call already holds.
 thread_local bool t_inside_pool_work = false;
 
+/// Ambient-context hooks (trace-span propagation). Written once at static
+/// init (see obs/trace.cpp), read on every submit/attach.
+TaskContext (*g_context_capture)() = nullptr;
+TaskContext (*g_context_swap)(TaskContext) = nullptr;
+
+std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 }  // namespace
+
+void ThreadPool::set_task_context_hooks(TaskContext (*capture)(),
+                                        TaskContext (*swap)(TaskContext)) {
+    g_context_capture = capture;
+    g_context_swap = swap;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) {
@@ -34,6 +52,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
             break;
         }
     }
+    slot_busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(thread_count());
+    for (std::size_t s = 0; s < thread_count(); ++s)
+        slot_busy_ns_[s].store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> ThreadPool::slot_busy_ns() const {
+    std::vector<std::uint64_t> busy(thread_count());
+    for (std::size_t s = 0; s < busy.size(); ++s)
+        busy[s] = slot_busy_ns_[s].load(std::memory_order_relaxed);
+    return busy;
 }
 
 ThreadPool::~ThreadPool() {
@@ -50,6 +78,7 @@ void ThreadPool::run_chunks(std::size_t slot) {
     const bool was_inside = t_inside_pool_work;
     t_inside_pool_work = true;
     std::uint64_t chunks_run = 0;
+    std::uint64_t busy_ns = 0;
     for (;;) {
         // Claim first, examine afterwards: a straggler attached to an
         // already-finished job touches only the atomics and leaves without
@@ -62,7 +91,9 @@ void ThreadPool::run_chunks(std::size_t slot) {
                           (job.cancel != nullptr && job.cancel->cancelled());
         if (!skip) {
             try {
+                Stopwatch chunk_watch;
                 job.invoke(job.ctx, slot, begin, end);
+                busy_ns += static_cast<std::uint64_t>(chunk_watch.elapsed_ns());
                 ++chunks_run;
             } catch (...) {
                 std::lock_guard lock(mutex_);
@@ -84,11 +115,14 @@ void ThreadPool::run_chunks(std::size_t slot) {
     }
     t_inside_pool_work = was_inside;
     if (chunks_run > 0) tasks_.fetch_add(chunks_run, std::memory_order_relaxed);
+    if (busy_ns > 0)
+        slot_busy_ns_[slot].fetch_add(busy_ns, std::memory_order_relaxed);
 }
 
 void ThreadPool::worker_loop(std::size_t slot) {
     std::uint64_t seen_generation = 0;
     for (;;) {
+        TaskContext token{};
         {
             std::unique_lock lock(mutex_);
             work_cv_.wait(lock, [&] {
@@ -97,8 +131,19 @@ void ThreadPool::worker_loop(std::size_t slot) {
             if (stopping_) return;
             seen_generation = generation_;
             ++workers_attached_;
+            token = job_.task_context;
+            const std::int64_t waited = steady_now_ns() - job_.submit_ns;
+            if (waited > 0)
+                wakeup_ns_.fetch_add(static_cast<std::uint64_t>(waited),
+                                     std::memory_order_relaxed);
+            wakeups_.fetch_add(1, std::memory_order_relaxed);
         }
+        // Install the submitter's ambient context (trace span) around this
+        // job's chunks so spans recorded inside nest under it causally.
+        TaskContext prev{};
+        if (g_context_swap != nullptr) prev = g_context_swap(token);
         run_chunks(slot);
+        if (g_context_swap != nullptr) g_context_swap(prev);
         {
             std::lock_guard lock(mutex_);
             --workers_attached_;
@@ -117,11 +162,14 @@ void ThreadPool::run(std::size_t n, Invoke invoke, void* ctx, CancelToken* cance
     // CancelToken fired from inside the body stops the remaining chunks.
     if (workers_.empty() || n == 1 || t_inside_pool_work) {
         const std::size_t chunk = std::max<std::size_t>(1, n / 8);
+        Stopwatch serial_watch;
         for (std::size_t begin = 0; begin < n; begin += chunk) {
             if (cancel != nullptr && cancel->cancelled()) break;
             invoke(ctx, 0, begin, std::min(begin + chunk, n));  // may throw
             tasks_.fetch_add(1, std::memory_order_relaxed);
         }
+        slot_busy_ns_[0].fetch_add(static_cast<std::uint64_t>(serial_watch.elapsed_ns()),
+                                   std::memory_order_relaxed);
         return;
     }
 
@@ -143,6 +191,9 @@ void ThreadPool::run(std::size_t n, Invoke invoke, void* ctx, CancelToken* cance
         job_.completed.store(0, std::memory_order_relaxed);
         job_.has_error.store(false, std::memory_order_relaxed);
         job_.error = nullptr;
+        job_.task_context =
+            g_context_capture != nullptr ? g_context_capture() : TaskContext{};
+        job_.submit_ns = steady_now_ns();
         ++generation_;
     }
     work_cv_.notify_all();

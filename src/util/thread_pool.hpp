@@ -70,10 +70,25 @@ private:
 /// `steal_wait_ns` is the time submitting threads spent blocked after
 /// finishing their own chunks, waiting for workers to drain the rest — a
 /// straggler/load-imbalance indicator (exported as `ebv.pool.steal_ns`).
+/// `wakeup_ns` totals the queue latency between a job's publication and
+/// each worker attaching to it (`wakeups` attachments observed), exported
+/// as `ebv.pool.wakeup_ns` — scheduler/wakeup overhead the parallel region
+/// pays before any chunk runs.
 struct PoolStats {
     std::uint64_t parallel_fors = 0;
     std::uint64_t tasks = 0;  ///< chunks executed (across all threads)
     std::uint64_t steal_wait_ns = 0;
+    std::uint64_t wakeup_ns = 0;
+    std::uint64_t wakeups = 0;
+};
+
+/// Opaque two-word ambient context carried from a parallel_for's submitter
+/// to the workers running its chunks. The pool itself attaches no meaning;
+/// ebv::obs uses it to propagate the current trace span (trace id, span id)
+/// so worker-side spans nest under the submitting thread's open span.
+struct TaskContext {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
 };
 
 class ThreadPool {
@@ -111,8 +126,25 @@ public:
     [[nodiscard]] PoolStats stats() const {
         return PoolStats{parallel_fors_.load(std::memory_order_relaxed),
                          tasks_.load(std::memory_order_relaxed),
-                         steal_wait_ns_.load(std::memory_order_relaxed)};
+                         steal_wait_ns_.load(std::memory_order_relaxed),
+                         wakeup_ns_.load(std::memory_order_relaxed),
+                         wakeups_.load(std::memory_order_relaxed)};
     }
+
+    /// Cumulative busy time (ns spent inside chunk bodies) per execution
+    /// slot — slot 0 is the submitting thread. Per-worker utilization over
+    /// an interval is the delta divided by the interval's wall time.
+    [[nodiscard]] std::vector<std::uint64_t> slot_busy_ns() const;
+
+    /// Install process-wide ambient-context hooks: `capture` runs on the
+    /// submitting thread at job publication; `swap` runs on each worker to
+    /// install the captured context before its chunks (returning the
+    /// previous context, restored afterwards). Pass nullptrs to clear.
+    /// Intended to be called once from a static initializer (ebv::obs does
+    /// this to propagate trace spans); not synchronized against running
+    /// pools.
+    static void set_task_context_hooks(TaskContext (*capture)(),
+                                       TaskContext (*swap)(TaskContext));
 
 private:
     /// Type-erased chunk invoker: run body over [begin, end) on `slot`.
@@ -129,6 +161,8 @@ private:
         std::size_t total = 0;
         std::size_t chunk = 1;
         CancelToken* cancel = nullptr;
+        TaskContext task_context{};     ///< ambient context captured at submit
+        std::int64_t submit_ns = 0;     ///< publication time (wakeup latency)
         std::atomic<std::size_t> next{0};       ///< first unclaimed index
         std::atomic<std::size_t> completed{0};  ///< indices claimed AND finished
         std::atomic<bool> has_error{false};
@@ -153,6 +187,10 @@ private:
     std::atomic<std::uint64_t> parallel_fors_{0};
     std::atomic<std::uint64_t> tasks_{0};
     std::atomic<std::uint64_t> steal_wait_ns_{0};
+    std::atomic<std::uint64_t> wakeup_ns_{0};
+    std::atomic<std::uint64_t> wakeups_{0};
+    /// Busy ns per slot, index 0..thread_count()-1 (sized at construction).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slot_busy_ns_;
 };
 
 }  // namespace ebv::util

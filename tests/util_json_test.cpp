@@ -1,0 +1,87 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebv::util::json {
+namespace {
+
+TEST(UtilJson, ParsesScalars) {
+    EXPECT_TRUE(parse("null")->is_null());
+    EXPECT_TRUE(parse("true")->as_bool());
+    EXPECT_FALSE(parse("false")->as_bool());
+    EXPECT_DOUBLE_EQ(parse("42")->as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-3.5e2")->as_number(), -350.0);
+    EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(UtilJson, ParsesEscapes) {
+    const auto v = parse(R"("a\"b\\c\nd\teA")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(UtilJson, ParsesNestedStructures) {
+    const auto v = parse(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->is_object());
+    const Value* a = v->get("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->as_array().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+    EXPECT_TRUE(a->as_array()[2].get("b")->as_bool());
+    EXPECT_TRUE(v->get("c")->get("d")->is_null());
+    EXPECT_EQ(v->get("e")->as_string(), "x");
+    EXPECT_EQ(v->get("missing"), nullptr);
+}
+
+TEST(UtilJson, PreservesMemberOrderAndFirstDuplicateWins) {
+    const auto v = parse(R"({"z":1,"a":2,"z":3})");
+    ASSERT_TRUE(v.has_value());
+    const auto& members = v->as_object();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_DOUBLE_EQ(members[0].second.as_number(), 1.0);  // first wins
+    EXPECT_EQ(members[1].first, "a");
+}
+
+TEST(UtilJson, WhitespaceTolerant) {
+    const auto v = parse(" {\n\t\"a\" :\r [ 1 , 2 ] }  ");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->get("a")->as_array().size(), 2u);
+}
+
+TEST(UtilJson, RejectsMalformedInput) {
+    EXPECT_FALSE(parse("").has_value());
+    EXPECT_FALSE(parse("{").has_value());
+    EXPECT_FALSE(parse("[1,]").has_value());
+    EXPECT_FALSE(parse("{\"a\":}").has_value());
+    EXPECT_FALSE(parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(parse("\"unterminated").has_value());
+    EXPECT_FALSE(parse("tru").has_value());
+    EXPECT_FALSE(parse("1 2").has_value());  // trailing garbage
+    EXPECT_FALSE(parse("nan").has_value());
+}
+
+TEST(UtilJson, RejectsRunawayNesting) {
+    std::string deep;
+    for (int i = 0; i < 500; ++i) deep += '[';
+    for (int i = 0; i < 500; ++i) deep += ']';
+    EXPECT_FALSE(parse(deep).has_value());
+}
+
+TEST(UtilJson, ParsesRealBenchDocument) {
+    const auto v = parse(
+        R"({"bench":"fig16","provenance":{"git_sha":"abc","hw_threads":8},)"
+        R"("rows":[{"height":110,"ebv_ms":19.2}],"aborted":false,)"
+        R"("metrics":{"counters":{"ebv.block.connects":120}}})");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->get("bench")->as_string(), "fig16");
+    EXPECT_FALSE(v->get("aborted")->as_bool());
+    EXPECT_DOUBLE_EQ(v->get("rows")->as_array()[0].get("ebv_ms")->as_number(), 19.2);
+    EXPECT_DOUBLE_EQ(
+        v->get("metrics")->get("counters")->get("ebv.block.connects")->as_number(),
+        120.0);
+}
+
+}  // namespace
+}  // namespace ebv::util::json
