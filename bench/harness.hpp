@@ -39,7 +39,9 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/affinity.hpp"
 #include "util/env.hpp"
+#include "util/thread_pool.hpp"
 #include "util/log.hpp"
 #include "workload/generator.hpp"
 #include "workload/stats.hpp"
@@ -187,15 +189,21 @@ inline std::string env_or(const char* name, const char* fallback) {
 
 /// Provenance header recorded in every EBV_BENCH_JSON document so
 /// bench_compare can refuse apples-to-oranges diffs (different build type,
-/// different SHA-256 backend, different machine width).
+/// different SHA-256 backend, different machine width). Also records the
+/// pool topology knobs (default scheduler, affinity request, CPUs visible
+/// to the process) so scheduler A/B runs stay attributable.
 inline std::string provenance_json() {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "{\"git_sha\":\"%s\",\"build_type\":\"%s\",\"hw_threads\":%u,"
-                  "\"sha256_impl\":\"%s\"}",
+                  "\"sha256_impl\":\"%s\",\"scheduler\":\"%s\",\"affinity\":%s,"
+                  "\"cpus\":%u}",
                   env_or("EBV_GIT_SHA", EBV_GIT_SHA).c_str(),
                   env_or("EBV_BUILD_TYPE", EBV_BUILD_TYPE).c_str(),
-                  std::thread::hardware_concurrency(), crypto::sha256_impl());
+                  std::thread::hardware_concurrency(), crypto::sha256_impl(),
+                  util::to_string(util::default_scheduler_mode()),
+                  util::default_affinity() ? "true" : "false",
+                  util::affinity_cpu_count());
     return buf;
 }
 

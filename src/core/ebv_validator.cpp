@@ -191,6 +191,9 @@ struct EbvMetrics {
     obs::Counter& outputs;
     obs::Counter& proof_bytes;
     obs::Counter& pool_tasks;
+    obs::Counter& pool_local_pops;
+    obs::Counter& pool_steals;
+    obs::Counter& pool_steal_attempts;
     obs::Counter& sighash_bytes_saved;
     obs::Gauge& sha256_impl;
     obs::Histogram& ev_ns;
@@ -200,6 +203,7 @@ struct EbvMetrics {
     obs::Histogram& other_ns;
     obs::Histogram& total_ns;
     obs::Histogram& pool_steal_ns;
+    obs::Histogram& pool_barrier_wait_ns;
     obs::Histogram& sv_parallel_ns;
 
     static EbvMetrics& get() {
@@ -211,6 +215,9 @@ struct EbvMetrics {
             obs::Registry::global().counter("ebv.block.outputs"),
             obs::Registry::global().counter("ebv.block.proof_bytes"),
             obs::Registry::global().counter("ebv.pool.tasks"),
+            obs::Registry::global().counter("ebv.pool.local_pops"),
+            obs::Registry::global().counter("ebv.pool.steals"),
+            obs::Registry::global().counter("ebv.pool.steal_attempts"),
             obs::Registry::global().counter("ebv.crypto.sighash_bytes_saved"),
             obs::Registry::global().gauge("ebv.crypto.sha256_impl"),
             obs::Registry::global().histogram("ebv.block.ev_ns"),
@@ -220,6 +227,7 @@ struct EbvMetrics {
             obs::Registry::global().histogram("ebv.block.other_ns"),
             obs::Registry::global().histogram("ebv.block.total_ns"),
             obs::Registry::global().histogram("ebv.pool.steal_ns"),
+            obs::Registry::global().histogram("ebv.pool.barrier_wait_ns"),
             obs::Registry::global().histogram("ebv.block.sv_parallel_ns"),
         };
         return m;
@@ -451,8 +459,17 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         if (options_.script_pool != nullptr) {
             const util::PoolStats pool_after = options_.script_pool->stats();
             m.pool_tasks.inc(pool_after.tasks - pool_before.tasks);
+            // `barrier_wait_ns` was exported as ebv.pool.steal_ns before the
+            // stealing scheduler existed; the latter now reports real steal
+            // time (docs/OBSERVABILITY.md).
+            m.pool_barrier_wait_ns.observe(static_cast<std::int64_t>(
+                pool_after.barrier_wait_ns - pool_before.barrier_wait_ns));
             m.pool_steal_ns.observe(
-                static_cast<std::int64_t>(pool_after.steal_wait_ns - pool_before.steal_wait_ns));
+                static_cast<std::int64_t>(pool_after.steal_ns - pool_before.steal_ns));
+            m.pool_local_pops.inc(pool_after.local_pops - pool_before.local_pops);
+            m.pool_steals.inc(pool_after.steals - pool_before.steals);
+            m.pool_steal_attempts.inc(pool_after.steal_attempts -
+                                      pool_before.steal_attempts);
         }
         for (std::size_t s = 0; s < slots; ++s)
             if (sv_busy[s] > 0) m.sv_parallel_ns.observe(static_cast<std::int64_t>(sv_busy[s]));

@@ -42,10 +42,14 @@ struct IbdMetrics {
     obs::Counter& outputs;
     obs::Counter& proof_bytes;
     obs::Counter& pool_tasks;
+    obs::Counter& pool_local_pops;
+    obs::Counter& pool_steals;
+    obs::Counter& pool_steal_attempts;
     obs::Histogram& window_occupancy;
     obs::Histogram& stall_ns;
     obs::Histogram& commit_ns;
     obs::Histogram& pool_steal_ns;
+    obs::Histogram& pool_barrier_wait_ns;
     obs::Histogram& pool_wakeup_ns;
     obs::Gauge& blocks_inflight;
 
@@ -59,12 +63,16 @@ struct IbdMetrics {
             obs::Registry::global().counter("ebv.block.outputs"),
             obs::Registry::global().counter("ebv.block.proof_bytes"),
             obs::Registry::global().counter("ebv.pool.tasks"),
+            obs::Registry::global().counter("ebv.pool.local_pops"),
+            obs::Registry::global().counter("ebv.pool.steals"),
+            obs::Registry::global().counter("ebv.pool.steal_attempts"),
             obs::Registry::global().histogram(
                 "ebv.ibd.window_occupancy",
                 obs::Histogram::exponential_bounds(1, 2.0, 10)),
             obs::Registry::global().histogram("ebv.ibd.stall_ns"),
             obs::Registry::global().histogram("ebv.ibd.commit_ns"),
             obs::Registry::global().histogram("ebv.pool.steal_ns"),
+            obs::Registry::global().histogram("ebv.pool.barrier_wait_ns"),
             obs::Registry::global().histogram("ebv.pool.wakeup_ns"),
             obs::Registry::global().gauge("ebv.ibd.blocks_inflight"),
         };
@@ -426,8 +434,30 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
         if (pool_ != nullptr) {
             const util::PoolStats pool_after = pool_->stats();
             m.pool_tasks.inc(pool_after.tasks - pool_before.tasks);
-            m.pool_steal_ns.observe(pool_after.steal_wait_ns - pool_before.steal_wait_ns);
+            // `barrier_wait_ns` was exported as ebv.pool.steal_ns before the
+            // stealing scheduler existed; the latter now reports real steal
+            // time (docs/OBSERVABILITY.md).
+            m.pool_barrier_wait_ns.observe(pool_after.barrier_wait_ns -
+                                           pool_before.barrier_wait_ns);
+            m.pool_steal_ns.observe(pool_after.steal_ns - pool_before.steal_ns);
+            m.pool_local_pops.inc(pool_after.local_pops - pool_before.local_pops);
+            m.pool_steals.inc(pool_after.steals - pool_before.steals);
+            m.pool_steal_attempts.inc(pool_after.steal_attempts -
+                                      pool_before.steal_attempts);
             m.pool_wakeup_ns.observe(pool_after.wakeup_ns - pool_before.wakeup_ns);
+            {
+                // Per-slot queue-depth gauge: peak deque occupancy over the
+                // pass (stealing scheduler; zeros under counter mode).
+                const std::vector<std::uint64_t> queue_peak =
+                    pool_->slot_queue_depth_peak();
+                for (std::size_t s = 0; s < queue_peak.size(); ++s) {
+                    char name[48];
+                    std::snprintf(name, sizeof name, "ebv.pool.queue_depth.slot%zu",
+                                  s);
+                    obs::Registry::global().gauge(name).set(
+                        static_cast<std::int64_t>(queue_peak[s]));
+                }
+            }
             if (tracing) {
                 // Dedicated counter tracks: queue latency this pass and each
                 // slot's utilization (busy/wall, percent) over the pass.
@@ -451,6 +481,17 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
                         track, static_cast<std::int64_t>(
                                    100.0 * static_cast<double>(busy) /
                                    static_cast<double>(pass_wall)));
+                }
+                // Peak per-slot deque depth over the pass (stealing
+                // scheduler; all zeros under counter mode).
+                const std::vector<std::uint64_t> queue_peak =
+                    pool_->slot_queue_depth_peak();
+                for (std::size_t s = 0; s < queue_peak.size(); ++s) {
+                    char track[48];
+                    std::snprintf(track, sizeof track, "ebv.pool.queue_depth.slot%zu",
+                                  s);
+                    tracer.record_counter(
+                        track, static_cast<std::int64_t>(queue_peak[s]));
                 }
             }
         }

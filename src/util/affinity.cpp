@@ -1,0 +1,84 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ebv::util {
+
+bool affinity_supported() noexcept {
+#if defined(__linux__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+unsigned affinity_cpu_count() noexcept {
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof set, &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0) return static_cast<unsigned>(n);
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+#if defined(__linux__)
+namespace {
+
+/// Resolve `cpu` to a concrete CPU id, indexing into the process affinity
+/// mask (not raw CPU ids) so containers with a restricted cpuset still pin
+/// correctly. Returns false when the mask cannot be read or is empty.
+bool pin_handle(pthread_t handle, unsigned cpu) noexcept {
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof allowed, &allowed) != 0) return false;
+    const int usable = CPU_COUNT(&allowed);
+    if (usable <= 0) return false;
+    unsigned want = cpu % static_cast<unsigned>(usable);
+    int target = -1;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (!CPU_ISSET(c, &allowed)) continue;
+        if (want == 0) {
+            target = c;
+            break;
+        }
+        --want;
+    }
+    if (target < 0) return false;
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(target, &one);
+    return pthread_setaffinity_np(handle, sizeof one, &one) == 0;
+}
+
+}  // namespace
+#endif
+
+bool pin_current_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+    return pin_handle(pthread_self(), cpu);
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+bool pin_thread(std::thread::native_handle_type handle, unsigned cpu) noexcept {
+#if defined(__linux__)
+    return pin_handle(handle, cpu);
+#else
+    (void)handle;
+    (void)cpu;
+    return false;
+#endif
+}
+
+}  // namespace ebv::util

@@ -1,0 +1,121 @@
+// Bounded lock-free Chase–Lev work-stealing deque of index ranges, the
+// per-slot queue behind util::ThreadPool's stealing scheduler.
+//
+// One owner thread pushes and pops ranges at the *bottom* (LIFO — the most
+// recently split half is cache-adjacent to what the owner just ran); any
+// number of thief threads steal from the *top* (FIFO — thieves take the
+// oldest, largest halves, farthest from the owner's working set). The
+// memory orderings follow the C11 formulation of Lê, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP'13).
+//
+// The deque is bounded rather than growable: the pool seeds each slot with
+// one contiguous span and owners push at most one half per split level, so
+// occupancy is O(log n) plus a small constant for stolen ranges being
+// re-split. kCapacity = 256 leaves two orders of magnitude of headroom; on
+// overflow push() returns false and the caller simply runs the range
+// inline, which is always correct.
+//
+// Ranges are packed as two 32-bit halves into one 64-bit atomic cell so a
+// racing steal reads a torn-free (begin, end) pair with a single load. The
+// pool routes jobs with n >= 2^32 to the shared-counter scheduler instead.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace ebv::util {
+
+/// One contiguous index range [begin, end).
+struct IndexRange {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+
+    [[nodiscard]] std::uint32_t size() const noexcept { return end - begin; }
+};
+
+class StealDeque {
+public:
+    static constexpr std::size_t kCapacity = 256;  // power of two
+
+    /// Owner only. False when the deque is full (caller runs `r` inline).
+    bool push(IndexRange r) noexcept {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+        buffer_[static_cast<std::size_t>(b) & kMask].store(pack(r),
+                                                           std::memory_order_relaxed);
+        // Publish the cell before the new bottom becomes visible to thieves.
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /// Owner only. Takes the most recently pushed range (LIFO). The size-1
+    /// case races a concurrent steal(); the CAS on top_ arbitrates so the
+    /// last element is handed out exactly once.
+    bool pop(IndexRange& out) noexcept {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        if (t > b) {  // already empty
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = unpack(buffer_[static_cast<std::size_t>(b) & kMask].load(
+            std::memory_order_relaxed));
+        if (t == b) {
+            // Last element: win it from any in-flight thief or concede.
+            const bool won = top_.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return won;
+        }
+        return true;
+    }
+
+    /// Any thread. Takes the oldest range (FIFO). False when empty or when
+    /// the CAS race against the owner/another thief is lost.
+    bool steal(IndexRange& out) noexcept {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b) return false;
+        // Read before the CAS: a successful CAS proves the cell was not
+        // recycled (push() refuses to wrap onto an unconsumed top).
+        const std::uint64_t cell =
+            buffer_[static_cast<std::size_t>(t) & kMask].load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return false;
+        out = unpack(cell);
+        return true;
+    }
+
+    /// Approximate occupancy; exact when the deque is quiescent.
+    [[nodiscard]] std::size_t size() const noexcept {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+private:
+    static constexpr std::size_t kMask = kCapacity - 1;
+    static_assert((kCapacity & kMask) == 0, "capacity must be a power of two");
+
+    static std::uint64_t pack(IndexRange r) noexcept {
+        return (static_cast<std::uint64_t>(r.begin) << 32) | r.end;
+    }
+    static IndexRange unpack(std::uint64_t v) noexcept {
+        return IndexRange{static_cast<std::uint32_t>(v >> 32),
+                          static_cast<std::uint32_t>(v)};
+    }
+
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    alignas(64) std::array<std::atomic<std::uint64_t>, kCapacity> buffer_{};
+};
+
+}  // namespace ebv::util

@@ -1,6 +1,7 @@
 #include "workload/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "chain/miner.hpp"
 #include "chain/sighash.hpp"
@@ -12,6 +13,12 @@ namespace ebv::workload {
 
 namespace {
 constexpr chain::Amount kFeePerTx = 10'000;  // flat fee keeps accounting simple
+
+/// Skewed-cost script kinds are encoded as 0x80 | M (1-of-M multisig).
+constexpr std::uint8_t kHeavyKindFlag = 0x80;
+/// Tail cap: well under the interpreter's 20-key multisig limit and deep
+/// enough that one heavy input costs ~15x a P2PK verify.
+constexpr std::uint32_t kMaxHeavyKeys = 15;
 }
 
 ChainGenerator::ChainGenerator(const GeneratorOptions& options)
@@ -28,6 +35,18 @@ ChainGenerator::ChainGenerator(const GeneratorOptions& options)
 
 script::Script ChainGenerator::lock_script_for(std::uint32_t key_id,
                                                std::uint8_t kind) const {
+    if ((kind & kHeavyKindFlag) != 0) {
+        // 1-of-M with the signer last: the interpreter matches signatures
+        // against keys in order, so a valid spend performs M-1 failed
+        // verifies before succeeding — a real M-fold cost multiplier.
+        const std::uint32_t m = kind & ~kHeavyKindFlag;
+        std::vector<crypto::PublicKey> members;
+        members.reserve(m);
+        for (std::uint32_t k = 1; k < m; ++k)
+            members.push_back(pubkeys_[(key_id + k) % pubkeys_.size()]);
+        members.push_back(pubkeys_[key_id]);
+        return script::make_multisig(1, members);
+    }
     switch (kind) {
         case 1:
             return script::make_p2pk(pubkeys_[key_id]);
@@ -50,6 +69,8 @@ script::Script ChainGenerator::unlock_script_for(const chain::Transaction& tx,
         // script (these chains are validated with SV disabled).
         util::Bytes fake_sig(71, 0x30);
         fake_sig.back() = 0x01;
+        if ((spent.script_kind & kHeavyKindFlag) != 0)
+            return script::make_multisig_unlock({fake_sig});
         switch (spent.script_kind) {
             case 1:
                 return script::make_p2pk_unlock(fake_sig);
@@ -62,6 +83,8 @@ script::Script ChainGenerator::unlock_script_for(const chain::Transaction& tx,
 
     const util::Bytes sig =
         chain::sign_input(tx, input_index, lock, keys_[spent.key_id]);
+    if ((spent.script_kind & kHeavyKindFlag) != 0)
+        return script::make_multisig_unlock({sig});
     switch (spent.script_kind) {
         case 1:
             return script::make_p2pk_unlock(sig);
@@ -73,6 +96,15 @@ script::Script ChainGenerator::unlock_script_for(const chain::Transaction& tx,
 }
 
 std::uint8_t ChainGenerator::pick_script_kind(const EraPoint& era) {
+    if (options_.skew > 0.0) {
+        // Zipf-style weight: P(M >= k) = k^(-1/skew). M == 1 falls through
+        // to the era's normal script mix, so skew -> 0 recovers it exactly.
+        const double u = std::max(rng_.uniform01(), 1e-9);
+        const double weight = std::pow(u, -options_.skew);
+        const auto m = static_cast<std::uint32_t>(
+            std::min<double>(weight, kMaxHeavyKeys));
+        if (m >= 2) return static_cast<std::uint8_t>(kHeavyKindFlag | m);
+    }
     const double roll = rng_.uniform01();
     if (roll < era.p2pk_fraction) return 1;
     if (roll < era.p2pk_fraction + era.multisig_fraction) return 2;

@@ -31,6 +31,15 @@ struct GeneratorOptions {
     bool signed_mode = true;
     /// Number of distinct keys cycled through output destinations.
     std::size_t key_pool_size = 64;
+    /// Heavy-tail exponent for per-input script cost (0 = off, the
+    /// default; benches read EBV_SKEW). When > 0 each output rolls a
+    /// Zipf-style weight M = floor(u^-skew): M >= 2 locks the output to a
+    /// 1-of-M bare multisig whose signer key is listed *last*, so spending
+    /// it costs M real ECDSA verifies (the interpreter tries keys in
+    /// order). skew = 1 makes ~half the outputs heavy with a power-law
+    /// tail out to M = 15; script-cost variance is what separates the
+    /// pool's stealing scheduler from the shared counter (fig16).
+    double skew = 0.0;
 };
 
 class ChainGenerator {
@@ -51,7 +60,9 @@ private:
         std::uint32_t height;
         bool coinbase;
         std::uint32_t key_id;       ///< signer for this output
-        std::uint8_t script_kind;   ///< 0 = P2PKH, 1 = P2PK, 2 = multisig 1-of-2
+        /// 0 = P2PKH, 1 = P2PK, 2 = multisig 1-of-2; 0x80 | M = skewed-cost
+        /// 1-of-M multisig with the signer key last (see GeneratorOptions::skew).
+        std::uint8_t script_kind;
     };
 
     script::Script lock_script_for(std::uint32_t key_id, std::uint8_t kind) const;
