@@ -1,0 +1,257 @@
+// Fig 19 (extension): proof-serving latency for light clients.
+//
+// A ProofServer answers getproof batches from Dietcoin-style light clients
+// over the discrete-event transport. Each generated block is gossiped to
+// the clients (netsim::GossipNetwork supplies per-client delivery times);
+// on delivery every client fires a burst of random per-tx / per-input proof
+// queries at the server, which coalesces them per peer and serves branches
+// out of the cached Merkle interior-node store (crypto::MerkleTreeCache).
+//
+// The sweep compares the cached tier against a rebuild-per-query baseline
+// (cache disabled: every flush re-hashes the block's tree) across client
+// counts and per-block query counts, reporting request → verified-reply
+// latency p50/p99, the cache hit rate, and the speedup. The cached tier's
+// latency should stay near-flat as query volume grows — the tree is hashed
+// once per block, every later branch is O(log n) copies — while the
+// baseline degrades with volume.
+//
+// Knobs: EBV_BLOCKS (chain length), EBV_SEED, EBV_INTENSITY,
+// EBV_PROOF_CACHE_BYTES (cache budget; see net/proof_cache.hpp).
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "harness.hpp"
+#include "net/proof_server.hpp"
+#include "netsim/gossip.hpp"
+#include "util/rng.hpp"
+
+using namespace ebv;
+
+namespace {
+
+/// ProofSource over a fully converted in-memory chain.
+class ChainProofSource final : public net::ProofSource {
+public:
+    explicit ChainProofSource(const std::vector<core::EbvBlock>& blocks)
+        : blocks_(blocks) {
+        for (std::uint32_t h = 0; h < blocks.size(); ++h)
+            height_by_hash_.emplace(blocks[h].header.hash(), h);
+    }
+
+    [[nodiscard]] std::optional<std::uint32_t> height_of(
+        const crypto::Hash256& block_hash) const override {
+        const auto it = height_by_hash_.find(block_hash);
+        if (it == height_by_hash_.end()) return std::nullopt;
+        return it->second;
+    }
+
+    [[nodiscard]] const core::EbvBlock* block_at(std::uint32_t height) const override {
+        return height < blocks_.size() ? &blocks_[height] : nullptr;
+    }
+
+private:
+    const std::vector<core::EbvBlock>& blocks_;
+    std::unordered_map<crypto::Hash256, std::uint32_t, crypto::Hash256Hasher>
+        height_by_hash_;
+};
+
+struct SweepResult {
+    double serve_p50_us = 0;  ///< server-side queue wait + assembly, per batch
+    double serve_p99_us = 0;
+    double serve_total_ms = 0;  ///< summed serving time across all batches
+    double e2e_p50_ms = 0;  ///< client request -> verified reply (RTT included)
+    double e2e_p99_ms = 0;
+    double hit_rate_pct = 0;
+    std::uint64_t rebuilds = 0;
+    std::uint64_t verify_failures = 0;
+    std::uint64_t answered = 0;
+};
+
+double percentile(std::vector<netsim::SimTime>& v, double p) {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    const auto rank = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+    return static_cast<double>(v[rank]) / 1e3;  // ns -> us
+}
+
+/// One sweep point: `clients` light clients each firing `queries` random
+/// proof requests per gossiped block.
+SweepResult run_sweep(const std::vector<core::EbvBlock>& blocks, std::size_t clients,
+                      std::size_t queries, bool cache_enabled, std::uint64_t seed) {
+    const auto& hits = obs::Registry::global().counter("ebv.proofsrv.cache_hits");
+    const auto& misses = obs::Registry::global().counter("ebv.proofsrv.cache_misses");
+    const std::uint64_t hits0 = hits.value(), misses0 = misses.value();
+
+    ChainProofSource source(blocks);
+    std::unordered_map<crypto::Hash256, crypto::Hash256, crypto::Hash256Hasher> roots;
+    for (const auto& block : blocks)
+        roots.emplace(block.header.hash(), block.header.merkle_root);
+
+    net::SimNetwork network(/*latency_seed=*/seed);
+    net::ProofCache cache;  // budget from EBV_PROOF_CACHE_BYTES
+    net::ProofServerConfig config;
+    config.cache_enabled = cache_enabled;
+    // Deterministic serving costs: the sweep gates CI on the cached vs
+    // rebuild ratio, which must not wobble with host timer noise.
+    config.cost_model.enabled = true;
+    net::ProofServer server(network, netsim::Region::kUsEast, source, cache, config);
+
+    std::vector<std::unique_ptr<net::ProofClient>> fleet;
+    fleet.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        const auto region = static_cast<netsim::Region>((c + 1) % netsim::kRegionCount);
+        fleet.push_back(std::make_unique<net::ProofClient>(
+            network, region, server.id(),
+            [&roots](const crypto::Hash256& h) -> std::optional<crypto::Hash256> {
+                const auto it = roots.find(h);
+                if (it == roots.end()) return std::nullopt;
+                return it->second;
+            }));
+    }
+
+    // Gossip each block across a network of (server + clients); the
+    // per-client receive times become the query-burst schedule. Header
+    // verification is the only validation a light client performs per
+    // delivery — a flat 1 ms models it.
+    netsim::GossipOptions gossip_options;
+    gossip_options.node_count = clients + 1;
+    gossip_options.neighbors_per_node = std::min<std::size_t>(2, clients);
+    gossip_options.topology_seed = seed;
+    gossip_options.latency_seed = seed + 1;
+    gossip_options.block_bytes = 100'000;
+    netsim::GossipNetwork gossip(gossip_options);
+
+    util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    // Blocks arrive one simulated second apart; each client's bursts ride
+    // on its gossip delivery offset within that window.
+    constexpr netsim::SimTime kBlockInterval = 1'000'000'000;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const core::EbvBlock& block = blocks[b];
+        const crypto::Hash256 block_hash = block.header.hash();
+        const auto delivery =
+            gossip.propagate(/*origin=*/0, [](std::size_t) { return 1'000'000; });
+        for (std::size_t c = 0; c < clients; ++c) {
+            netsim::SimTime offset = delivery.receive_time[c + 1];
+            if (offset == netsim::PropagationResult::kUnreached) offset = 0;
+            const netsim::SimTime at =
+                static_cast<netsim::SimTime>(b) * kBlockInterval + offset;
+            // One getproof frame per request: the server's coalescing
+            // window, not the client, is what batches them.
+            for (std::size_t q = 0; q < queries; ++q) {
+                const auto& tx = block.txs[rng.below(block.txs.size())];
+                net::ProofRequest req;
+                req.txid = tx.leaf_hash();
+                if (!tx.outputs.empty() && (rng.next() & 1) != 0) {
+                    req.kind = net::ProofKind::kInput;
+                    req.out_index = static_cast<std::uint16_t>(
+                        rng.below(tx.outputs.size()));
+                }
+                net::ProofClient& client = *fleet[c];
+                network.defer(at - network.now(),
+                              [&client, block_hash, req] { client.query(block_hash, {req}); });
+            }
+        }
+    }
+    network.run();
+
+    SweepResult out;
+    std::vector<netsim::SimTime> latencies;
+    for (const auto& client : fleet) {
+        const auto& stats = client->stats();
+        latencies.insert(latencies.end(), stats.latencies_ns.begin(),
+                         stats.latencies_ns.end());
+        out.verify_failures += stats.verify_failures + stats.items_error;
+        out.answered += stats.items_ok;
+    }
+    out.e2e_p50_ms = percentile(latencies, 0.50) / 1e3;
+    out.e2e_p99_ms = percentile(latencies, 0.99) / 1e3;
+    std::vector<netsim::SimTime> serve = server.stats().serve_ns;
+    out.serve_p50_us = percentile(serve, 0.50);
+    out.serve_p99_us = percentile(serve, 0.99);
+    for (const netsim::SimTime s : serve) out.serve_total_ms += static_cast<double>(s) / 1e6;
+    out.rebuilds = server.stats().rebuilds;
+    const std::uint64_t h = hits.value() - hits0, m = misses.value() - misses0;
+    out.hit_rate_pct = (h + m) == 0 ? 0 : 100.0 * static_cast<double>(h) /
+                                              static_cast<double>(h + m);
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::JsonReport report("fig19_proof_serving");
+    const auto blocks_n = static_cast<std::uint32_t>(bench::env_u64("EBV_BLOCKS", 120));
+    const std::uint64_t seed = bench::env_u64("EBV_SEED", 42);
+
+    workload::GeneratorOptions gen_options;
+    gen_options.seed = seed;
+    gen_options.intensity = bench::env_double("EBV_INTENSITY", 1.0);
+    gen_options.height_scale = 600'000.0 / blocks_n;
+
+    std::fprintf(stderr, "fig19: generating %u blocks...\n", blocks_n);
+    const bench::ChainData chain = bench::build_chain(gen_options, blocks_n);
+    const auto ebv_chain = bench::convert_chain(chain);
+
+    const std::size_t client_sweep[] = {1, 4, 16};
+    const std::size_t query_sweep[] = {4, 16};
+
+    std::printf("Fig 19 — proof serving, %u blocks: server-side serving latency "
+                "(queue + assembly, us)\nand end-to-end client latency (ms), cached "
+                "tier vs rebuild-per-query baseline\n", blocks_n);
+    std::printf("%-8s %-8s %12s %12s %12s %12s %10s %10s %10s\n", "clients", "q/block",
+                "cached-p50", "cached-p99", "rebuild-p50", "rebuild-p99", "e2e-p99ms",
+                "hit-rate", "speedup");
+    bench::print_rule(102);
+
+    double worst_speedup = 1e9, last_hit_rate = 0;
+    for (const std::size_t clients : client_sweep) {
+        for (const std::size_t queries : query_sweep) {
+            const SweepResult cached =
+                run_sweep(ebv_chain, clients, queries, /*cache_enabled=*/true, seed);
+            const SweepResult rebuild =
+                run_sweep(ebv_chain, clients, queries, /*cache_enabled=*/false, seed);
+            if (cached.verify_failures > 0 || rebuild.verify_failures > 0 ||
+                cached.answered == 0) {
+                report.aborted("proof verification failed");
+                std::fprintf(stderr, "fig19: verify failures (cached %llu, rebuild %llu)\n",
+                             static_cast<unsigned long long>(cached.verify_failures),
+                             static_cast<unsigned long long>(rebuild.verify_failures));
+                return 1;
+            }
+            // Speedup is the ratio of *total* serving time. With the
+            // deterministic cost model the whole sim is bit-reproducible,
+            // so this ratio is an exact function of the workload and safe
+            // to gate tightly in CI.
+            const double speedup = cached.serve_total_ms > 0
+                                       ? rebuild.serve_total_ms / cached.serve_total_ms
+                                       : 0;
+            worst_speedup = std::min(worst_speedup, speedup);
+            last_hit_rate = cached.hit_rate_pct;
+            std::printf("%-8zu %-8zu %12.1f %12.1f %12.1f %12.1f %10.1f %9.1f%% %9.2fx\n",
+                        clients, queries, cached.serve_p50_us, cached.serve_p99_us,
+                        rebuild.serve_p50_us, rebuild.serve_p99_us, cached.e2e_p99_ms,
+                        cached.hit_rate_pct, speedup);
+            report.row(
+                "{\"clients\":%zu,\"queries_per_block\":%zu,\"cached_serve_p50_us\":%.1f,"
+                "\"cached_serve_p99_us\":%.1f,\"rebuild_serve_p50_us\":%.1f,"
+                "\"rebuild_serve_p99_us\":%.1f,\"cached_serve_total_ms\":%.2f,"
+                "\"rebuild_serve_total_ms\":%.2f,\"e2e_p50_ms\":%.2f,\"e2e_p99_ms\":%.2f,"
+                "\"hit_rate_pct\":%.2f,\"serving_speedup\":%.3f,\"rebuilds\":%llu}",
+                clients, queries, cached.serve_p50_us, cached.serve_p99_us,
+                rebuild.serve_p50_us, rebuild.serve_p99_us, cached.serve_total_ms,
+                rebuild.serve_total_ms, cached.e2e_p50_ms,
+                cached.e2e_p99_ms, cached.hit_rate_pct, speedup,
+                static_cast<unsigned long long>(rebuild.rebuilds));
+        }
+    }
+
+    bench::print_rule(102);
+    std::printf("cached tier hit rate %.1f%%; worst-case total-serving-time speedup "
+                "over rebuild-per-query: %.2fx\n(the cached tier hashes each block's "
+                "tree once; every further branch is hash-free, so serving\nlatency "
+                "stays near-flat as query volume grows while the rebuild baseline "
+                "queues).\n",
+                last_hit_rate, worst_speedup);
+    return 0;
+}

@@ -22,7 +22,7 @@ bool is_identity_key(std::string_view key) {
     static constexpr std::string_view kKeys[] = {
         "threads", "window", "height", "period", "blocks",
         "seed",    "reps",   "mode",   "batch",  "shards",
-        "skew",
+        "skew",    "clients", "queries_per_block",
     };
     for (const std::string_view k : kKeys) {
         if (key == k) return true;
@@ -79,7 +79,8 @@ std::string provenance_field(const Value& report, std::string_view key) {
 
 Direction metric_direction(std::string_view name) {
     if (name.find("speedup") != std::string_view::npos ||
-        ends_with(name, "reduction_pct") || ends_with(name, "saved"))
+        ends_with(name, "reduction_pct") || ends_with(name, "saved") ||
+        ends_with(name, "hit_rate_pct"))
         return Direction::kHigherBetter;
     if (ends_with(name, "_ms") || ends_with(name, "_ns") || ends_with(name, "_us") ||
         ends_with(name, "_bytes"))

@@ -25,7 +25,7 @@ namespace ebv::bench {
 
 enum class Direction {
     kLowerBetter,   ///< durations, byte counts — gated
-    kHigherBetter,  ///< speedups, reduction percentages — gated
+    kHigherBetter,  ///< speedups, reduction percentages, hit rates — gated
     kInfo,          ///< workload descriptors — reported, never gated
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/merkle_cache.hpp"
 #include "crypto/sha256.hpp"
 #include "util/assert.hpp"
 
@@ -22,11 +23,15 @@ Hash256 hash_pair(const Hash256& left, const Hash256& right) {
     return out;
 }
 
+}  // namespace
+
+namespace detail {
+
 /// Reduce `level` one step in place: pairs hashed together (batched through
 /// sha256d64_many), odd tail duplicated. Writing digest i at offset 32*i
 /// never overtakes the pair read at offset 64*i, and each SIMD lane group
 /// consumes all its input before storing, so in-place is safe.
-void reduce_level(std::vector<Hash256>& level) {
+void merkle_reduce_level(std::vector<Hash256>& level) {
     if (level.size() & 1) level.push_back(level.back());
     const std::size_t pairs = level.size() / 2;
     auto* bytes = reinterpret_cast<std::uint8_t*>(level.data());
@@ -34,42 +39,24 @@ void reduce_level(std::vector<Hash256>& level) {
     level.resize(pairs);
 }
 
-}  // namespace
+}  // namespace detail
 
 Hash256 merkle_root(const std::vector<Hash256>& leaves) {
     if (leaves.empty()) return Hash256{};
     std::vector<Hash256> level;
     level.reserve(leaves.size() + 1);  // +1 for a duplicated odd tail
     level.assign(leaves.begin(), leaves.end());
-    while (level.size() > 1) reduce_level(level);
+    while (level.size() > 1) detail::merkle_reduce_level(level);
     return level[0];
 }
 
 MerkleBranch merkle_branch(const std::vector<Hash256>& leaves, std::uint32_t index) {
     EBV_EXPECTS(index < leaves.size());
-    MerkleBranch branch;
-    branch.index = index;
-
-    // ceil(log2(n)) sibling slots.
-    std::size_t depth = 0;
-    while ((std::size_t{1} << depth) < leaves.size()) ++depth;
-    branch.siblings.reserve(depth);
-
-    std::vector<Hash256> level;
-    level.reserve(leaves.size() + 1);
-    level.assign(leaves.begin(), leaves.end());
-    std::uint32_t pos = index;
-    while (level.size() > 1) {
-        const std::uint32_t sibling = pos ^ 1;
-        // A duplicated odd tail is its own sibling.
-        branch.siblings.push_back(sibling < level.size() ? level[sibling] : level[pos]);
-        reduce_level(level);
-        pos >>= 1;
-    }
-    return branch;
+    return MerkleTreeCache(leaves).branch(index);
 }
 
 Hash256 fold_branch(const Hash256& leaf, const MerkleBranch& branch) {
+    if (branch.siblings.size() > kMaxMerkleBranchDepth) return Hash256{};
     Hash256 node = leaf;
     std::uint32_t pos = branch.index;
     for (const Hash256& sibling : branch.siblings) {
@@ -88,9 +75,10 @@ void MerkleBranch::serialize(util::Writer& w) const {
 util::Result<MerkleBranch, util::DecodeError> MerkleBranch::deserialize(util::Reader& r) {
     auto count = r.compact_size();
     if (!count) return util::Unexpected{count.error()};
-    // A branch deeper than 48 levels would describe a tree with more leaves
-    // than any block can hold.
-    if (*count > 48) return util::Unexpected{util::DecodeError::kOversizedField};
+    // Reject absurd depths before the sibling allocation below: 32 levels
+    // already describe more leaves than a 32-bit index can address.
+    if (*count > kMaxMerkleBranchDepth)
+        return util::Unexpected{util::DecodeError::kOversizedField};
     MerkleBranch branch;
     branch.siblings.reserve(static_cast<std::size_t>(*count));
     for (std::uint64_t i = 0; i < *count; ++i) {

@@ -16,6 +16,13 @@ namespace ebv::crypto {
 /// zero hash (such blocks never occur: every block has a coinbase).
 Hash256 merkle_root(const std::vector<Hash256>& leaves);
 
+/// Hard ceiling on branch depth: 32 sibling levels describe a tree of 2^32
+/// leaves, the most a 32-bit leaf index can address and orders of magnitude
+/// beyond any real block. Deeper branches are hostile by construction —
+/// deserialize rejects them before allocating, fold_branch refuses to fold
+/// them.
+inline constexpr std::size_t kMaxMerkleBranchDepth = 32;
+
 /// The sibling hashes along the path from leaf `index` to the root — the
 /// paper's MBr. The leaf itself is not included.
 struct MerkleBranch {
@@ -31,10 +38,24 @@ struct MerkleBranch {
 };
 
 /// Build the branch for the leaf at `index`; index must be < leaves.size().
+/// A thin wrapper over MerkleTreeCache extraction (crypto/merkle_cache.hpp);
+/// callers extracting more than one branch per leaf set should hold the
+/// cache themselves and amortize the tree build.
 MerkleBranch merkle_branch(const std::vector<Hash256>& leaves, std::uint32_t index);
 
 /// Fold a leaf up through the branch; equals the root iff the leaf is a
-/// member at the branch's index. This is the EV check.
+/// member at the branch's index. This is the EV check. A branch deeper than
+/// kMaxMerkleBranchDepth folds to the zero hash, which never equals a real
+/// root — absurd-depth proofs fail closed without hashing.
 Hash256 fold_branch(const Hash256& leaf, const MerkleBranch& branch);
+
+namespace detail {
+
+/// Reduce one tree level in place: pairs hashed together (batched through
+/// sha256d64_many), odd tail duplicated. Shared by merkle_root and
+/// MerkleTreeCache so both derive bit-identical trees.
+void merkle_reduce_level(std::vector<Hash256>& level);
+
+}  // namespace detail
 
 }  // namespace ebv::crypto

@@ -1,0 +1,48 @@
+#include "crypto/merkle_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace ebv::crypto {
+
+MerkleTreeCache::MerkleTreeCache(const std::vector<Hash256>& leaves) {
+    if (leaves.empty()) return;
+    levels_.push_back(leaves);
+    while (levels_.back().size() > 1) {
+        // Copy the level, then reduce the copy in place: the parent level is
+        // preserved unpadded, the copy becomes the next level up.
+        std::vector<Hash256> next;
+        next.reserve(levels_.back().size() + 1);  // +1 for a duplicated odd tail
+        next = levels_.back();
+        detail::merkle_reduce_level(next);
+        levels_.push_back(std::move(next));
+    }
+}
+
+Hash256 MerkleTreeCache::root() const {
+    return levels_.empty() ? Hash256{} : levels_.back().front();
+}
+
+MerkleBranch MerkleTreeCache::branch(std::uint32_t index) const {
+    EBV_EXPECTS(index < leaf_count());
+    MerkleBranch out;
+    out.index = index;
+    out.siblings.reserve(depth());
+    std::uint32_t pos = index;
+    for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+        const std::vector<Hash256>& nodes = levels_[level];
+        const std::uint32_t sibling = pos ^ 1;
+        // A duplicated odd tail is its own sibling (same rule merkle_branch
+        // applies while hashing its way up).
+        out.siblings.push_back(sibling < nodes.size() ? nodes[sibling] : nodes[pos]);
+        pos >>= 1;
+    }
+    return out;
+}
+
+std::size_t MerkleTreeCache::memory_bytes() const {
+    std::size_t total = sizeof *this + levels_.capacity() * sizeof(levels_.front());
+    for (const auto& level : levels_) total += level.capacity() * sizeof(Hash256);
+    return total;
+}
+
+}  // namespace ebv::crypto

@@ -1,0 +1,55 @@
+// Cached Merkle interior-node store. crypto::merkle_branch rebuilds and
+// re-hashes the whole tree for every request — O(n) compressions per branch,
+// quadratic for a proof server answering many queries against one block.
+// MerkleTreeCache pays that O(n) hashing exactly once (through the batched
+// sha256d64_many path) and keeps every level resident; each later branch
+// extraction is O(log n) sibling *copies* with zero SHA-256 work, which the
+// ebv.crypto.sha256* counters make assertable (see sha256.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+
+namespace ebv::crypto {
+
+class MerkleTreeCache {
+public:
+    MerkleTreeCache() = default;
+
+    /// Builds every level bottom-up; the only hashing this class ever does.
+    explicit MerkleTreeCache(const std::vector<Hash256>& leaves);
+
+    [[nodiscard]] std::size_t leaf_count() const {
+        return levels_.empty() ? 0 : levels_.front().size();
+    }
+    [[nodiscard]] bool empty() const { return levels_.empty(); }
+
+    /// Root of the tree; the zero hash for an empty leaf set (matching
+    /// merkle_root).
+    [[nodiscard]] Hash256 root() const;
+
+    /// Number of sibling levels a branch traverses (0 for <= 1 leaf).
+    [[nodiscard]] std::size_t depth() const {
+        return levels_.size() <= 1 ? 0 : levels_.size() - 1;
+    }
+
+    /// The branch for the leaf at `index` (must be < leaf_count()),
+    /// byte-identical to crypto::merkle_branch on the same leaves — including
+    /// the duplicated-odd-tail case — but hash-free: every sibling is copied
+    /// out of the stored levels.
+    [[nodiscard]] MerkleBranch branch(std::uint32_t index) const;
+
+    /// Heap footprint of the stored levels (~2x the leaf bytes) — the cost
+    /// unit net::ProofCache charges against its byte budget.
+    [[nodiscard]] std::size_t memory_bytes() const;
+
+private:
+    /// levels_[0] = leaves, levels_.back() = {root}. Levels store their
+    /// *unpadded* width; branch() re-derives the odd-tail duplicate, so an
+    /// odd level costs no extra node here.
+    std::vector<std::vector<Hash256>> levels_;
+};
+
+}  // namespace ebv::crypto

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/endian.hpp"
 
@@ -110,6 +111,12 @@ Sha256& Sha256::update(util::ByteSpan data) {
 }
 
 void Sha256::finalize(util::MutableByteSpan out) {
+    // One digest per finalize: together with the batch-path message counters
+    // (sha256_batch.cpp) this makes "did anything hash?" observable — the
+    // Merkle proof cache's zero-rehash contract is asserted against these.
+    static obs::Counter& finalizes =
+        obs::Registry::global().counter("ebv.crypto.sha256_finalizes");
+    finalizes.inc();
     EBV_EXPECTS(out.size() >= kDigestSize);
     const std::uint64_t bit_len = total_len_ * 8;
 

@@ -57,6 +57,16 @@ private:
 /// SHA-256(SHA-256(data)) — the chain's canonical hash.
 Sha256::Digest double_sha256(util::ByteSpan data);
 
+// Every digest this library produces is counted in the obs registry:
+//   ebv.crypto.sha256_finalizes   streaming digests (Sha256::finalize; a
+//                                 double_sha256 call counts two)
+//   ebv.crypto.sha256d64_msgs     messages through sha256d64_many
+//   ebv.crypto.sha256d_msgs       messages through sha256d_many (its scalar
+//                                 stragglers additionally count finalizes)
+// The categories overlap by design — they answer "did this code path hash
+// at all?", which is how MerkleTreeCache's zero-rehash branch extraction
+// is asserted (tests/crypto_merkle_cache_test.cpp).
+
 // ---- Batched double-SHA256 ---------------------------------------------
 
 /// Double-SHA256 of `n` independent 64-byte messages (the Merkle

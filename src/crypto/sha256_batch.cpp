@@ -16,6 +16,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/endian.hpp"
 
 namespace ebv::crypto {
@@ -161,6 +162,11 @@ const char* sha256_request_impl(std::string_view name) {
 }
 
 void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
+    // Message count per call (not per lane): one relaxed add regardless of
+    // batch width, so instrumentation cost is amortized over the batch.
+    static obs::Counter& msgs =
+        obs::Registry::global().counter("ebv.crypto.sha256d64_msgs");
+    msgs.inc(n);
     // A 64-byte message pads to two blocks; the pad block is constant
     // (0x80, zeros, bit length 512) and shared across every lane.
     static constexpr std::uint8_t kPad64[64] = {
@@ -191,6 +197,9 @@ void sha256d64_many(std::uint8_t* out, const std::uint8_t* in, std::size_t n) {
 }
 
 void sha256d_many(const util::ByteSpan* inputs, Sha256::Digest* outputs, std::size_t n) {
+    static obs::Counter& msgs =
+        obs::Registry::global().counter("ebv.crypto.sha256d_msgs");
+    msgs.inc(n);
     const Selection& impl = *active_selection();
     const std::size_t w = impl.lanes;
 

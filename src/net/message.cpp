@@ -65,6 +65,37 @@ void encode_payload(util::Writer& w, const TxMsg& m) {
 void encode_payload(util::Writer& w, const PingMsg& m) { w.u64(m.nonce); }
 void encode_payload(util::Writer& w, const PongMsg& m) { w.u64(m.nonce); }
 
+/// One getproof/proof frame carries at most this many requests/items; the
+/// server coalesces per peer, it never needs more than a block's worth.
+constexpr std::uint64_t kMaxProofBatch = 1024;
+/// A tidy transaction is a stripped transaction; 1 MiB is generous.
+constexpr std::size_t kMaxElsBytes = 1u << 20;
+
+void encode_payload(util::Writer& w, const GetProofMsg& m) {
+    w.bytes(m.block_hash.span());
+    w.compact_size(m.requests.size());
+    for (const auto& req : m.requests) {
+        w.u8(static_cast<std::uint8_t>(req.kind));
+        w.bytes(req.txid.span());
+        w.u16(req.out_index);
+    }
+}
+
+void encode_payload(util::Writer& w, const ProofMsg& m) {
+    w.bytes(m.block_hash.span());
+    w.compact_size(m.items.size());
+    for (const auto& item : m.items) {
+        w.u8(static_cast<std::uint8_t>(item.status));
+        w.u8(static_cast<std::uint8_t>(item.kind));
+        w.bytes(item.txid.span());
+        w.u16(item.out_index);
+        w.u32(item.height);
+        w.u32(item.position);
+        w.var_bytes(item.els);
+        item.mbr.serialize(w);
+    }
+}
+
 // ---- payload decoders ------------------------------------------------------
 
 using DecodeResult = util::Result<Message, WireError>;
@@ -165,6 +196,69 @@ DecodeResult decode_nonce_msg(util::Reader& r) {
     return Message{m};
 }
 
+DecodeResult decode_get_proof(util::Reader& r) {
+    GetProofMsg m;
+    auto hash = r.bytes(32);
+    if (!hash) return malformed();
+    m.block_hash = crypto::Hash256::from_span(*hash);
+    auto count = r.compact_size();
+    if (!count || *count > kMaxProofBatch) return malformed();
+    m.requests.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        ProofRequest req;
+        auto kind = r.u8();
+        if (!kind || *kind > 1) return malformed();
+        req.kind = static_cast<ProofKind>(*kind);
+        auto txid = r.bytes(32);
+        if (!txid) return malformed();
+        req.txid = crypto::Hash256::from_span(*txid);
+        auto out_index = r.u16();
+        if (!out_index) return malformed();
+        req.out_index = *out_index;
+        m.requests.push_back(req);
+    }
+    return Message{std::move(m)};
+}
+
+DecodeResult decode_proof(util::Reader& r) {
+    ProofMsg m;
+    auto hash = r.bytes(32);
+    if (!hash) return malformed();
+    m.block_hash = crypto::Hash256::from_span(*hash);
+    auto count = r.compact_size();
+    if (!count || *count > kMaxProofBatch) return malformed();
+    m.items.reserve(static_cast<std::size_t>(*count));
+    for (std::uint64_t i = 0; i < *count; ++i) {
+        ProofItem item;
+        auto status = r.u8();
+        if (!status || *status > 3) return malformed();
+        item.status = static_cast<ProofStatus>(*status);
+        auto kind = r.u8();
+        if (!kind || *kind > 1) return malformed();
+        item.kind = static_cast<ProofKind>(*kind);
+        auto txid = r.bytes(32);
+        if (!txid) return malformed();
+        item.txid = crypto::Hash256::from_span(*txid);
+        auto out_index = r.u16();
+        if (!out_index) return malformed();
+        item.out_index = *out_index;
+        auto height = r.u32();
+        if (!height) return malformed();
+        item.height = *height;
+        auto position = r.u32();
+        if (!position) return malformed();
+        item.position = *position;
+        auto els = r.var_bytes(kMaxElsBytes);
+        if (!els) return malformed();
+        item.els = std::move(*els);
+        auto mbr = crypto::MerkleBranch::deserialize(r);
+        if (!mbr) return malformed();
+        item.mbr = std::move(*mbr);
+        m.items.push_back(std::move(item));
+    }
+    return Message{std::move(m)};
+}
+
 }  // namespace
 
 const char* to_string(Command c) {
@@ -179,8 +273,20 @@ const char* to_string(Command c) {
         case Command::kTx: return "tx";
         case Command::kPing: return "ping";
         case Command::kPong: return "pong";
+        case Command::kGetProof: return "getproof";
+        case Command::kProof: return "proof";
     }
     return "unknown";
+}
+
+const char* to_string(ProofStatus s) {
+    switch (s) {
+        case ProofStatus::kOk: return "ok";
+        case ProofStatus::kUnknownBlock: return "unknown block";
+        case ProofStatus::kUnknownTx: return "unknown tx";
+        case ProofStatus::kBadIndex: return "bad output index";
+    }
+    return "unknown proof status";
 }
 
 const char* to_string(WireError e) {
@@ -207,6 +313,8 @@ Command command_of(const Message& m) {
         Command operator()(const TxMsg&) const { return Command::kTx; }
         Command operator()(const PingMsg&) const { return Command::kPing; }
         Command operator()(const PongMsg&) const { return Command::kPong; }
+        Command operator()(const GetProofMsg&) const { return Command::kGetProof; }
+        Command operator()(const ProofMsg&) const { return Command::kProof; }
     };
     return std::visit(Visitor{}, m);
 }
@@ -262,6 +370,8 @@ util::Result<std::pair<Message, std::size_t>, WireError> decode_message(
             case Command::kTx: return decode_tx(pr);
             case Command::kPing: return decode_nonce_msg<PingMsg>(pr);
             case Command::kPong: return decode_nonce_msg<PongMsg>(pr);
+            case Command::kGetProof: return decode_get_proof(pr);
+            case Command::kProof: return decode_proof(pr);
             default: return util::Unexpected{WireError::kUnknownCommand};
         }
     }();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crypto/hash_types.hpp"
+#include "crypto/merkle.hpp"
 #include "util/result.hpp"
 #include "util/serialize.hpp"
 
@@ -29,6 +30,8 @@ enum class Command : std::uint8_t {
     kTx = 8,
     kPing = 9,
     kPong = 10,
+    kGetProof = 11,
+    kProof = 12,
 };
 
 [[nodiscard]] const char* to_string(Command c);
@@ -96,8 +99,70 @@ struct PongMsg {
     std::uint64_t nonce = 0;
 };
 
+// ---- proof serving (docs/PROOF_SERVING.md) ---------------------------------
+//
+// Light clients (Dietcoin-style shard/partial verifiers) ask a full node for
+// the self-proving input package EBV blocks are built from: the tidy
+// transaction (ELs), its Merkle branch (MBr), and the stake position. A
+// getproof carries a batch of requests against one block; the server answers
+// with one proof frame per block, coalescing requests that arrive close
+// together (net::ProofServer).
+
+/// Granularity of a single proof request.
+enum class ProofKind : std::uint8_t {
+    kTx = 0,     ///< prove txid ∈ block: ELs + MBr + stake position
+    kInput = 1,  ///< additionally pin an output: out_index range-checked and
+                 ///< the reply's position is the absolute (block-wide) stake
+                 ///< position of that output — the UV lookup key
+};
+
+struct ProofRequest {
+    ProofKind kind = ProofKind::kTx;
+    crypto::Hash256 txid;         ///< tidy-transaction hash (the Merkle leaf)
+    std::uint16_t out_index = 0;  ///< only meaningful for kInput
+
+    friend bool operator==(const ProofRequest&, const ProofRequest&) = default;
+};
+
+struct GetProofMsg {
+    crypto::Hash256 block_hash;
+    std::vector<ProofRequest> requests;
+};
+
+/// Per-request outcome. Error replies echo the request with empty proof
+/// fields so clients can correlate without a request id.
+enum class ProofStatus : std::uint8_t {
+    kOk = 0,
+    kUnknownBlock = 1,  ///< block_hash not in the server's chain
+    kUnknownTx = 2,     ///< txid not a leaf of that block
+    kBadIndex = 3,      ///< kInput out_index >= the transaction's output count
+};
+
+[[nodiscard]] const char* to_string(ProofStatus s);
+
+struct ProofItem {
+    ProofStatus status = ProofStatus::kOk;
+    ProofKind kind = ProofKind::kTx;
+    crypto::Hash256 txid;         ///< echoed from the request
+    std::uint16_t out_index = 0;  ///< echoed from the request
+    std::uint32_t height = 0;     ///< height of the proven block
+    /// kTx: the transaction's stake position (its first output's block-wide
+    /// index); kInput: the absolute position of the requested output.
+    std::uint32_t position = 0;
+    util::Bytes els;           ///< serialized TidyTransaction; empty on error
+    crypto::MerkleBranch mbr;  ///< proves double-SHA256(els) ∈ block; empty on error
+
+    friend bool operator==(const ProofItem&, const ProofItem&) = default;
+};
+
+struct ProofMsg {
+    crypto::Hash256 block_hash;
+    std::vector<ProofItem> items;
+};
+
 using Message = std::variant<VersionMsg, VerAckMsg, GetHeadersMsg, HeadersMsg, InvMsg,
-                             GetDataMsg, BlockMsg, TxMsg, PingMsg, PongMsg>;
+                             GetDataMsg, BlockMsg, TxMsg, PingMsg, PongMsg, GetProofMsg,
+                             ProofMsg>;
 
 [[nodiscard]] Command command_of(const Message& m);
 

@@ -1,0 +1,251 @@
+#include "net/proof_server.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ebv::net {
+
+namespace {
+
+struct ProofSrvMetrics {
+    obs::Counter& queries;
+    obs::Counter& batches;
+    obs::Counter& rebuilds;
+    obs::Counter& reply_bytes;
+    obs::Counter& errors;
+    obs::Histogram& batch_size;
+    obs::Histogram& extract_ns;  ///< per-flush proof assembly time
+    obs::Histogram& build_ns;    ///< per-block tree preparation time
+    obs::Histogram& serve_ns;    ///< per-batch queue wait + assembly (sim)
+
+    static ProofSrvMetrics& get() {
+        static ProofSrvMetrics m{
+            obs::Registry::global().counter("ebv.proofsrv.queries"),
+            obs::Registry::global().counter("ebv.proofsrv.batches"),
+            obs::Registry::global().counter("ebv.proofsrv.rebuilds"),
+            obs::Registry::global().counter("ebv.proofsrv.reply_bytes"),
+            obs::Registry::global().counter("ebv.proofsrv.errors"),
+            obs::Registry::global().histogram(
+                "ebv.proofsrv.batch_size",
+                obs::Histogram::exponential_bounds(1, 2.0, 12)),
+            obs::Registry::global().histogram("ebv.proofsrv.extract_ns"),
+            obs::Registry::global().histogram("ebv.proofsrv.build_ns"),
+            obs::Registry::global().histogram("ebv.proofsrv.serve_ns"),
+        };
+        return m;
+    }
+};
+
+}  // namespace
+
+ProofServer::ProofServer(SimNetwork& network, netsim::Region region, ProofSource& source,
+                         ProofCache& cache, ProofServerConfig config, std::string name)
+    : network_(network),
+      source_(source),
+      cache_(cache),
+      config_(config),
+      name_(std::move(name)) {
+    id_ = network_.add_endpoint(
+        region, [this](EndpointId from, const util::Bytes& wire) { on_wire(from, wire); });
+}
+
+void ProofServer::on_wire(EndpointId from, const util::Bytes& wire) {
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+        auto decoded = decode_message(util::ByteSpan(wire).subspan(offset));
+        if (!decoded) {
+            EBV_LOG_WARN("%s: dropping frame from %u: %s", name_.c_str(), from,
+                         to_string(decoded.error()));
+            return;
+        }
+        if (const auto* get = std::get_if<GetProofMsg>(&decoded->first))
+            enqueue(from, *get);
+        // Anything else (handshakes, pings) is not this tier's job; ignore.
+        offset += decoded->second;
+    }
+}
+
+void ProofServer::enqueue(EndpointId from, const GetProofMsg& m) {
+    ProofSrvMetrics::get().queries.inc(m.requests.size());
+    stats_.queries += m.requests.size();
+
+    const PendingKey key{from, m.block_hash};
+    auto [it, fresh] = pending_.try_emplace(key);
+    it->second.insert(it->second.end(), m.requests.begin(), m.requests.end());
+    // First request for this (peer, block) opens the coalescing window; the
+    // flush at its close answers everything that accumulated.
+    if (fresh)
+        network_.defer(config_.coalesce_window_ns, [this, key] { flush(key); });
+}
+
+void ProofServer::flush(const PendingKey& key) {
+    auto node = pending_.extract(key);
+    if (node.empty()) return;
+    std::vector<ProofRequest>& requests = node.mapped();
+
+    obs::ScopedSpan span("proofsrv.flush", "proofsrv");
+    span.set_value(static_cast<std::int64_t>(requests.size()));
+
+    util::Stopwatch sw;
+    const std::uint64_t rebuilds_before = stats_.rebuilds;
+    const std::shared_ptr<const BlockProofs> proofs = resolve(key.block_hash);
+
+    ProofMsg reply;
+    reply.block_hash = key.block_hash;
+    reply.items.reserve(requests.size());
+    for (const ProofRequest& req : requests)
+        reply.items.push_back(serve_one(proofs.get(), req));
+    const util::Nanoseconds measured = sw.elapsed_ns();
+    const bool rebuilt = stats_.rebuilds != rebuilds_before;
+    const ProofCostModel& model = config_.cost_model;
+    // The charge to the simulated clock: measured wall time, or the
+    // deterministic model when the caller asked for reproducible runs.
+    const netsim::SimTime elapsed =
+        model.enabled
+            ? model.per_batch_ns +
+                  model.per_item_ns * static_cast<netsim::SimTime>(requests.size()) +
+                  (rebuilt && proofs ? model.per_leaf_build_ns *
+                                           static_cast<netsim::SimTime>(
+                                               proofs->tree.leaf_count())
+                                     : 0)
+            : measured;
+
+    auto& metrics = ProofSrvMetrics::get();
+    metrics.batches.inc();
+    metrics.batch_size.observe(requests.size());
+    metrics.extract_ns.observe(static_cast<std::uint64_t>(measured));
+    for (const ProofItem& item : reply.items)
+        if (item.status != ProofStatus::kOk) metrics.errors.inc();
+    ++stats_.batches;
+
+    util::Bytes wire = encode_message(Message{std::move(reply)});
+    metrics.reply_bytes.inc(wire.size());
+    // Charge the measured assembly time to the simulated clock on a
+    // single-threaded serving core: a flush due while an earlier one is
+    // still being assembled queues behind it. This is how per-query rebuild
+    // cost compounds into queueing delay under load, exactly like slow
+    // validation in ProtocolNode turns into slow propagation.
+    const netsim::SimTime finish =
+        std::max(network_.now(), busy_until_) + elapsed;
+    busy_until_ = finish;
+    const netsim::SimTime serve = finish - network_.now();
+    stats_.serve_ns.push_back(serve);
+    metrics.serve_ns.observe(static_cast<std::uint64_t>(serve));
+    const EndpointId peer = key.peer;
+    network_.defer(serve, [this, peer, wire = std::move(wire)]() mutable {
+        network_.send(id_, peer, std::move(wire));
+    });
+}
+
+std::shared_ptr<const BlockProofs> ProofServer::resolve(
+    const crypto::Hash256& block_hash) {
+    if (config_.cache_enabled) {
+        if (auto cached = cache_.lookup(block_hash)) return cached;
+    }
+    const std::optional<std::uint32_t> height = source_.height_of(block_hash);
+    if (!height) return nullptr;
+    const core::EbvBlock* block = source_.block_at(*height);
+    if (block == nullptr) return nullptr;
+
+    obs::ScopedSpan span("proofsrv.build", "proofsrv");
+    span.set_value(static_cast<std::int64_t>(*height));
+    util::Stopwatch sw;
+    auto proofs = BlockProofs::build(*block, *height);
+    ProofSrvMetrics::get().build_ns.observe(static_cast<std::uint64_t>(sw.elapsed_ns()));
+    ProofSrvMetrics::get().rebuilds.inc();
+    ++stats_.rebuilds;
+    if (config_.cache_enabled) cache_.insert(block_hash, proofs);
+    return proofs;
+}
+
+ProofItem ProofServer::serve_one(const BlockProofs* proofs,
+                                 const ProofRequest& req) const {
+    ProofItem item;
+    item.kind = req.kind;
+    item.txid = req.txid;
+    item.out_index = req.out_index;
+    if (proofs == nullptr) {
+        item.status = ProofStatus::kUnknownBlock;
+        return item;
+    }
+    item.height = proofs->height;
+    const auto leaf_it = proofs->txid_to_leaf.find(req.txid);
+    if (leaf_it == proofs->txid_to_leaf.end()) {
+        item.status = ProofStatus::kUnknownTx;
+        return item;
+    }
+    const std::uint32_t leaf = leaf_it->second;
+    if (req.kind == ProofKind::kInput && req.out_index >= proofs->output_counts[leaf]) {
+        item.status = ProofStatus::kBadIndex;
+        return item;
+    }
+    item.status = ProofStatus::kOk;
+    item.position = proofs->stake_positions[leaf] +
+                    (req.kind == ProofKind::kInput ? req.out_index : 0);
+    item.els = proofs->tidy_txs[leaf];
+    item.mbr = proofs->tree.branch(leaf);
+    return item;
+}
+
+// ---- ProofClient -----------------------------------------------------------
+
+ProofClient::ProofClient(
+    SimNetwork& network, netsim::Region region, EndpointId server,
+    std::function<std::optional<crypto::Hash256>(const crypto::Hash256&)> root_of)
+    : network_(network), server_(server), root_of_(std::move(root_of)) {
+    id_ = network_.add_endpoint(
+        region, [this](EndpointId from, const util::Bytes& wire) { on_wire(from, wire); });
+}
+
+void ProofClient::query(const crypto::Hash256& block_hash,
+                        std::vector<ProofRequest> requests) {
+    for (const ProofRequest& req : requests) sent_at_[req.txid] = network_.now();
+    stats_.requests_sent += requests.size();
+    GetProofMsg m;
+    m.block_hash = block_hash;
+    m.requests = std::move(requests);
+    network_.send(id_, server_, encode_message(Message{std::move(m)}));
+}
+
+void ProofClient::on_wire(EndpointId, const util::Bytes& wire) {
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+        auto decoded = decode_message(util::ByteSpan(wire).subspan(offset));
+        if (!decoded) return;
+        if (const auto* proof = std::get_if<ProofMsg>(&decoded->first)) on_proof(*proof);
+        offset += decoded->second;
+    }
+}
+
+void ProofClient::on_proof(const ProofMsg& m) {
+    const std::optional<crypto::Hash256> expected_root = root_of_(m.block_hash);
+    for (const ProofItem& item : m.items) {
+        const auto sent = sent_at_.find(item.txid);
+        if (sent != sent_at_.end()) {
+            stats_.latencies_ns.push_back(network_.now() - sent->second);
+            sent_at_.erase(sent);
+        }
+        if (item.status != ProofStatus::kOk) {
+            ++stats_.items_error;
+            continue;
+        }
+        // The client-side EV check: the served ELs must hash to a leaf that
+        // folds through the served MBr to the root the header committed to.
+        const crypto::Hash256 leaf =
+            crypto::Hash256::from_span(crypto::double_sha256(item.els));
+        const bool ok = expected_root.has_value() &&
+                        item.txid == leaf &&
+                        crypto::fold_branch(leaf, item.mbr) == *expected_root;
+        if (ok)
+            ++stats_.items_ok;
+        else
+            ++stats_.verify_failures;
+    }
+}
+
+}  // namespace ebv::net

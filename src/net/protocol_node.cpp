@@ -303,4 +303,11 @@ void ProtocolNode::handle(EndpointId from, const PingMsg& m) {
 
 void ProtocolNode::handle(EndpointId, const PongMsg&) {}
 
+void ProtocolNode::handle(EndpointId, const GetProofMsg&) {
+    // Proof serving runs on a dedicated tier (net::ProofServer); sync nodes
+    // ignore stray proof traffic rather than treating it as a violation.
+}
+
+void ProtocolNode::handle(EndpointId, const ProofMsg&) {}
+
 }  // namespace ebv::net

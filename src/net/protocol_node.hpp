@@ -101,6 +101,8 @@ private:
     void handle(EndpointId from, const TxMsg& m);
     void handle(EndpointId from, const PingMsg& m);
     void handle(EndpointId from, const PongMsg& m);
+    void handle(EndpointId from, const GetProofMsg& m);
+    void handle(EndpointId from, const ProofMsg& m);
 
     void send(EndpointId to, const Message& m);
     void maybe_start_sync(EndpointId peer);

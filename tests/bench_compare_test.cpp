@@ -222,6 +222,8 @@ TEST(BenchCompare, MetricDirectionTable) {
     EXPECT_EQ(metric_direction("speedup"), Direction::kHigherBetter);
     EXPECT_EQ(metric_direction("proof_reduction_pct"), Direction::kHigherBetter);
     EXPECT_EQ(metric_direction("sighash_bytes_saved"), Direction::kHigherBetter);
+    EXPECT_EQ(metric_direction("hit_rate_pct"), Direction::kHigherBetter);
+    EXPECT_EQ(metric_direction("serving_speedup"), Direction::kHigherBetter);
     EXPECT_EQ(metric_direction("inputs"), Direction::kInfo);
     EXPECT_EQ(metric_direction("height"), Direction::kInfo);
 }

@@ -1,0 +1,176 @@
+// MerkleTreeCache: parity with the direct hashing algorithm (bit-identical
+// roots and branches, including duplicated-odd-tail levels), and the
+// tentpole property the proof server relies on — extracting a branch from
+// a built cache performs ZERO SHA-256 work, asserted through the
+// ebv.crypto.* hash counters.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/merkle.hpp"
+#include "crypto/merkle_cache.hpp"
+#include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::crypto {
+namespace {
+
+Hash256 pair_hash(const Hash256& left, const Hash256& right) {
+    std::uint8_t pair[64];
+    std::memcpy(pair, left.bytes().data(), 32);
+    std::memcpy(pair + 32, right.bytes().data(), 32);
+    return Hash256::from_span(double_sha256(pair));
+}
+
+/// The pre-cache algorithm: hash the tree level by level, collecting the
+/// proven leaf's sibling at each step. The cache must reproduce its output
+/// bit for bit.
+MerkleBranch reference_branch(std::vector<Hash256> level, std::uint32_t index) {
+    MerkleBranch branch;
+    branch.index = index;
+    std::uint32_t pos = index;
+    while (level.size() > 1) {
+        if (level.size() & 1) level.push_back(level.back());
+        branch.siblings.push_back(level[pos ^ 1]);
+        std::vector<Hash256> next;
+        next.reserve(level.size() / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(pair_hash(level[i], level[i + 1]));
+        level = std::move(next);
+        pos >>= 1;
+    }
+    return branch;
+}
+
+std::vector<Hash256> random_leaves(util::Rng& rng, std::size_t n) {
+    std::vector<Hash256> leaves(n);
+    for (auto& leaf : leaves) rng.fill(leaf.bytes());
+    return leaves;
+}
+
+std::uint64_t total_hash_activity() {
+    auto& reg = obs::Registry::global();
+    return reg.counter("ebv.crypto.sha256_finalizes").value() +
+           reg.counter("ebv.crypto.sha256d64_msgs").value() +
+           reg.counter("ebv.crypto.sha256d_msgs").value();
+}
+
+TEST(MerkleTreeCache, EmptyAndSingleLeaf) {
+    const MerkleTreeCache empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.leaf_count(), 0u);
+    EXPECT_EQ(empty.depth(), 0u);
+    EXPECT_EQ(empty.root(), Hash256{});
+
+    util::Rng rng(1);
+    const auto leaves = random_leaves(rng, 1);
+    const MerkleTreeCache one(leaves);
+    EXPECT_EQ(one.leaf_count(), 1u);
+    EXPECT_EQ(one.depth(), 0u);
+    EXPECT_EQ(one.root(), leaves[0]);
+    EXPECT_EQ(one.root(), merkle_root(leaves));
+    const MerkleBranch branch = one.branch(0);
+    EXPECT_TRUE(branch.siblings.empty());
+    EXPECT_EQ(fold_branch(leaves[0], branch), one.root());
+}
+
+TEST(MerkleTreeCache, ParityWithReferenceOnRandomWidths) {
+    util::Rng rng(42);
+    // Every width 2..40 (odd widths exercise the duplicated-tail rule at
+    // multiple levels) plus a few larger ones.
+    for (std::size_t n = 2; n <= 40; ++n) {
+        const auto leaves = random_leaves(rng, n);
+        const MerkleTreeCache cache(leaves);
+        EXPECT_EQ(cache.root(), merkle_root(leaves)) << "width " << n;
+        for (std::uint32_t index = 0; index < n; ++index) {
+            const MerkleBranch expected = reference_branch(leaves, index);
+            EXPECT_EQ(cache.branch(index), expected) << "width " << n << " leaf " << index;
+            EXPECT_EQ(merkle_branch(leaves, index), expected)
+                << "width " << n << " leaf " << index;
+        }
+    }
+    for (const std::size_t n : {63u, 64u, 65u, 257u}) {
+        const auto leaves = random_leaves(rng, n);
+        const MerkleTreeCache cache(leaves);
+        EXPECT_EQ(cache.root(), merkle_root(leaves)) << "width " << n;
+        for (int i = 0; i < 16; ++i) {
+            const auto index = static_cast<std::uint32_t>(rng.below(n));
+            EXPECT_EQ(cache.branch(index), reference_branch(leaves, index))
+                << "width " << n << " leaf " << index;
+        }
+    }
+}
+
+TEST(MerkleTreeCache, BranchesFoldToRoot) {
+    util::Rng rng(7);
+    const auto leaves = random_leaves(rng, 21);
+    const MerkleTreeCache cache(leaves);
+    for (std::uint32_t index = 0; index < leaves.size(); ++index)
+        EXPECT_EQ(fold_branch(leaves[index], cache.branch(index)), cache.root());
+}
+
+TEST(MerkleTreeCache, BranchExtractionPerformsZeroHashing) {
+    util::Rng rng(9);
+    const auto leaves = random_leaves(rng, 100);
+    const MerkleTreeCache cache(leaves);
+
+    obs::Registry::global().reset();
+    ASSERT_EQ(total_hash_activity(), 0u);
+    for (std::uint32_t index = 0; index < leaves.size(); ++index)
+        (void)cache.branch(index);
+    (void)cache.root();
+    EXPECT_EQ(total_hash_activity(), 0u)
+        << "branch extraction from a built cache must not touch SHA-256";
+
+    // Counter sanity: the instrumented paths do count when hashing happens.
+    (void)fold_branch(leaves[0], cache.branch(0));
+    EXPECT_GT(total_hash_activity(), 0u);
+}
+
+TEST(MerkleTreeCache, MemoryBytesGrowsWithLeaves) {
+    util::Rng rng(11);
+    const MerkleTreeCache small(random_leaves(rng, 8));
+    const MerkleTreeCache large(random_leaves(rng, 512));
+    // Interior levels roughly double the leaf payload.
+    EXPECT_GT(small.memory_bytes(), 8u * 32u);
+    EXPECT_GT(large.memory_bytes(), 512u * 32u);
+    EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+}
+
+TEST(MerkleBranchHardening, DeserializeRejectsAbsurdDepthBeforeAllocating) {
+    util::Writer w;
+    w.compact_size(kMaxMerkleBranchDepth + 1);
+    // No sibling bytes follow: if the cap were applied after allocation the
+    // reader would still have tried to reserve the claimed count.
+    util::Reader r(w.data());
+    const auto decoded = MerkleBranch::deserialize(r);
+    ASSERT_FALSE(decoded.has_value());
+    EXPECT_EQ(decoded.error(), util::DecodeError::kOversizedField);
+
+    // Exactly at the cap (with real siblings) still round-trips.
+    MerkleBranch deep;
+    deep.siblings.resize(kMaxMerkleBranchDepth);
+    deep.index = 77;
+    util::Writer w2;
+    deep.serialize(w2);
+    util::Reader r2(w2.data());
+    const auto ok = MerkleBranch::deserialize(r2);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(*ok, deep);
+}
+
+TEST(MerkleBranchHardening, FoldRefusesAbsurdDepth) {
+    util::Rng rng(13);
+    const auto leaves = random_leaves(rng, 4);
+    MerkleBranch branch = merkle_branch(leaves, 0);
+    branch.siblings.resize(kMaxMerkleBranchDepth + 1);
+
+    obs::Registry::global().reset();
+    EXPECT_EQ(fold_branch(leaves[0], branch), Hash256{});
+    // Fails closed *without hashing* its way through the hostile depth.
+    EXPECT_EQ(total_hash_activity(), 0u);
+}
+
+}  // namespace
+}  // namespace ebv::crypto

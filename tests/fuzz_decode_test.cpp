@@ -114,6 +114,50 @@ TEST(FuzzDecode, NetMessagesSurviveMutation) {
     }
 }
 
+TEST(FuzzDecode, ProofMessagesSurviveMutation) {
+    util::Rng rng(79);
+
+    net::GetProofMsg get;
+    rng.fill(get.block_hash.bytes());
+    for (int i = 0; i < 3; ++i) {
+        net::ProofRequest req;
+        req.kind = i % 2 ? net::ProofKind::kInput : net::ProofKind::kTx;
+        rng.fill(req.txid.bytes());
+        req.out_index = static_cast<std::uint16_t>(i);
+        get.requests.push_back(req);
+    }
+
+    net::ProofMsg proof;
+    proof.block_hash = get.block_hash;
+    net::ProofItem item;
+    item.txid = get.requests[0].txid;
+    item.height = 12;
+    item.position = 34;
+    item.els = util::Bytes(60, 0x44);
+    item.mbr.siblings.resize(4);
+    item.mbr.index = 2;
+    proof.items.push_back(item);
+    item.status = net::ProofStatus::kUnknownTx;
+    item.els.clear();
+    item.mbr = {};
+    proof.items.push_back(item);
+
+    for (const util::Bytes& wire :
+         {net::encode_message(net::Message{get}), net::encode_message(net::Message{proof})}) {
+        // Truncations of the frame must fail cleanly.
+        for (std::size_t cut = 0; cut < wire.size(); ++cut)
+            (void)net::decode_message(util::ByteSpan(wire).first(cut));
+        // Payload mutations (checksum usually rejects; when it does not,
+        // the payload decoder must still never crash or over-allocate).
+        for (int i = 0; i < 500; ++i) {
+            util::Bytes mutated = wire;
+            mutated[rng.below(mutated.size())] ^=
+                static_cast<std::uint8_t>(1u << rng.below(8));
+            (void)net::decode_message(mutated);
+        }
+    }
+}
+
 TEST(FuzzDecode, SignatureParserSurvivesGarbage) {
     util::Rng rng(78);
     for (int i = 0; i < 2000; ++i) {

@@ -76,6 +76,73 @@ TEST(NetMessage, PingPongRoundTrip) {
     EXPECT_EQ(std::get<PingMsg>(round_trip(PingMsg{78})).nonce, 78u);
 }
 
+TEST(NetMessage, GetProofRoundTrip) {
+    util::Rng rng(3);
+    GetProofMsg get;
+    rng.fill(get.block_hash.bytes());
+    for (int i = 0; i < 5; ++i) {
+        ProofRequest req;
+        req.kind = (i & 1) != 0 ? ProofKind::kInput : ProofKind::kTx;
+        rng.fill(req.txid.bytes());
+        req.out_index = static_cast<std::uint16_t>(i * 7);
+        get.requests.push_back(req);
+    }
+    const auto decoded = round_trip(Message{get});
+    const auto& m = std::get<GetProofMsg>(decoded);
+    EXPECT_EQ(m.block_hash, get.block_hash);
+    ASSERT_EQ(m.requests.size(), get.requests.size());
+    for (std::size_t i = 0; i < m.requests.size(); ++i)
+        EXPECT_EQ(m.requests[i], get.requests[i]) << "request " << i;
+}
+
+TEST(NetMessage, ProofRoundTrip) {
+    util::Rng rng(4);
+    ProofMsg proof;
+    rng.fill(proof.block_hash.bytes());
+
+    ProofItem ok;
+    ok.status = ProofStatus::kOk;
+    ok.kind = ProofKind::kInput;
+    rng.fill(ok.txid.bytes());
+    ok.out_index = 2;
+    ok.height = 120'000;
+    ok.position = 987;
+    ok.els = util::Bytes(90, 0x5a);
+    ok.mbr.siblings.resize(11);
+    for (auto& sibling : ok.mbr.siblings) rng.fill(sibling.bytes());
+    ok.mbr.index = 33;
+    proof.items.push_back(ok);
+
+    ProofItem err;
+    err.status = ProofStatus::kUnknownTx;
+    rng.fill(err.txid.bytes());
+    proof.items.push_back(err);
+
+    const auto decoded = round_trip(Message{proof});
+    const auto& m = std::get<ProofMsg>(decoded);
+    EXPECT_EQ(m.block_hash, proof.block_hash);
+    ASSERT_EQ(m.items.size(), 2u);
+    EXPECT_EQ(m.items[0], ok);
+    EXPECT_EQ(m.items[1], err);
+}
+
+TEST(NetMessage, RejectsOversizedProofBatch) {
+    GetProofMsg get;
+    get.requests.resize(1025);  // kMaxProofBatch is 1024
+    auto decoded = decode_message(encode_message(Message{get}));
+    ASSERT_FALSE(decoded.has_value());
+    EXPECT_EQ(decoded.error(), WireError::kMalformedPayload);
+}
+
+TEST(NetMessage, ProofStatusNames) {
+    EXPECT_STREQ(to_string(ProofStatus::kOk), "ok");
+    EXPECT_STREQ(to_string(ProofStatus::kUnknownBlock), "unknown block");
+    EXPECT_STREQ(to_string(ProofStatus::kUnknownTx), "unknown tx");
+    EXPECT_STREQ(to_string(ProofStatus::kBadIndex), "bad output index");
+    EXPECT_STREQ(to_string(Command::kGetProof), "getproof");
+    EXPECT_STREQ(to_string(Command::kProof), "proof");
+}
+
 TEST(NetMessage, StreamedFramesDecodeSequentially) {
     util::Bytes stream = encode_message(PingMsg{1});
     const util::Bytes second = encode_message(PingMsg{2});

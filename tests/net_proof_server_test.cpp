@@ -1,0 +1,351 @@
+// net::ProofServer behavior: documented error replies for unknown blocks /
+// transactions / out-of-range output indices, per-peer coalescing into a
+// single proof frame, correct serving under a starved cache budget (slow
+// path rebuilds), and the ProofClient's end-to-end EV verification over the
+// simulated transport.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "crypto/sha256.hpp"
+#include "net/proof_server.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace ebv::net {
+namespace {
+
+core::EbvBlock make_block(std::uint32_t height, std::size_t tx_count,
+                          std::size_t outputs_per_tx) {
+    core::EbvBlock block;
+    core::EbvTransaction coinbase;
+    coinbase.coinbase_data = {0x03, static_cast<std::uint8_t>(height), 0x00, 0x00};
+    coinbase.outputs.push_back(chain::TxOut{50, util::Bytes{0x51}});
+    block.txs.push_back(std::move(coinbase));
+    for (std::size_t t = 1; t < tx_count; ++t) {
+        core::EbvTransaction tx;
+        for (std::size_t o = 0; o < outputs_per_tx; ++o) {
+            tx.outputs.push_back(chain::TxOut{
+                static_cast<chain::Amount>(height * 1000 + t * 10 + o),
+                util::Bytes{0x76, static_cast<std::uint8_t>(t),
+                            static_cast<std::uint8_t>(o)}});
+        }
+        block.txs.push_back(std::move(tx));
+    }
+    block.assign_stake_positions();
+    block.header.merkle_root = block.compute_merkle_root();
+    block.header.time = height;  // distinct header hash per height
+    return block;
+}
+
+class VectorProofSource final : public ProofSource {
+public:
+    explicit VectorProofSource(std::vector<core::EbvBlock> blocks)
+        : blocks_(std::move(blocks)) {
+        for (std::uint32_t h = 0; h < blocks_.size(); ++h)
+            height_by_hash_.emplace(blocks_[h].header.hash(), h);
+    }
+
+    [[nodiscard]] std::optional<std::uint32_t> height_of(
+        const crypto::Hash256& block_hash) const override {
+        const auto it = height_by_hash_.find(block_hash);
+        if (it == height_by_hash_.end()) return std::nullopt;
+        return it->second;
+    }
+
+    [[nodiscard]] const core::EbvBlock* block_at(std::uint32_t height) const override {
+        return height < blocks_.size() ? &blocks_[height] : nullptr;
+    }
+
+    [[nodiscard]] const std::vector<core::EbvBlock>& blocks() const { return blocks_; }
+
+private:
+    std::vector<core::EbvBlock> blocks_;
+    std::unordered_map<crypto::Hash256, std::uint32_t, crypto::Hash256Hasher>
+        height_by_hash_;
+};
+
+/// Raw peer endpoint that records every proof frame it receives.
+class TestPeer {
+public:
+    explicit TestPeer(SimNetwork& network) : network_(network) {
+        id_ = network.add_endpoint(
+            netsim::Region::kUsEast,
+            [this](EndpointId, const util::Bytes& wire) { on_wire(wire); });
+    }
+
+    void query(EndpointId server, const crypto::Hash256& block_hash,
+               std::vector<ProofRequest> requests) {
+        GetProofMsg m;
+        m.block_hash = block_hash;
+        m.requests = std::move(requests);
+        network_.send(id_, server, encode_message(Message{std::move(m)}));
+    }
+
+    [[nodiscard]] EndpointId id() const { return id_; }
+    [[nodiscard]] const std::vector<ProofMsg>& frames() const { return frames_; }
+
+    /// All items across all frames, in arrival order.
+    [[nodiscard]] std::vector<ProofItem> items() const {
+        std::vector<ProofItem> all;
+        for (const ProofMsg& frame : frames_)
+            all.insert(all.end(), frame.items.begin(), frame.items.end());
+        return all;
+    }
+
+private:
+    void on_wire(const util::Bytes& wire) {
+        std::size_t offset = 0;
+        while (offset < wire.size()) {
+            auto decoded = decode_message(util::ByteSpan(wire).subspan(offset));
+            ASSERT_TRUE(decoded.has_value());
+            if (const auto* proof = std::get_if<ProofMsg>(&decoded->first))
+                frames_.push_back(*proof);
+            offset += decoded->second;
+        }
+    }
+
+    SimNetwork& network_;
+    EndpointId id_ = 0;
+    std::vector<ProofMsg> frames_;
+};
+
+ProofRequest tx_request(const core::EbvTransaction& tx) {
+    ProofRequest req;
+    req.kind = ProofKind::kTx;
+    req.txid = tx.leaf_hash();
+    return req;
+}
+
+ProofRequest input_request(const core::EbvTransaction& tx, std::uint16_t out_index) {
+    ProofRequest req;
+    req.kind = ProofKind::kInput;
+    req.txid = tx.leaf_hash();
+    req.out_index = out_index;
+    return req;
+}
+
+/// Full client-side check of a kOk item against the block header's root.
+void expect_verifies(const ProofItem& item, const core::EbvBlock& block) {
+    ASSERT_EQ(item.status, ProofStatus::kOk);
+    const crypto::Hash256 leaf = crypto::Hash256::from_span(crypto::double_sha256(item.els));
+    EXPECT_EQ(leaf, item.txid);
+    EXPECT_EQ(crypto::fold_branch(leaf, item.mbr), block.header.merkle_root);
+    util::Reader r(item.els);
+    const auto tidy = core::TidyTransaction::deserialize(r);
+    ASSERT_TRUE(tidy.has_value());
+    EXPECT_EQ(tidy->leaf_hash(), item.txid);
+}
+
+class ProofServerTest : public ::testing::Test {
+protected:
+    std::vector<core::EbvBlock> make_chain(std::size_t n) {
+        std::vector<core::EbvBlock> blocks;
+        for (std::uint32_t h = 0; h < n; ++h)
+            blocks.push_back(make_block(h, /*tx_count=*/5 + h, /*outputs_per_tx=*/3));
+        return blocks;
+    }
+};
+
+TEST_F(ProofServerTest, ErrorStatusesAreDocumentedReplies) {
+    VectorProofSource source(make_chain(2));
+    const core::EbvBlock& block = source.blocks()[1];
+    const crypto::Hash256 block_hash = block.header.hash();
+
+    SimNetwork network(7);
+    ProofCache cache(64u << 20);
+    ProofServer server(network, netsim::Region::kUsEast, source, cache);
+    TestPeer peer(network);
+
+    crypto::Hash256 bogus_hash;
+    bogus_hash.bytes()[0] = 0xee;
+    crypto::Hash256 bogus_txid;
+    bogus_txid.bytes()[0] = 0xdd;
+    ProofRequest unknown_tx;
+    unknown_tx.txid = bogus_txid;
+
+    // One batch mixing every failure mode with two valid requests.
+    const core::EbvTransaction& tx = block.txs[2];
+    peer.query(server.id(), bogus_hash, {tx_request(tx)});
+    peer.query(server.id(), block_hash,
+               {unknown_tx,
+                input_request(tx, static_cast<std::uint16_t>(tx.outputs.size())),
+                tx_request(tx), input_request(tx, 1)});
+    network.run();
+
+    const auto items = peer.items();
+    ASSERT_EQ(items.size(), 5u);
+    // Unknown block hash: every request in that frame answered kUnknownBlock.
+    EXPECT_EQ(items[0].status, ProofStatus::kUnknownBlock);
+    EXPECT_EQ(items[0].txid, tx.leaf_hash());
+    // Known block, foreign txid.
+    EXPECT_EQ(items[1].status, ProofStatus::kUnknownTx);
+    // Known tx, out_index one past the end.
+    EXPECT_EQ(items[2].status, ProofStatus::kBadIndex);
+    // The valid requests in the same batch still succeed.
+    expect_verifies(items[3], block);
+    EXPECT_EQ(items[3].position, tx.stake_position);
+    expect_verifies(items[4], block);
+    EXPECT_EQ(items[4].position, tx.stake_position + 1);
+    EXPECT_EQ(items[4].height, 1u);
+
+    // Errors are counted, not dropped: the error counter moved by exactly 3.
+    EXPECT_EQ(server.stats().queries, 5u);
+}
+
+TEST_F(ProofServerTest, CoalescesBurstIntoSingleFrame) {
+    VectorProofSource source(make_chain(1));
+    const core::EbvBlock& block = source.blocks()[0];
+    const crypto::Hash256 block_hash = block.header.hash();
+
+    SimNetwork network(11);
+    ProofCache cache(64u << 20);
+    ProofServerConfig config;
+    // Wide window: the burst's frames arrive over real (simulated) link
+    // latency and must all land inside it.
+    config.coalesce_window_ns = 500'000'000;
+    ProofServer server(network, netsim::Region::kUsEast, source, cache, config);
+    TestPeer peer(network);
+
+    for (std::size_t i = 0; i < block.txs.size(); ++i)
+        peer.query(server.id(), block_hash, {tx_request(block.txs[i])});
+    network.run();
+
+    // One reply frame for the whole burst, with every request answered.
+    ASSERT_EQ(peer.frames().size(), 1u);
+    EXPECT_EQ(peer.frames()[0].items.size(), block.txs.size());
+    EXPECT_EQ(peer.frames()[0].block_hash, block_hash);
+    EXPECT_EQ(server.stats().batches, 1u);
+    EXPECT_EQ(server.stats().queries, block.txs.size());
+    for (const ProofItem& item : peer.items()) expect_verifies(item, block);
+    // The whole batch cost one tree build.
+    EXPECT_EQ(server.stats().rebuilds, 1u);
+}
+
+TEST_F(ProofServerTest, DistinctBlocksFlushAsDistinctFrames) {
+    VectorProofSource source(make_chain(2));
+    SimNetwork network(13);
+    ProofCache cache(64u << 20);
+    ProofServerConfig config;
+    config.coalesce_window_ns = 500'000'000;
+    ProofServer server(network, netsim::Region::kUsEast, source, cache, config);
+    TestPeer peer(network);
+
+    for (const core::EbvBlock& block : source.blocks())
+        peer.query(server.id(), block.header.hash(), {tx_request(block.txs[0])});
+    network.run();
+
+    // Coalescing is per (peer, block): two blocks, two frames.
+    ASSERT_EQ(peer.frames().size(), 2u);
+    for (const ProofMsg& frame : peer.frames()) EXPECT_EQ(frame.items.size(), 1u);
+}
+
+TEST_F(ProofServerTest, TinyCacheBudgetStillServesCorrectProofs) {
+    VectorProofSource source(make_chain(4));
+    SimNetwork network(17);
+    // A budget far below one prepared block: every entry is evicted on the
+    // next insert, so all but the first query per block take the slow
+    // rebuild path — and must still produce branch-perfect proofs.
+    ProofCache cache(/*budget_bytes=*/256);
+    ProofServer server(network, netsim::Region::kUsEast, source, cache);
+    TestPeer peer(network);
+
+    util::Rng rng(5);
+    std::size_t expected_items = 0;
+    // Rounds are spaced a simulated second apart so each lands in its own
+    // coalescing window — otherwise one flush per block would answer all
+    // three rounds with a single build.
+    netsim::SimTime at = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (const core::EbvBlock& block : source.blocks()) {
+            const auto& tx = block.txs[rng.below(block.txs.size())];
+            const auto out =
+                static_cast<std::uint16_t>(rng.below(tx.outputs.size()));
+            const crypto::Hash256 block_hash = block.header.hash();
+            std::vector<ProofRequest> requests{tx_request(tx), input_request(tx, out)};
+            network.defer(at, [&peer, &server, block_hash,
+                               requests = std::move(requests)]() mutable {
+                peer.query(server.id(), block_hash, std::move(requests));
+            });
+            expected_items += 2;
+            at += 1'000'000'000;
+        }
+    }
+    network.run();
+
+    const auto items = peer.items();
+    ASSERT_EQ(items.size(), expected_items);
+    for (const ProofItem& item : items) {
+        ASSERT_EQ(item.status, ProofStatus::kOk) << to_string(item.status);
+        expect_verifies(item, source.blocks()[item.height]);
+    }
+    // The LRU keeps at most the most recent block under this budget, so
+    // cross-block rotation forces rebuilds well past the cold-start four.
+    EXPECT_LE(cache.size(), 1u);
+    EXPECT_GT(server.stats().rebuilds, source.blocks().size());
+}
+
+TEST_F(ProofServerTest, WarmCacheServesWithoutRebuilding) {
+    VectorProofSource source(make_chain(1));
+    const core::EbvBlock& block = source.blocks()[0];
+    SimNetwork network(19);
+    ProofCache cache(64u << 20);
+    ProofServer server(network, netsim::Region::kUsEast, source, cache);
+    TestPeer peer(network);
+
+    // Short coalescing window (default) + sequential sim-time queries:
+    // every query after the first hits the prepared entry.
+    for (int i = 0; i < 8; ++i)
+        peer.query(server.id(), block.header.hash(), {tx_request(block.txs[1])});
+    network.run();
+
+    EXPECT_EQ(server.stats().rebuilds, 1u);
+    for (const ProofItem& item : peer.items()) expect_verifies(item, block);
+}
+
+TEST_F(ProofServerTest, ClientVerifiesEndToEnd) {
+    VectorProofSource source(make_chain(3));
+    SimNetwork network(23);
+    ProofCache cache(64u << 20);
+    ProofServer server(network, netsim::Region::kUsEast, source, cache);
+
+    std::unordered_map<crypto::Hash256, crypto::Hash256, crypto::Hash256Hasher> roots;
+    for (const auto& block : source.blocks())
+        roots.emplace(block.header.hash(), block.header.merkle_root);
+    ProofClient client(network, netsim::Region::kUsWest, server.id(),
+                       [&roots](const crypto::Hash256& h)
+                           -> std::optional<crypto::Hash256> {
+                           const auto it = roots.find(h);
+                           if (it == roots.end()) return std::nullopt;
+                           return it->second;
+                       });
+
+    std::size_t sent = 0;
+    for (const core::EbvBlock& block : source.blocks()) {
+        for (std::size_t t = 0; t < block.txs.size(); t += 2) {
+            client.query(block.header.hash(), {tx_request(block.txs[t])});
+            ++sent;
+        }
+    }
+    network.run();
+
+    const ProofClientStats& stats = client.stats();
+    EXPECT_EQ(stats.requests_sent, sent);
+    EXPECT_EQ(stats.items_ok, sent);
+    EXPECT_EQ(stats.items_error, 0u);
+    EXPECT_EQ(stats.verify_failures, 0u);
+    ASSERT_EQ(stats.latencies_ns.size(), sent);
+    // Transport latency is simulated, so every RTT is strictly positive.
+    for (const netsim::SimTime l : stats.latencies_ns) EXPECT_GT(l, 0);
+}
+
+TEST_F(ProofServerTest, CacheBudgetComesFromEnvironment) {
+    ::setenv("EBV_PROOF_CACHE_BYTES", "123456", 1);
+    EXPECT_EQ(ProofCache::budget_from_env(), 123456u);
+    ::unsetenv("EBV_PROOF_CACHE_BYTES");
+    EXPECT_EQ(ProofCache::budget_from_env(), 64u << 20);
+}
+
+}  // namespace
+}  // namespace ebv::net

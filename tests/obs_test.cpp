@@ -139,6 +139,21 @@ TEST(ObsRegistryTest, PrometheusExport) {
     EXPECT_NE(text.find("test_export_hist_count 1"), std::string::npos);
 }
 
+TEST(ObsRegistryTest, PrometheusEscapesProofServerNames) {
+    // The ebv.<subsystem>.* convention uses dots (and occasionally dashes);
+    // the exporter must fold every non-[a-zA-Z0-9_] character to '_' so the
+    // proofsrv metric family scrapes cleanly.
+    obs::Registry& r = obs::Registry::global();
+    r.counter("ebv.proofsrv.cache_hits").inc(2);
+    r.counter("ebv.proof-srv/test.weird-name").inc(1);
+
+    const std::string text = r.to_prometheus();
+    EXPECT_NE(text.find("ebv_proofsrv_cache_hits 2"), std::string::npos);
+    EXPECT_NE(text.find("ebv_proof_srv_test_weird_name 1"), std::string::npos);
+    EXPECT_EQ(text.find("ebv.proofsrv"), std::string::npos);
+    EXPECT_EQ(text.find("proof-srv"), std::string::npos);
+}
+
 TEST(ObsRegistryTest, JsonExportIsBalancedAndContainsMetrics) {
     obs::Registry& r = obs::Registry::global();
     r.counter("test.json.counter").inc(3);
