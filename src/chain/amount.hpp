@@ -16,4 +16,17 @@ inline constexpr Amount kMaxMoney = 21'000'000 * kCoin;
     return value >= 0 && value <= kMaxMoney;
 }
 
+/// Overflow-safe accumulation for consensus sums (input values, fees):
+/// adds `value` into `sum` only when the value and the running total both
+/// stay inside [0, kMaxMoney]. Per-output range checks alone don't bound
+/// the sum — a transaction can reference enough maximal outputs to wrap a
+/// 64-bit total — so every consensus path accumulates through this guard.
+/// The intermediate `sum + value` cannot overflow: both operands are
+/// capped at kMaxMoney (~2^51) by the checks.
+[[nodiscard]] inline constexpr bool add_money(Amount& sum, Amount value) {
+    if (!money_range(value) || !money_range(sum)) return false;
+    sum += value;
+    return money_range(sum);
+}
+
 }  // namespace ebv::chain

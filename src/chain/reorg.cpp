@@ -33,12 +33,18 @@ util::Result<ReorgOutcome, ReorgError> reorg_to(BitcoinNode& node,
                                      static_cast<std::uint32_t>(branch.size());
     if (branch_tip <= current_height) return util::Unexpected{ReorgError::kBranchNotLonger};
 
-    // Save the suffix being replaced so a bad branch can be rolled back.
+    // Save and verify the suffix being replaced *before* touching any
+    // state: if the block store cannot reproduce the chain (external
+    // truncation or tampering), a bad branch could never be rolled back.
+    // Refusing up front leaves the node untouched.
     std::vector<Block> original;
     original.reserve(current_height - fork_height_plus_1);
     for (std::uint32_t h = fork_height_plus_1; h < current_height; ++h) {
         auto block = node.block_store()->load(h);
-        EBV_ASSERT(block.has_value());
+        const BlockHeader* expected = node.headers().at(h);
+        if (!block || expected == nullptr || block->header.hash() != expected->hash()) {
+            return util::Unexpected{ReorgError::kRollbackFailed};
+        }
         original.push_back(std::move(*block));
     }
 

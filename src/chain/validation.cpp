@@ -173,10 +173,29 @@ util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block_im
 
         {
             PhaseTimer timer(timings.other);
+            Amount total_out = 0;
             for (const TxOut& out : tx.vout) {
-                if (!money_range(out.value))
+                // add_money also bounds the per-tx output *sum*: 65k
+                // individually in-range outputs can still wrap
+                // total_output_value() past the supply cap.
+                if (!add_money(total_out, out.value))
                     return util::Unexpected{ValidationFailure{BlockError::kValueOutOfRange, t}};
             }
+        }
+
+        // BIP30-style duplicate-txid rule: a transaction whose outputs are
+        // still unspent must not be re-created — utxo_.add would silently
+        // overwrite the earlier coins, destroying them and corrupting undo
+        // data. The probe is a ❶-style fetch, so the status DB instruments
+        // it as DBO time like any other lookup.
+        for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
+            if (utxo_.fetch(OutPoint{tx.txid(), o})) {
+                return util::Unexpected{ValidationFailure{BlockError::kDuplicateTxid, t}};
+            }
+        }
+
+        {
+            PhaseTimer timer(timings.other);
             for (std::uint32_t o = 0; o < tx.vout.size(); ++o) {
                 intra_block.emplace(OutPoint{tx.txid(), o},
                                     Coin{tx.vout[o].value, height, tx.is_coinbase(),
@@ -214,7 +233,12 @@ util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block_im
                     return util::Unexpected{
                         ValidationFailure{BlockError::kImmatureCoinbaseSpend, t, i}};
                 }
-                value_in += coin->value;
+                // Guarded accumulation: per-coin range checks don't bound
+                // the sum — unchecked += is the classic inflation overflow.
+                if (!add_money(value_in, coin->value)) {
+                    return util::Unexpected{
+                        ValidationFailure{BlockError::kValueOutOfRange, t, i}};
+                }
                 intra_block_spent.insert(prevout);
             }
 
@@ -226,7 +250,8 @@ util::Result<BlockTimings, ValidationFailure> BitcoinValidator::connect_block_im
             const Amount value_out = block.txs[t].total_output_value();
             if (value_in < value_out)
                 return util::Unexpected{ValidationFailure{BlockError::kNegativeFee, t}};
-            total_fees += value_in - value_out;
+            if (!add_money(total_fees, value_in - value_out))
+                return util::Unexpected{ValidationFailure{BlockError::kValueOutOfRange, t}};
         }
     }
 

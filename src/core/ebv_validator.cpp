@@ -106,8 +106,12 @@ std::optional<EbvValidationFailure> check_block_structure(const EbvBlock& block,
         return EbvValidationFailure{EbvError::kMerkleRootMismatch};
 
     for (std::size_t t = 0; t < block.txs.size(); ++t) {
+        chain::Amount total_out = 0;
         for (const auto& out : block.txs[t].outputs) {
-            if (!chain::money_range(out.value))
+            // add_money also bounds the per-tx output *sum*: 65k individually
+            // in-range outputs can still wrap total_output_value() past the
+            // supply cap, so the later fee arithmetic must never see it.
+            if (!chain::add_money(total_out, out.value))
                 return EbvValidationFailure{EbvError::kValueOutOfRange, t};
         }
     }
@@ -518,7 +522,13 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
                         return util::Unexpected{
                             EbvValidationFailure{EbvError::kImmatureCoinbaseSpend, t, i}};
                     }
-                    value_in += in.els.outputs[in.out_index].value;
+                    // Guarded accumulation: the referenced values are
+                    // EV-authenticated, but nothing bounds their *sum* —
+                    // unchecked += is the classic inflation overflow.
+                    if (!chain::add_money(value_in, in.els.outputs[in.out_index].value)) {
+                        return util::Unexpected{
+                            EbvValidationFailure{EbvError::kValueOutOfRange, t, i}};
+                    }
                 }
             }
 
@@ -527,7 +537,9 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
                 const chain::Amount value_out = tx.total_output_value();
                 if (value_in < value_out)
                     return util::Unexpected{EbvValidationFailure{EbvError::kNegativeFee, t}};
-                total_fees += value_in - value_out;
+                if (!chain::add_money(total_fees, value_in - value_out))
+                    return util::Unexpected{
+                        EbvValidationFailure{EbvError::kValueOutOfRange, t}};
             }
         }
     }

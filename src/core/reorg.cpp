@@ -34,11 +34,19 @@ util::Result<EbvReorgOutcome, EbvReorgError> reorg_to(
     if (branch_tip <= current_height)
         return util::Unexpected{EbvReorgError::kBranchNotLonger};
 
+    // Load and verify the suffix being replaced *before* touching any
+    // state: if the block store cannot reproduce the chain (external
+    // truncation or tampering), rolling back a failed branch would be
+    // impossible. Refusing up front leaves the node untouched instead of
+    // discovering the corruption halfway through a disconnect.
     std::vector<EbvBlock> original;
     original.reserve(current_height - fork_height_plus_1);
     for (std::uint32_t h = fork_height_plus_1; h < current_height; ++h) {
         auto block = node.block_store()->load(h);
-        EBV_ASSERT(block.has_value());
+        const chain::BlockHeader* expected = node.headers().at(h);
+        if (!block || expected == nullptr || block->header.hash() != expected->hash()) {
+            return util::Unexpected{EbvReorgError::kRollbackFailed};
+        }
         original.push_back(std::move(*block));
     }
 
@@ -60,10 +68,12 @@ util::Result<EbvReorgOutcome, EbvReorgError> reorg_to(
         }
         outcome.branch_failure = result.error();
 
-        // Unwind whatever connected, then restore the original branch.
-        for (std::uint32_t h = node.next_height(); h > fork_height_plus_1; --h) {
-            auto connected = node.block_store()->load(h - 1);
-            if (!connected || !node.disconnect_tip(*connected)) {
+        // Unwind whatever connected using the in-memory branch bodies (the
+        // connected blocks are exactly branch[0..connected)), then restore
+        // the original suffix. Failures here mean a disconnect/reconnect
+        // did not invert exactly — a genuine state bug, not a storage one.
+        for (std::uint32_t j = outcome.blocks_connected; j > 0; --j) {
+            if (!node.disconnect_tip(branch[j - 1])) {
                 return util::Unexpected{EbvReorgError::kRollbackFailed};
             }
         }

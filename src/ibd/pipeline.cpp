@@ -595,7 +595,12 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
                         fail(EbvError::kImmatureCoinbaseSpend, t, i);
                         break;
                     }
-                    value_in += in.els.outputs[in.out_index].value;
+                    // Mirrors the serial validator's guarded accumulation
+                    // exactly (failure-tuple parity).
+                    if (!chain::add_money(value_in, in.els.outputs[in.out_index].value)) {
+                        fail(EbvError::kValueOutOfRange, t, i);
+                        break;
+                    }
                 }
                 if (window_failed) break;
                 const chain::Amount value_out = tx.total_output_value();
@@ -603,7 +608,10 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
                     fail(EbvError::kNegativeFee, t, 0);
                     break;
                 }
-                total_fees += value_in - value_out;
+                if (!chain::add_money(total_fees, value_in - value_out)) {
+                    fail(EbvError::kValueOutOfRange, t, 0);
+                    break;
+                }
             }
             if (window_failed) break;
 

@@ -33,6 +33,14 @@ ChainGenerator::ChainGenerator(const GeneratorOptions& options)
     }
 }
 
+ChainGenerator ChainGenerator::fork(std::uint64_t salt) const {
+    ChainGenerator branch(*this);
+    // splitmix64-style mix keeps distinct salts from producing correlated
+    // streams even when they differ in a single bit.
+    branch.rng_ = util::Rng(options_.seed ^ (salt * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
+    return branch;
+}
+
 script::Script ChainGenerator::lock_script_for(std::uint32_t key_id,
                                                std::uint8_t kind) const {
     if ((kind & kHeavyKindFlag) != 0) {

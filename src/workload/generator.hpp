@@ -49,6 +49,12 @@ public:
     /// Generate, record, and return the next block.
     chain::Block next_block();
 
+    /// Duplicate the generator's full state (key pool, spendable set, tip)
+    /// and reseed the copy's RNG with `salt`, so the copy emits a *different
+    /// but valid* continuation from the same fork point — the raw material
+    /// for competing reorg branches (tests/scenario_matrix_test.cpp).
+    [[nodiscard]] ChainGenerator fork(std::uint64_t salt) const;
+
     [[nodiscard]] std::uint32_t height() const { return next_height_; }
     [[nodiscard]] std::size_t utxo_pool_size() const { return pool_.size(); }
     [[nodiscard]] const GeneratorOptions& options() const { return options_; }

@@ -270,7 +270,17 @@ TEST_F(ValidatorTest, RejectsDoubleSpendAcrossBlocks) {
     ASSERT_TRUE(connect_tracking(
         make_block({spend_coinbase_of(0, 50 * kCoin)}, params_.subsidy_at(height_))));
 
-    auto r = connect(make_block({spend_coinbase_of(0, 50 * kCoin)},
+    // A byte-identical replay of the first spend is caught earlier, by the
+    // BIP30-style duplicate-txid rule: its outputs still sit in the UTXO
+    // set, so connecting it would silently overwrite them.
+    auto replay = connect(make_block({spend_coinbase_of(0, 50 * kCoin)},
+                                     params_.subsidy_at(height_)));
+    ASSERT_FALSE(replay.has_value());
+    EXPECT_EQ(replay.error().error, BlockError::kDuplicateTxid);
+
+    // A distinct transaction (different txid) re-spending the same outpoint
+    // is the actual double spend.
+    auto r = connect(make_block({spend_coinbase_of(0, 49 * kCoin)},
                                 params_.subsidy_at(height_)));
     ASSERT_FALSE(r.has_value());
     EXPECT_EQ(r.error().error, BlockError::kMissingOrSpentOutput);

@@ -7,6 +7,7 @@
 
 #include "core/node.hpp"
 #include "intermediary/converter.hpp"
+#include "workload/adversary.hpp"
 #include "workload/generator.hpp"
 
 namespace ebv::core {
@@ -182,6 +183,55 @@ TEST(EbvMutation, RelaySideMutationsRejected) {
     EbvBlock block = f.victim;
     block.header.time += 1;
     EXPECT_TRUE(f.node->submit_block(block).has_value());
+}
+
+// Seeded randomized sweep over the full workload::Adversary mutation
+// catalogue (the scenario-matrix mutations of docs/SCENARIOS.md): every
+// random draw applied to the next block must be rejected without touching
+// node state, and the clean block must still connect afterwards.
+TEST(EbvMutation, SeededRandomAdversarySweepRejected) {
+    workload::GeneratorOptions gen_options;
+    gen_options.seed = 31;
+    gen_options.params.coinbase_maturity = 5;
+    gen_options.schedule = workload::EraSchedule::flat(4.0, 1.7, 2.0);
+    gen_options.height_scale = 1.0;
+    gen_options.intensity = 1.0;
+    gen_options.key_pool_size = 8;
+
+    workload::ChainGenerator gen(gen_options);
+    intermediary::Converter converter;
+    std::vector<EbvBlock> chain;
+    for (int i = 0; i < 60; ++i) {
+        auto converted = converter.convert_block(gen.next_block());
+        ASSERT_TRUE(converted.has_value());
+        chain.push_back(*converted);
+        if (chain.size() >= 16 && chain.back().input_count() >= 2) break;
+    }
+    ASSERT_GE(chain.back().input_count(), 2u);
+
+    EbvNodeOptions options;
+    options.params = gen_options.params;
+    EbvNode node(options);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        ASSERT_TRUE(node.submit_block(chain[i]).has_value());
+    }
+    const auto memory_before = node.status_memory_bytes();
+    const auto height_before = node.next_height();
+
+    workload::Adversary adversary(0x5eed31);
+    for (int i = 0; i < 48; ++i) {
+        std::vector<EbvBlock> copy = chain;
+        const auto applied =
+            adversary.apply_random(copy, chain.size() - 1, &converter.archive());
+        ASSERT_TRUE(applied.has_value()) << "draw " << i;
+        const auto result = node.submit_block(copy.back());
+        EXPECT_FALSE(result.has_value())
+            << "draw " << i << ": " << to_string(applied->mutation) << " accepted";
+        EXPECT_EQ(node.status_memory_bytes(), memory_before);
+        EXPECT_EQ(node.next_height(), height_before);
+    }
+
+    EXPECT_TRUE(node.submit_block(chain.back()).has_value());
 }
 
 }  // namespace

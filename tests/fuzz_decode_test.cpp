@@ -11,9 +11,12 @@
 #include "core/bitvector.hpp"
 #include "core/ebv_transaction.hpp"
 #include "crypto/ecdsa.hpp"
+#include "core/ebv_validator.hpp"
 #include "crypto/merkle.hpp"
+#include "intermediary/converter.hpp"
 #include "net/message.hpp"
 #include "util/rng.hpp"
+#include "workload/generator.hpp"
 
 namespace ebv {
 namespace {
@@ -165,6 +168,47 @@ TEST(FuzzDecode, SignatureParserSurvivesGarbage) {
         rng.fill(junk);
         (void)crypto::Signature::from_der(junk);
         if (junk.size() == 33) (void)crypto::PublicKey::parse(junk);
+    }
+}
+
+// Tampered-proof seeds: a real workload block carries genuine MBr/ELs
+// encodings; every truncation and bit flip of its wire form — most of
+// which land inside the proof fields — must decode cleanly or fail
+// cleanly, and whatever decodes must survive the structural validation
+// path (stake positions, Merkle root) without crashing.
+TEST(FuzzDecode, RealProofEncodingsSurviveMutation) {
+    workload::GeneratorOptions gen_options;
+    gen_options.seed = 11;
+    gen_options.params.coinbase_maturity = 5;
+    gen_options.schedule = workload::EraSchedule::flat(4.0, 1.6, 2.0);
+    gen_options.height_scale = 1.0;
+    gen_options.intensity = 1.0;
+    gen_options.key_pool_size = 8;
+    workload::ChainGenerator gen(gen_options);
+    intermediary::Converter converter;
+
+    std::optional<core::EbvBlock> victim;
+    for (int i = 0; i < 40 && !victim; ++i) {
+        auto converted = converter.convert_block(gen.next_block());
+        ASSERT_TRUE(converted.has_value());
+        if (converted->input_count() >= 2) victim = *converted;
+    }
+    ASSERT_TRUE(victim.has_value());
+    truncate_and_mutate(*victim, 77);
+
+    util::Writer w;
+    victim->serialize(w);
+    const util::Bytes wire = w.data();
+    util::Rng rng(79);
+    for (int i = 0; i < 300; ++i) {
+        util::Bytes mutated = wire;
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+        util::Reader r(mutated);
+        auto block = core::EbvBlock::deserialize(r);
+        if (!block.has_value()) continue;
+        (void)block->compute_merkle_root();
+        (void)core::check_block_structure(*block, gen_options.params);
     }
 }
 

@@ -16,6 +16,7 @@
 #include "intermediary/converter.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/adversary.hpp"
 #include "workload/generator.hpp"
 
 namespace ebv {
@@ -229,6 +230,55 @@ TEST_F(IbdPipeline, CrossBlockDoubleSpendCaughtInsideWindow) {
     EXPECT_EQ(serial.failure->failure.tx_index, victim_tx);
     EXPECT_EQ(serial.failure->failure.input_index, victim_input);
     expect_parity(blocks);
+}
+
+TEST_F(IbdPipeline, CrossWindowDoubleSpendRejectsIdentically) {
+    // The far variant: re-spend an input the *first* spender block consumed,
+    // many windows upstream of the victim. The spent bit was applied by a
+    // long-committed window, so the committed bit-vector set (not the
+    // pending overlay) must catch it — at every window size and thread
+    // count, with the serial tuple.
+    std::vector<core::EbvBlock> blocks = chain_;
+    workload::Adversary adversary(3);
+    std::optional<workload::AppliedMutation> applied;
+    for (std::size_t target = kChainLen - 4; target < kChainLen && !applied; ++target) {
+        blocks = chain_;
+        applied = adversary.apply(workload::Mutation::kCrossBlockDoubleSpendFar,
+                                  blocks, target);
+    }
+    ASSERT_TRUE(applied.has_value());
+    // The mutation steals from the earliest spender; with window 16 and a
+    // target in the last few blocks that distance spans window boundaries.
+    ASSERT_GE(applied->block, 16u);
+
+    const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1);
+    ASSERT_TRUE(serial.failure.has_value());
+    EXPECT_EQ(serial.failure->block_index, applied->block);
+    EXPECT_EQ(serial.failure->failure.error, core::EbvError::kUnspentFailed);
+    expect_parity(blocks);
+}
+
+TEST_F(IbdPipeline, ValueRuleFailuresRejectIdentically) {
+    // Stage-3 value rules (input-sum accumulation, fee bounds, coinbase
+    // payout) must report the serial tuple across the whole grid.
+    for (const workload::Mutation m :
+         {workload::Mutation::kNegativeFee, workload::Mutation::kCoinbaseOverpay}) {
+        SCOPED_TRACE(workload::to_string(m));
+        std::vector<core::EbvBlock> blocks = chain_;
+        workload::Adversary adversary(4);
+        std::optional<workload::AppliedMutation> applied;
+        for (std::size_t target = kChainLen / 2; target < kChainLen && !applied;
+             ++target) {
+            blocks = chain_;
+            applied = adversary.apply(m, blocks, target);
+        }
+        ASSERT_TRUE(applied.has_value());
+
+        const ibd::BatchResult serial = run_batch(blocks, nullptr, false, 1);
+        ASSERT_TRUE(serial.failure.has_value());
+        EXPECT_EQ(serial.failure->block_index, applied->block);
+        expect_parity(blocks);
+    }
 }
 
 TEST_F(IbdPipeline, StructuralFailureTupleMatches) {

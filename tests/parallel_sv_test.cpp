@@ -267,6 +267,32 @@ TEST_F(ParallelSvDeterminism, ProofTamperOutranksEarlierBadSignature) {
     expect_identical_across_thread_counts(bad);
 }
 
+TEST_F(ParallelSvDeterminism, DoubleSpendOutranksBadSignature) {
+    core::EbvBlock bad = *victim_;
+    // One transaction carries both a corrupted signature (its first input)
+    // and an in-block double spend (its first input duplicated at the end).
+    // UV verdicts resolve before SV verdicts, so every thread count and
+    // batch mode must report kDoubleSpendInBlock at the duplicate, never
+    // the script failure.
+    core::EbvTransaction* spender = nullptr;
+    for (auto& tx : bad.txs) {
+        if (!tx.inputs.empty()) {
+            spender = &tx;
+            break;
+        }
+    }
+    ASSERT_NE(spender, nullptr);
+    ASSERT_GT(spender->inputs[0].unlock_script.size(), 6u);
+    spender->inputs[0].unlock_script[5] ^= 0x11;
+    spender->inputs.push_back(spender->inputs[0]);
+    bad.assign_stake_positions();
+
+    const auto failure = failure_with(nullptr, bad);
+    ASSERT_EQ(failure.error, core::EbvError::kDoubleSpendInBlock);
+    EXPECT_EQ(failure.input_index, spender->inputs.size() - 1);
+    expect_identical_across_thread_counts(bad);
+}
+
 TEST_F(ParallelSvDeterminism, SchedulerMatrixMultipleBadSignatures) {
     core::EbvBlock bad = *victim_;
     std::size_t global = 0;

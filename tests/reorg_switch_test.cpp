@@ -147,6 +147,12 @@ TEST(ReorgSwitch, BaselineInvalidBranchRollsBack) {
     EXPECT_EQ(node.next_height(), 12u);
     EXPECT_EQ(node.headers().tip_hash(), tip_before);
     EXPECT_EQ(node.utxo().size(), utxos_before);
+
+    // And functionally restored: the next main-chain block (which spends
+    // outputs the rollback had to re-create) still connects.
+    auto next = node.submit_block(gen.next_block());
+    ASSERT_TRUE(next.has_value()) << next.error().describe();
+    EXPECT_EQ(node.next_height(), 13u);
 }
 
 TEST(ReorgSwitch, EbvLongerBranchWins) {
@@ -251,6 +257,25 @@ TEST(ReorgSwitch, EbvInvalidBranchRollsBack) {
     EXPECT_EQ(node.next_height(), 12u);
     EXPECT_EQ(node.headers().tip_hash(), tip_before);
     EXPECT_EQ(node.status_memory_bytes(), memory_before);
+
+    // Bit-identical restore: a control node that never saw the branch has
+    // the same validation status (every era's stake vector).
+    SwitchTempDir control_dir;
+    core::EbvNodeOptions control_options;
+    control_options.params = options.params;
+    control_options.data_dir = control_dir.str();
+    core::EbvNode control(control_options);
+    for (const auto& block : chain_blocks) {
+        ASSERT_TRUE(control.submit_block(block).has_value());
+    }
+    EXPECT_TRUE(node.status() == control.status());
+
+    // And functionally restored: the next honest block still connects.
+    auto converted = converter.convert_block(gen.next_block());
+    ASSERT_TRUE(converted.has_value());
+    ASSERT_TRUE(node.submit_block(*converted).has_value());
+    ASSERT_TRUE(control.submit_block(*converted).has_value());
+    EXPECT_TRUE(node.status() == control.status());
 }
 
 }  // namespace
