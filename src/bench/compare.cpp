@@ -22,7 +22,7 @@ bool is_identity_key(std::string_view key) {
     static constexpr std::string_view kKeys[] = {
         "threads", "window", "height", "period", "blocks",
         "seed",    "reps",   "mode",   "batch",  "shards",
-        "skew",    "clients", "queries_per_block",
+        "skew",    "clients", "queries_per_block", "arrival",
     };
     for (const std::string_view k : kKeys) {
         if (key == k) return true;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "chain/amount.hpp"
+#include "core/sig_cache.hpp"
 #include "core/sv_batcher.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/parse_memo.hpp"
@@ -72,9 +73,9 @@ EvStatus ev_check_input(const EbvInput& in, const chain::BlockHeader* header,
 }
 
 script::ScriptError sv_check_input(const EbvTransaction& tx, std::size_t input_index,
-                                   const TxSighashCache* cache) {
+                                   const TxSighashCache* cache, SigCache* sigcache) {
     const EbvInput& in = tx.inputs[input_index];
-    EbvSignatureChecker checker(tx, input_index, cache);
+    EbvSignatureChecker checker(tx, input_index, cache, sigcache);
     return script::verify_script(in.unlock_script, in.els.outputs[in.out_index].lock_script,
                                  checker);
 }
@@ -122,7 +123,13 @@ bool EbvSignatureChecker::check_signature(util::ByteSpan signature, util::ByteSp
                                           util::ByteSpan script_code) const {
     const auto job = prepare_signature(signature, pubkey, script_code);
     if (!job) return false;
-    return job->key.verify(job->digest, job->sig);
+    // Cache hit = this exact (sighash, pubkey, sig) triple already verified
+    // TRUE (only successes are ever inserted), so the curve check is
+    // redundant. Misses verify inline and, on success, warm the cache.
+    if (sigcache_ != nullptr && sigcache_->contains(*job)) return true;
+    const bool ok = job->key.verify(job->digest, job->sig);
+    if (ok && sigcache_ != nullptr) sigcache_->insert(*job);
+    return ok;
 }
 
 std::optional<crypto::VerifyJob> EbvSignatureChecker::prepare_signature(
@@ -357,7 +364,8 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         }
     };
     std::optional<SvBatcher> batcher;
-    if (verify_scripts && batch_verify_enabled(options_)) batcher.emplace(slots, resolve_sv);
+    if (verify_scripts && batch_verify_enabled(options_))
+        batcher.emplace(slots, resolve_sv, options_.sigcache);
 
     // Per-transaction sighash templates, built lazily by whichever worker
     // first reaches one of the transaction's inputs and shared by the rest
@@ -407,7 +415,7 @@ util::Result<EbvTimings, EbvValidationFailure> EbvValidator::connect_block_impl(
         if (batcher) {
             batcher->check(slot, j, *job.tx, job.input_index, cache);
         } else {
-            resolve_sv(j, sv_check_input(*job.tx, job.input_index, cache));
+            resolve_sv(j, sv_check_input(*job.tx, job.input_index, cache, options_.sigcache));
         }
         const auto sv_ns = watch.elapsed_ns();
         sv_busy[slot] += sv_ns;

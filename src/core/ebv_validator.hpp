@@ -25,6 +25,8 @@
 
 namespace ebv::core {
 
+class SigCache;
+
 enum class EbvError {
     kEmptyBlock,
     kFirstTxNotCoinbase,
@@ -82,10 +84,13 @@ enum class EvStatus : std::uint8_t { kOk, kUnknownHeight, kBadOutIndex, kExisten
 
 /// SV for one input. The caller guarantees the input passed EV (so
 /// out_index is in range). `cache` optionally shares the transaction's
-/// sighash template across inputs (nullptr = naive per-call serialization).
+/// sighash template across inputs (nullptr = naive per-call serialization);
+/// `sigcache` optionally short-circuits signatures already verified at
+/// mempool admission (docs/MEMPOOL.md).
 [[nodiscard]] script::ScriptError sv_check_input(const EbvTransaction& tx,
                                                  std::size_t input_index,
-                                                 const TxSighashCache* cache = nullptr);
+                                                 const TxSighashCache* cache = nullptr,
+                                                 SigCache* sigcache = nullptr);
 
 /// The stateless structural pass: coinbase shape, stake-position
 /// assignment, output-value ranges, and the block's own Merkle root.
@@ -130,6 +135,10 @@ struct EbvValidatorOptions {
     /// nullopt defers to the EBV_SIGHASH_TEMPLATE environment knob (ON when
     /// unset); an explicit value always wins over the env.
     std::optional<bool> sighash_template;
+    /// Shared signature-verification cache: signatures the mempool already
+    /// verified at admission short-circuit SV here (docs/MEMPOOL.md).
+    /// nullptr = every signature pays the full curve check.
+    SigCache* sigcache = nullptr;
 };
 
 /// Resolve the tri-state batch_verify option against EBV_BATCH_VERIFY.
@@ -143,8 +152,9 @@ struct EbvValidatorOptions {
 class EbvSignatureChecker final : public script::SignatureChecker {
 public:
     EbvSignatureChecker(const EbvTransaction& tx, std::size_t input_index,
-                        const TxSighashCache* cache = nullptr)
-        : tx_(tx), input_index_(input_index), cache_(cache) {}
+                        const TxSighashCache* cache = nullptr,
+                        SigCache* sigcache = nullptr)
+        : tx_(tx), input_index_(input_index), cache_(cache), sigcache_(sigcache) {}
 
     [[nodiscard]] bool check_signature(util::ByteSpan signature, util::ByteSpan pubkey,
                                        util::ByteSpan script_code) const override;
@@ -160,6 +170,7 @@ private:
     const EbvTransaction& tx_;
     std::size_t input_index_;
     const TxSighashCache* cache_;
+    SigCache* sigcache_;
 };
 
 class EbvValidator {

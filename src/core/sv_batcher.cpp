@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/ebv_validator.hpp"
+#include "core/sig_cache.hpp"
 #include "obs/metrics.hpp"
 
 namespace ebv::core {
@@ -28,15 +29,15 @@ struct CryptoMetrics {
 
 }  // namespace
 
-SvBatcher::SvBatcher(std::size_t slots, Resolve resolve)
-    : resolve_(resolve), slots_(slots == 0 ? 1 : slots) {}
+SvBatcher::SvBatcher(std::size_t slots, Resolve resolve, SigCache* sigcache)
+    : resolve_(resolve), sigcache_(sigcache), slots_(slots == 0 ? 1 : slots) {}
 
 void SvBatcher::check(std::size_t slot_index, std::size_t tag, const EbvTransaction& tx,
                       std::size_t input_index, const TxSighashCache* cache) {
     Slot& slot = slots_[slot_index];
     const EbvInput& in = tx.inputs[input_index];
 
-    const EbvSignatureChecker inner(tx, input_index, cache);
+    const EbvSignatureChecker inner(tx, input_index, cache, sigcache_);
     const script::DeferringSignatureChecker deferring(inner);
     const script::ScriptError err = script::verify_script(
         in.unlock_script, in.els.outputs[in.out_index].lock_script, deferring);
@@ -53,8 +54,27 @@ void SvBatcher::check(std::size_t slot_index, std::size_t tag, const EbvTransact
         // conditionals), so re-run for the authoritative verdict.
         ++slot.stats.fallbacks;
         CryptoMetrics::get().batch_fallbacks.inc();
-        resolve_(tag, sv_check_input(tx, input_index, cache));
+        resolve_(tag, sv_check_input(tx, input_index, cache, sigcache_));
         return;
+    }
+
+    if (sigcache_ != nullptr) {
+        // Drop triples the sigcache already verified TRUE at admission: a
+        // hit is a sound accept, so only the misses need curve work. When
+        // everything hits, the optimistic run's success is authoritative —
+        // an inline run would make the same opcode decisions.
+        std::size_t kept = 0;
+        for (crypto::VerifyJob& job : collected) {
+            if (sigcache_->contains(job)) continue;
+            if (&collected[kept] != &job) collected[kept] = std::move(job);
+            ++kept;
+        }
+        slot.stats.cache_skips += collected.size() - kept;
+        collected.resize(kept);
+        if (collected.empty()) {
+            resolve_(tag, script::ScriptError::kOk);
+            return;
+        }
     }
 
     const std::size_t begin = slot.triples.size();
@@ -72,6 +92,13 @@ void SvBatcher::flush(Slot& slot) {
     const std::unique_ptr<bool[]> verdicts(new bool[slot.triples.size()]);
     const crypto::BatchVerifyStats batch_stats =
         crypto::verify_batch({slot.triples.data(), slot.triples.size()}, verdicts.get());
+    if (sigcache_ != nullptr) {
+        // Every triple that batch-verified TRUE is individually genuine
+        // (batch verdicts are bit-identical to PublicKey::verify), so it is
+        // safe to warm the cache with it even when a sibling triple fails.
+        for (std::size_t j = 0; j < slot.triples.size(); ++j)
+            if (verdicts[j]) sigcache_->insert(slot.triples[j]);
+    }
     ++slot.stats.batches;
     slot.stats.signatures += slot.triples.size();
     slot.stats.inversions_saved += batch_stats.inversions_saved;
@@ -89,7 +116,7 @@ void SvBatcher::flush(Slot& slot) {
         } else {
             ++slot.stats.fallbacks;
             m.batch_fallbacks.inc();
-            resolve_(p.tag, sv_check_input(*p.tx, p.input_index, p.cache));
+            resolve_(p.tag, sv_check_input(*p.tx, p.input_index, p.cache, sigcache_));
         }
     }
     slot.pending.clear();
@@ -107,6 +134,7 @@ SvBatcher::Stats SvBatcher::stats() const {
         total.signatures += slot.stats.signatures;
         total.inversions_saved += slot.stats.inversions_saved;
         total.fallbacks += slot.stats.fallbacks;
+        total.cache_skips += slot.stats.cache_skips;
     }
     return total;
 }

@@ -24,6 +24,8 @@
 
 namespace ebv::core {
 
+class SigCache;
+
 class SvBatcher {
 public:
     /// Verdict callback: resolve(tag, err) fires exactly once per check()
@@ -37,7 +39,12 @@ public:
     /// (1 + 3(N-1) mults instead of N Fermat inversions) is near its floor.
     static constexpr std::size_t kBatchTarget = 16;
 
-    SvBatcher(std::size_t slots, Resolve resolve);
+    /// `sigcache` (optional) filters admission-verified signatures out of
+    /// the deferred batches: a triple the cache holds verified TRUE before,
+    /// so it is dropped rather than queued, and an input whose every triple
+    /// hits resolves immediately. Verified batch triples are inserted back,
+    /// warming the cache for the next block (docs/MEMPOOL.md).
+    SvBatcher(std::size_t slots, Resolve resolve, SigCache* sigcache = nullptr);
 
     /// Deferred SV for one input: runs the script optimistically on `slot`,
     /// resolving immediately when no signature was deferred (the run is
@@ -56,6 +63,7 @@ public:
         std::uint64_t signatures = 0;        ///< triples drained through batches
         std::uint64_t inversions_saved = 0;  ///< amortized modular inversions
         std::uint64_t fallbacks = 0;         ///< inputs re-run inline
+        std::uint64_t cache_skips = 0;       ///< triples skipped via SigCache hits
     };
     /// Aggregate over all slots; call after flush_all().
     [[nodiscard]] Stats stats() const;
@@ -80,6 +88,7 @@ private:
     void flush(Slot& slot);
 
     Resolve resolve_;
+    SigCache* sigcache_;
     std::vector<Slot> slots_;
 };
 

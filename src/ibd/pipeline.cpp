@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "chain/amount.hpp"
+#include "core/sig_cache.hpp"
 #include "core/sighash_cache.hpp"
 #include "core/sv_batcher.hpp"
 #include "obs/metrics.hpp"
@@ -268,7 +269,7 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
             cas_min(min_fail_block, job.block);
         };
         std::optional<core::SvBatcher> batcher;
-        if (verify_scripts_ && batch_verify_) batcher.emplace(slots, resolve_sv);
+        if (verify_scripts_ && batch_verify_) batcher.emplace(slots, resolve_sv, sigcache_);
 
         // Per-transaction sighash templates (core::TxSighashCache), lazily
         // built by whichever worker first reaches one of the transaction's
@@ -372,7 +373,7 @@ BatchResult Pipeline::run(std::span<const core::EbvBlock> blocks, CommitHook on_
                 batcher->check(slot, index - shard_jobs, tx, job.input_index, cache);
             } else {
                 resolve_sv(index - shard_jobs,
-                           core::sv_check_input(tx, job.input_index, cache));
+                           core::sv_check_input(tx, job.input_index, cache, sigcache_));
             }
             const auto sv_ns = watch.elapsed_ns();
             sv_busy[slot] += static_cast<std::uint64_t>(sv_ns);

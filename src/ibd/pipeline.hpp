@@ -40,6 +40,10 @@
 #include "ibd/options.hpp"
 #include "util/thread_pool.hpp"
 
+namespace ebv::core {
+class SigCache;
+}  // namespace ebv::core
+
 namespace ebv::ibd {
 
 class Pipeline {
@@ -56,10 +60,13 @@ public:
     /// failure parity with the inline path is preserved by its fallback.
     /// `sighash_template` shares one O(n) sighash template per transaction
     /// across its inputs' SV jobs (core::TxSighashCache, docs/CRYPTO.md).
+    /// `sigcache` short-circuits signatures verified at mempool admission
+    /// (core::SigCache, docs/MEMPOOL.md); nullptr = no reuse.
     Pipeline(const chain::ChainParams& params, chain::HeaderIndex& headers,
              core::BitVectorSet& status, PipelineOptions options,
              util::ThreadPool* pool, bool verify_scripts = true,
-             bool batch_verify = false, bool sighash_template = true)
+             bool batch_verify = false, bool sighash_template = true,
+             core::SigCache* sigcache = nullptr)
         : params_(params),
           headers_(headers),
           status_(status),
@@ -67,7 +74,8 @@ public:
           pool_(pool),
           verify_scripts_(verify_scripts),
           batch_verify_(batch_verify),
-          sighash_template_(sighash_template) {}
+          sighash_template_(sighash_template),
+          sigcache_(sigcache) {}
 
     /// Validate and connect `blocks` on top of the current tip. Publishes
     /// `ebv.ibd.*` metrics (docs/OBSERVABILITY.md). Not re-entrant.
@@ -91,6 +99,7 @@ private:
     bool verify_scripts_;
     bool batch_verify_;
     bool sighash_template_;
+    core::SigCache* sigcache_;
     util::CancelToken cancel_;
 };
 

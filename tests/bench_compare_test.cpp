@@ -214,6 +214,36 @@ TEST(BenchCompare, SkewIsIdentityNotMetric) {
     for (const MetricDelta& d : matched.deltas) EXPECT_NE(d.metric, "skew");
 }
 
+TEST(BenchCompare, ArrivalIsIdentityNotMetric) {
+    // The fig20 mempool sweep keys rows by {threads, arrival}; `arrival`
+    // (admission burst size) parameterizes identity, it is never gated.
+    const char* base =
+        R"({"bench":"fig20_mempool","provenance":{},)"
+        R"("rows":[{"threads":4,"arrival":32,)"
+        R"("warm_connect_ms":1.0,"cache_hit_speedup":60.0}],"aborted":false})";
+
+    // Same threads at a different burst size: no matching row, warn.
+    const auto mismatched = compare_reports(
+        doc(base),
+        doc(R"({"bench":"fig20_mempool","provenance":{},)"
+            R"("rows":[{"threads":4,"arrival":256,)"
+            R"("warm_connect_ms":0.5,"cache_hit_speedup":90.0}],"aborted":false})"));
+    EXPECT_TRUE(mismatched.ok);
+    ASSERT_FALSE(mismatched.warnings.empty());
+    EXPECT_NE(mismatched.warnings.back().find("arrival=32"), std::string::npos);
+    EXPECT_TRUE(mismatched.deltas.empty());
+
+    // Matching burst size compares the metrics, never "arrival" itself.
+    const auto matched = compare_reports(
+        doc(base),
+        doc(R"({"bench":"fig20_mempool","provenance":{},)"
+            R"("rows":[{"threads":4,"arrival":32,)"
+            R"("warm_connect_ms":1.1,"cache_hit_speedup":55.0}],"aborted":false})"));
+    EXPECT_TRUE(matched.ok) << format_report(matched);
+    EXPECT_EQ(matched.deltas.size(), 2u);
+    for (const MetricDelta& d : matched.deltas) EXPECT_NE(d.metric, "arrival");
+}
+
 TEST(BenchCompare, MetricDirectionTable) {
     EXPECT_EQ(metric_direction("ibd_ms"), Direction::kLowerBetter);
     EXPECT_EQ(metric_direction("ev_ns"), Direction::kLowerBetter);

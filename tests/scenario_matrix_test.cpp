@@ -24,6 +24,7 @@
 #include "chain/sighash.hpp"
 #include "core/node.hpp"
 #include "core/reorg.hpp"
+#include "core/sig_cache.hpp"
 #include "intermediary/converter.hpp"
 #include "script/standard.hpp"
 #include "util/thread_pool.hpp"
@@ -90,13 +91,15 @@ constexpr std::size_t kConfigCount = sizeof(kConfigs) / sizeof(kConfigs[0]);
 
 std::unique_ptr<core::EbvNode> make_node(const Config& cfg, util::ThreadPool* pool,
                                          const chain::ChainParams& params,
-                                         const std::string& data_dir = {}) {
+                                         const std::string& data_dir = {},
+                                         core::SigCache* sigcache = nullptr) {
     core::EbvNodeOptions options;
     options.params = params;
     options.data_dir = data_dir;
     options.validator.script_pool = cfg.use_pool ? pool : nullptr;
     options.validator.batch_verify = cfg.batch_verify;
     options.validator.sighash_template = true;
+    options.validator.sigcache = sigcache;
     options.pipeline.enabled = cfg.pipelined;
     options.pipeline.window = cfg.window;
     return std::make_unique<core::EbvNode>(options);
@@ -239,6 +242,55 @@ TEST_F(ScenarioMatrix, EveryMutationRejectsIdenticallyAcrossConfigs) {
                 expect_same_batch(*serial, result, cfg.name);
                 expect_same_state(*nodes.front(), *nodes.back(), cfg.name);
             }
+        }
+    }
+}
+
+// The sigcache must never change a verdict: a warm cache holds only
+// signatures that verified TRUE, every mutation's failure is something the
+// cache cannot vouch for, and failed checks always re-verify. Re-run the
+// whole mutation catalogue with a cache warmed on the clean chain and
+// compare against a cold serial baseline — tuples and state bit-identical
+// across all four configurations (the "cache on" half of the on/off/evicted
+// guarantee; targeted poisoning/eviction lives in core_sigcache_test).
+TEST_F(ScenarioMatrix, EveryMutationRejectsIdenticallyWithWarmSigCache) {
+    util::ThreadPool pool(4);
+    workload::Adversary adversary(1);
+
+    // Warm one shared cache by fully validating the clean chain once; every
+    // honest signature in `chain_` is now admission-equivalent cached.
+    core::SigCache cache;
+    {
+        auto warm = make_node(kConfigs[1], &pool, gen_options_.params, {}, &cache);
+        ASSERT_TRUE(warm->submit_blocks(chain_).ok());
+    }
+    ASSERT_GT(cache.size(), 0u);
+
+    for (const workload::Mutation m : workload::kAllMutations) {
+        SCOPED_TRACE(workload::to_string(m));
+
+        std::vector<core::EbvBlock> blocks;
+        std::optional<workload::AppliedMutation> applied;
+        for (std::size_t target = kChainLen / 2; target < kChainLen && !applied;
+             ++target) {
+            blocks = chain_;
+            applied = adversary.apply(m, blocks, target, &converter_.archive());
+        }
+        ASSERT_TRUE(applied.has_value()) << "mutation never applied";
+
+        // Cold serial baseline (no cache) is the contract's ground truth.
+        auto baseline = make_node(kConfigs[0], &pool, gen_options_.params);
+        const ibd::BatchResult cold = baseline->submit_blocks(blocks);
+        ASSERT_TRUE(cold.failure.has_value());
+        EXPECT_EQ(cold.failure->failure.error, expected_error(m))
+            << cold.failure->failure.describe();
+
+        for (const Config& cfg : kConfigs) {
+            auto node = make_node(cfg, &pool, gen_options_.params, {}, &cache);
+            const ibd::BatchResult result = node->submit_blocks(blocks);
+            ASSERT_TRUE(result.failure.has_value()) << cfg.name;
+            expect_same_batch(cold, result, std::string(cfg.name) + "+sigcache");
+            expect_same_state(*baseline, *node, std::string(cfg.name) + "+sigcache");
         }
     }
 }

@@ -90,8 +90,44 @@ TEST_F(TxPoolTest, RejectsDuplicate) {
 
 TEST_F(TxPoolTest, RejectsConflictingSpend) {
     ASSERT_EQ(pool_->submit(make_spend(0, 0, 40 * kCoin)), TxAdmission::kAccepted);
-    // A different tx (different value) spending the same output.
-    EXPECT_EQ(pool_->submit(make_spend(0, 0, 39 * kCoin)), TxAdmission::kConflict);
+    // A different tx spending the same output at a LOWER feerate (higher
+    // output value = smaller fee) cannot displace the pooled spender.
+    EXPECT_EQ(pool_->submit(make_spend(0, 0, 41 * kCoin)), TxAdmission::kConflict);
+}
+
+TEST_F(TxPoolTest, ReplacesConflictAtStrictlyHigherFeerate) {
+    const auto original = make_spend(0, 0, 40 * kCoin);     // fee 10
+    const auto replacement = make_spend(0, 0, 39 * kCoin);  // fee 11
+    ASSERT_EQ(pool_->submit(original), TxAdmission::kAccepted);
+    EXPECT_EQ(pool_->submit(replacement), TxAdmission::kAccepted);
+    EXPECT_EQ(pool_->size(), 1u);
+    EXPECT_FALSE(pool_->contains(original.leaf_hash()));
+    EXPECT_TRUE(pool_->contains(replacement.leaf_hash()));
+
+    // The replacement owns the spend slot: draining it frees the output.
+    const auto drained = pool_->take_for_block(1);
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].leaf_hash(), replacement.leaf_hash());
+    EXPECT_EQ(pool_->submit(original), TxAdmission::kAccepted);
+}
+
+TEST_F(TxPoolTest, ReplacementCanBeDisabled) {
+    TxPoolOptions options;
+    options.replace_by_feerate = false;
+    TxPool pool(options_.params, node_->headers(), node_->status(), options);
+    ASSERT_EQ(pool.submit(make_spend(0, 0, 40 * kCoin)), TxAdmission::kAccepted);
+    EXPECT_EQ(pool.submit(make_spend(0, 0, 39 * kCoin)), TxAdmission::kConflict);
+}
+
+TEST_F(TxPoolTest, InvalidConflictNeverReplaces) {
+    const auto original = make_spend(0, 0, 40 * kCoin);
+    ASSERT_EQ(pool_->submit(original), TxAdmission::kAccepted);
+    // Higher feerate but an unsignable script: the conflict verdict comes
+    // first, exactly as a serial one-at-a-time pipeline reports it.
+    auto bad = make_spend(0, 0, 39 * kCoin);
+    bad.inputs[0].unlock_script[4] ^= 0x01;
+    EXPECT_EQ(pool_->submit(bad), TxAdmission::kConflict);
+    EXPECT_TRUE(pool_->contains(original.leaf_hash()));
 }
 
 TEST_F(TxPoolTest, RejectsCoinbase) {
@@ -133,6 +169,130 @@ TEST_F(TxPoolTest, TakeForBlockPrefersHigherFeeRate) {
 
     // The drained spend is released: a conflicting tx may now enter.
     EXPECT_EQ(pool_->submit(make_spend(1, 0, 39 * kCoin)), TxAdmission::kAccepted);
+}
+
+TEST_F(TxPoolTest, EvictsLowestFeerateUnderByteBudget) {
+    // Measure one entry's accounted cost, then budget for two entries.
+    std::size_t entry_bytes = 0;
+    {
+        TxPool probe(options_.params, node_->headers(), node_->status());
+        ASSERT_EQ(probe.submit(make_spend(0, 0, 40 * kCoin)), TxAdmission::kAccepted);
+        entry_bytes = probe.bytes();
+        ASSERT_GT(entry_bytes, 0u);
+    }
+
+    TxPoolOptions options;
+    options.max_bytes = 2 * entry_bytes + entry_bytes / 2;
+    TxPool pool(options_.params, node_->headers(), node_->status(), options);
+
+    const auto cheap = make_spend(0, 0, 50 * kCoin - 1'000);  // fee 1000
+    const auto mid = make_spend(1, 0, 45 * kCoin);            // fee 5 coin
+    const auto rich = make_spend(2, 0, 40 * kCoin);           // fee 10 coin
+    ASSERT_EQ(pool.submit(cheap), TxAdmission::kAccepted);
+    ASSERT_EQ(pool.submit(mid), TxAdmission::kAccepted);
+    // The third entry busts the budget; the cheapest pooled tx is evicted.
+    ASSERT_EQ(pool.submit(rich), TxAdmission::kAccepted);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_LE(pool.bytes(), options.max_bytes);
+    EXPECT_FALSE(pool.contains(cheap.leaf_hash()));
+    EXPECT_TRUE(pool.contains(mid.leaf_hash()));
+    EXPECT_TRUE(pool.contains(rich.leaf_hash()));
+
+    // The evicted output is free again, but a below-floor newcomer is
+    // admitted and immediately budget-evicted itself: kPoolFull.
+    EXPECT_EQ(pool.submit(make_spend(0, 0, 50 * kCoin - 500)),  // fee 500
+              TxAdmission::kPoolFull);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST_F(TxPoolTest, BatchVerdictsMatchSerialSubmission) {
+    mine_blocks(4);  // more mature coinbases to spend (heights 0..7 exist)
+
+    std::vector<EbvTransaction> batch;
+    batch.push_back(make_spend(0, 0, 40 * kCoin));        // accepted
+    batch.push_back(batch[0]);                            // duplicate (in batch)
+    batch.push_back(make_spend(0, 0, 41 * kCoin));        // conflict, lower feerate
+    batch.push_back(make_spend(1, 0, 45 * kCoin));        // accepted
+    auto bad_sig = make_spend(2, 0, 40 * kCoin);
+    bad_sig.inputs[0].unlock_script[4] ^= 0x01;
+    batch.push_back(bad_sig);                             // script failure
+    batch.push_back(make_spend(1, 0, 44 * kCoin));        // replaces #3 (higher fee)
+    batch.push_back(make_spend(3, 0, 60 * kCoin));        // bad value
+
+    // Ground truth: one-at-a-time serial submission.
+    std::vector<TxAdmission> serial;
+    for (const auto& tx : batch) serial.push_back(pool_->submit(tx));
+
+    // Batch admission without a thread pool...
+    TxPool batch_pool(options_.params, node_->headers(), node_->status());
+    EXPECT_EQ(batch_pool.submit_batch(batch), serial);
+
+    // ...and fanned over a thread pool, with a sigcache in the loop.
+    util::ThreadPool workers(4);
+    SigCache cache;
+    TxPoolOptions options;
+    options.pool = &workers;
+    options.sigcache = &cache;
+    TxPool parallel_pool(options_.params, node_->headers(), node_->status(), options);
+    EXPECT_EQ(parallel_pool.submit_batch(batch), serial);
+    EXPECT_EQ(parallel_pool.size(), pool_->size());
+
+    // A warm sigcache changes nothing about verdicts on a re-run either.
+    TxPool rerun_pool(options_.params, node_->headers(), node_->status(), options);
+    EXPECT_EQ(rerun_pool.submit_batch(batch), serial);
+}
+
+TEST_F(TxPoolTest, BuildTemplateMinesCleanlyAndEvictsIncrementally) {
+    const auto a = make_spend(0, 0, 40 * kCoin);  // fee 10
+    const auto b = make_spend(1, 0, 45 * kCoin);  // fee 5
+    ASSERT_EQ(pool_->submit(a), TxAdmission::kAccepted);
+    ASSERT_EQ(pool_->submit(b), TxAdmission::kAccepted);
+
+    // A pooled tx NOT included in the template (worst feerate of the
+    // three) survives eviction.
+    const auto survivor = make_spend(2, 0, 48 * kCoin);  // fee 2
+    ASSERT_EQ(pool_->submit(survivor), TxAdmission::kAccepted);
+
+    const EbvBlock block = pool_->build_template(lock(), 2);
+    ASSERT_EQ(block.txs.size(), 3u);
+    EXPECT_TRUE(block.txs[0].is_coinbase());
+    // Best feerate first: a (fee 10) before b (fee 5). Stake positions
+    // were assigned, so compare spend identity rather than leaf hashes.
+    EXPECT_EQ(block.txs[1].inputs[0].height, a.inputs[0].height);
+    EXPECT_EQ(block.txs[2].inputs[0].height, b.inputs[0].height);
+    // Coinbase claims subsidy + the included fees.
+    EXPECT_EQ(block.txs[0].total_output_value(),
+              options_.params.subsidy_at(node_->next_height()) + 15 * kCoin);
+
+    // The template connects as-is; building it did not drain the pool.
+    EXPECT_EQ(pool_->size(), 3u);
+    auto result = node_->submit_block(block);
+    ASSERT_TRUE(result.has_value()) << result.error().describe();
+
+    // Incremental eviction drops exactly the confirmed spenders.
+    EXPECT_EQ(pool_->evict_confirmed_spends(block), 2u);
+    EXPECT_EQ(pool_->size(), 1u);
+    EXPECT_TRUE(pool_->contains(survivor.leaf_hash()));
+}
+
+TEST_F(TxPoolTest, IncrementalEvictionMatchesFullRescan) {
+    const auto victim = make_spend(0, 0, 40 * kCoin);
+    ASSERT_EQ(pool_->submit(victim), TxAdmission::kAccepted);
+    ASSERT_EQ(pool_->submit(make_spend(1, 0, 40 * kCoin)), TxAdmission::kAccepted);
+
+    // A block confirms a *different* transaction spending victim's output,
+    // assembled through a second pool's template path.
+    TxPool other(options_.params, node_->headers(), node_->status());
+    ASSERT_EQ(other.submit(make_spend(0, 0, 39 * kCoin)), TxAdmission::kAccepted);
+    const EbvBlock block = other.build_template(lock(), 1);
+    ASSERT_TRUE(node_->submit_block(block).has_value());
+
+    EXPECT_EQ(pool_->evict_confirmed_spends(block), 1u);
+    EXPECT_EQ(pool_->size(), 1u);
+    EXPECT_FALSE(pool_->contains(victim.leaf_hash()));
+    // Nothing left for the full rescan to find: the incremental pass
+    // matched it exactly.
+    EXPECT_EQ(pool_->evict_confirmed_spends(), 0u);
 }
 
 TEST_F(TxPoolTest, EvictsTransactionsSpentByConfirmedBlocks) {
